@@ -1,0 +1,66 @@
+"""Benchmarks `ablation-cw-order`, `ablation-hqs`, `ablation-generic`."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.ablations import (
+    run_cw_order_ablation,
+    run_generic_baseline_ablation,
+    run_hqs_ablation,
+)
+from repro.experiments.report import render_table
+
+
+def test_cw_probing_order_ablation(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_cw_order_ablation, depth=12, ps=(0.1, 0.3, 0.5), trials=fast_trials, seed=67
+    )
+    print()
+    print(render_table(rows, "Ablation: Probe_CW vs alternative probing orders (Triang(12), n=78)"))
+    by_variant = {}
+    for row in rows:
+        if row.params["p"] == 0.5:
+            by_variant[row.quantity] = row.measured
+    paper = by_variant["avg probes [Probe_CW (paper, lexicographic rows)]"]
+    random_rows = by_variant["avg probes [Probe_CW (random within-row order)]"]
+    bottom_up = by_variant["avg probes [R_Probe_CW (bottom-up randomized)]"]
+    sequential = by_variant["avg probes [SequentialScan (element order)]"]
+    # The paper's top-down structure is what matters: randomizing the
+    # within-row order changes nothing measurable, while the bottom-up scan
+    # and the generic scans pay Θ(n) instead of Θ(k).
+    assert abs(paper - random_rows) < 1.5
+    assert paper <= 2 * 12 - 1 + 0.5
+    assert bottom_up > paper + 3.0
+    assert sequential > 1.5 * paper
+
+
+def test_hqs_laziness_ablation(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_hqs_ablation, heights=(2, 3, 4), p=0.5, trials=fast_trials, seed=71
+    )
+    print()
+    print(render_table(rows, "Ablation: lazy vs eager vs randomized HQS evaluation"))
+    for height in (2, 3, 4):
+        values = {
+            row.quantity: row.measured for row in rows if row.params["h"] == height
+        }
+        lazy = values["avg probes [Probe_HQS (lazy, paper)]"]
+        eager = values["avg probes [EagerProbeHQS (no short-circuit)]"]
+        # Skipping the third child when two agree saves a constant factor
+        # that compounds per level: (2.5/3)^h.
+        assert lazy < eager
+        assert abs(eager - 3.0**height) < 1e-9
+        assert abs(lazy - 2.5**height) / 2.5**height < 0.1
+
+
+def test_generic_baseline_ablation(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_generic_baseline_ablation, trials=fast_trials, seed=73
+    )
+    print()
+    print(render_table(rows, "Ablation: specialised algorithms vs universal candidate-quorum probing"))
+    # Structural algorithms never do dramatically worse than the generic
+    # baseline (within 2x) on their own systems.
+    for row in rows:
+        assert row.measured <= 2.0 * row.paper + 2.0

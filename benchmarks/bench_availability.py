@@ -1,0 +1,18 @@
+"""Benchmark `availability`: F_p(S) measurements and Fact 2.3 identities."""
+
+from __future__ import annotations
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.availability import run_availability_experiment
+
+
+def test_availability_identities_and_recursions(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_availability_experiment, ps=(0.1, 0.3, 0.5), trials=2 * fast_trials, seed=61
+    )
+    report(rows, "Availability: Fact 2.3 identities, recursions vs enumeration vs Monte-Carlo")
+    # The Monte-Carlo rows (relation "~") should track the exact values.
+    mc_rows = [r for r in rows if "Monte-Carlo" in r.quantity]
+    for row in mc_rows:
+        assert abs(row.measured - row.paper) < 0.05

@@ -1,0 +1,47 @@
+"""Benchmark `thm3.3-cw`: crumbling walls in the probabilistic model."""
+
+from __future__ import annotations
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.crumbling_walls import (
+    run_cw_independence_of_n,
+    run_probe_cw_bound,
+    run_wheel_and_triang_corollaries,
+)
+from repro.systems.crumbling_walls import TriangSystem, uniform_wall
+
+
+def test_probe_cw_respects_2k_minus_1(benchmark, fast_trials):
+    walls = [TriangSystem(8), TriangSystem(15), uniform_wall(rows=10, width=20)]
+    rows = run_experiment_once(
+        benchmark,
+        run_probe_cw_bound,
+        walls=walls,
+        ps=(0.1, 0.3, 0.5, 0.7, 0.9),
+        trials=fast_trials,
+        seed=11,
+    )
+    report(rows, "Theorem 3.3: Probe_CW ≤ 2k − 1 for every p")
+
+
+def test_wheel_and_triang_corollaries(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_wheel_and_triang_corollaries, trials=fast_trials, seed=13
+    )
+    report(rows, "Corollaries 3.4 / 3.5: Wheel ≤ 3, Triang within [2k−Θ(√k), 2k−1]")
+
+
+def test_probe_count_independent_of_row_width(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark,
+        run_cw_independence_of_n,
+        widths_per_row=(5, 20, 100, 500),
+        rows_count=8,
+        trials=fast_trials,
+        seed=17,
+    )
+    report(rows, "Crumbling wall: probes depend on k, not on n")
+    measured = [row.measured for row in rows]
+    # Growing n by 100x changes the average probe count by less than one probe.
+    assert max(measured) - min(measured) < 1.0

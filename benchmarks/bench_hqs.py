@@ -1,0 +1,37 @@
+"""Benchmark `thm3.8-hqs`: HQS in the probabilistic model."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.hqs import run_probe_hqs_optimality, run_probe_hqs_scaling
+from repro.experiments.report import render_table, violations
+
+
+def test_probe_hqs_exponent(benchmark, fast_trials):
+    rows, fits = run_experiment_once(
+        benchmark,
+        run_probe_hqs_scaling,
+        heights=(2, 3, 4, 5),
+        ps=(0.5, 0.25),
+        trials=fast_trials,
+        seed=37,
+    )
+    print()
+    print(render_table(rows, "Theorem 3.8: Probe_HQS scaling"))
+    assert not violations(rows)
+
+    # Shape claims: the p = 1/2 exponent matches log3(2.5) ≈ 0.834 — strictly
+    # larger than the quorum-size exponent log3(2) ≈ 0.63 (the paper's point
+    # that PPC can exceed the quorum size asymptotically) — and the biased-p
+    # exponent drops towards log3(2).
+    assert abs(fits[0.5].exponent - math.log(2.5, 3)) < 0.05
+    assert fits[0.5].exponent > math.log(2.0, 3) + 0.1
+    assert fits[0.25].exponent < fits[0.5].exponent
+
+
+def test_probe_hqs_optimality_crosscheck(benchmark):
+    rows = run_experiment_once(benchmark, run_probe_hqs_optimality, heights=(1, 2))
+    report(rows, "Theorem 3.9 cross-check (exact optimum vs Probe_HQS)")

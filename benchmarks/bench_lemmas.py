@@ -1,0 +1,45 @@
+"""Benchmark `lemma2.4-walk` and `lemma2.8-2.9-urn`: the technical lemmas."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.lemmas import run_urn_experiment, run_walk_experiment
+from repro.experiments.report import render_table
+
+
+def test_grid_walk_exit_times(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark,
+        run_walk_experiment,
+        sizes=(10, 50, 200, 1000),
+        ps=(0.5, 0.3),
+        trials=2 * fast_trials,
+        seed=43,
+    )
+    print()
+    print(render_table(rows, "Lemma 2.4: grid random-walk exit time"))
+    for row in rows:
+        assert abs(row.measured - row.paper) / row.paper < 0.05
+    # Shape: at p = 1/2 the exit time approaches 2N from below; for p < 1/2
+    # it approaches N/q.
+    for row in rows:
+        n, p = row.params["N"], row.params["p"]
+        if p == 0.5:
+            assert 1.6 * n <= row.measured <= 2.0 * n
+        else:
+            assert abs(row.measured - n / (1 - p)) < 0.15 * n
+
+
+def test_urn_expectations(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark,
+        run_urn_experiment,
+        cases=((3, 5), (10, 10), (20, 5), (1, 30)),
+        trials=4 * fast_trials,
+        seed=59,
+    )
+    print()
+    print(render_table(rows, "Lemmas 2.8 / 2.9: urn expectations"))
+    for row in rows:
+        assert abs(row.measured - row.paper) / row.paper < 0.05

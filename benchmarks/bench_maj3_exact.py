@@ -1,0 +1,26 @@
+"""Benchmark `fig4-maj3`: the Section 2.3 worked example, computed exactly."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.maj3 import maj3_strategy_tree_summary, run_maj3_experiment
+
+
+def test_maj3_exact_complexities(benchmark):
+    rows = run_experiment_once(benchmark, run_maj3_experiment)
+    report(rows, "Maj3 worked example (PC, PPC, PCR)")
+    values = {row.quantity: row.measured for row in rows}
+    assert values["PC (deterministic worst case)"] == 3.0
+    assert math.isclose(values["PPC at p=1/2"], 2.5)
+    assert math.isclose(values["PCR upper (random permutation alg.)"], 8 / 3)
+    assert math.isclose(values["PCR lower (Yao, Thm 4.2 distribution)"], 8 / 3)
+
+
+def test_maj3_optimal_strategy_tree(benchmark):
+    summary = run_experiment_once(benchmark, maj3_strategy_tree_summary)
+    print(f"\noptimal Maj3 strategy tree: {summary}")
+    assert summary["depth"] == 3.0
+    assert math.isclose(summary["expected_depth_half"], 2.5)

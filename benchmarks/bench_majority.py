@@ -1,0 +1,43 @@
+"""Benchmark `prop3.2-maj`: Majority in the probabilistic model."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.experiments.majority import (
+    majority_sqrt_deficit_fit,
+    run_probabilistic_majority,
+)
+from repro.experiments.report import render_table
+
+
+def test_majority_average_probes_track_proposition_3_2(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark,
+        run_probabilistic_majority,
+        sizes=(11, 25, 51, 101),
+        ps=(0.5, 0.3, 0.1),
+        trials=fast_trials,
+        seed=2001,
+    )
+    print()
+    print(render_table(rows, "Proposition 3.2: Probe_Maj average probes"))
+    # Shape: the measurement tracks the exact finite-n expectation within 10%.
+    for row in rows:
+        assert abs(row.measured - row.paper) / row.paper < 0.10
+    # Shape: smaller p means fewer probes at every n.
+    for n in (11, 25, 51, 101):
+        per_p = {row.params["p"]: row.measured for row in rows if row.params["n"] == n}
+        assert per_p[0.1] < per_p[0.3] < per_p[0.5] + 1e-9
+
+
+def test_majority_sqrt_deficit(benchmark):
+    fit = run_experiment_once(
+        benchmark, majority_sqrt_deficit_fit, sizes=(25, 51, 101, 201), trials=1200, seed=7
+    )
+    print(f"\nΘ(√n) deficit fit: n - E[probes] ≈ {fit.sqrt_coefficient:.3f}·√n - {fit.offset:.3f} "
+          f"(R² = {fit.r_squared:.4f})")
+    # The deficit really is of √n order: coefficient bounded away from 0,
+    # and the fit explains the data.
+    assert 0.3 < fit.sqrt_coefficient < 2.5
+    assert fit.r_squared > 0.9

@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the probing machinery itself.
+
+These are conventional pytest-benchmark timings (operations per second) for
+the hot paths a downstream user cares about: running each of the paper's
+algorithms once on a large instance, evaluating the characteristic function,
+and serving probes from the simulated cluster.  They complement the
+experiment-level benchmarks, which measure probes rather than wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms import IRProbeHQS, ProbeCW, ProbeHQS, ProbeMaj, ProbeTree, RProbeTree
+from repro.core.coloring import Coloring
+from repro.core.oracle import ColoringOracle
+from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
+from repro.simulation.failures import BernoulliFailures
+from repro.systems import HQS, MajoritySystem, TreeSystem, TriangSystem
+
+
+def _coloring(n: int, seed: int) -> Coloring:
+    return Coloring.random(n, 0.5, random.Random(seed))
+
+
+def test_probe_maj_single_run(benchmark):
+    system = MajoritySystem(1001)
+    coloring = _coloring(system.n, 1)
+    algorithm = ProbeMaj(system)
+    result = benchmark(lambda: algorithm.run_on(coloring))
+    assert result.probes <= system.n
+
+
+def test_probe_cw_single_run(benchmark):
+    system = TriangSystem(45)  # n = 1035
+    coloring = _coloring(system.n, 2)
+    algorithm = ProbeCW(system)
+    result = benchmark(lambda: algorithm.run_on(coloring))
+    assert result.probes <= system.n
+
+
+def test_probe_tree_single_run(benchmark):
+    system = TreeSystem(10)  # n = 2047
+    coloring = _coloring(system.n, 3)
+    algorithm = ProbeTree(system)
+    result = benchmark(lambda: algorithm.run_on(coloring))
+    assert result.probes <= system.n
+
+
+def test_randomized_tree_single_run(benchmark):
+    system = TreeSystem(10)
+    coloring = _coloring(system.n, 4)
+    algorithm = RProbeTree(system)
+    rng = random.Random(5)
+    result = benchmark(lambda: algorithm.run_on(coloring, rng=rng))
+    assert result.probes <= system.n
+
+
+def test_probe_hqs_single_run(benchmark):
+    system = HQS(7)  # n = 2187
+    coloring = _coloring(system.n, 6)
+    algorithm = ProbeHQS(system)
+    result = benchmark(lambda: algorithm.run_on(coloring))
+    assert result.probes <= system.n
+
+
+def test_ir_probe_hqs_single_run(benchmark):
+    system = HQS(7)
+    coloring = _coloring(system.n, 7)
+    algorithm = IRProbeHQS(system)
+    rng = random.Random(8)
+    result = benchmark(lambda: algorithm.run_on(coloring, rng=rng))
+    assert result.probes <= system.n
+
+
+def test_characteristic_function_evaluation(benchmark):
+    system = TriangSystem(45)
+    subset = frozenset(e for e in system.universe if e % 3 != 0)
+    value = benchmark(lambda: system.contains_quorum(subset))
+    assert isinstance(value, bool)
+
+
+def test_cluster_probe_round_trip(benchmark):
+    system = TriangSystem(45)
+    cluster = SimulatedCluster(system.n, failure_model=BernoulliFailures(0.3), seed=9)
+    algorithm = ProbeCW(system)
+
+    def probe_once():
+        oracle = ClusterProbeOracle(cluster)
+        return algorithm.run(oracle, rng=None)
+
+    result = benchmark(probe_once)
+    assert result.witness is not None
+
+
+def test_in_memory_oracle_overhead(benchmark):
+    coloring = _coloring(2001, 10)
+
+    def probe_all():
+        oracle = ColoringOracle(coloring)
+        for e in range(1, 2002):
+            oracle.probe(e)
+        return oracle.probe_count
+
+    assert benchmark(probe_all) == 2001

@@ -1,0 +1,22 @@
+"""Benchmark `thm4.4-cw-rand`: randomized crumbling-wall probing, worst case."""
+
+from __future__ import annotations
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.crumbling_walls import run_randomized_cw
+
+
+def test_r_probe_cw_between_yao_and_row_bound(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_randomized_cw, depths=(5, 8, 12), trials=2 * fast_trials, seed=19
+    )
+    report(rows, "Theorems 4.4 / 4.6 and Corollary 4.5: R_Probe_CW")
+
+    # Shape: on Triang the measured hard-input cost sits between (n+k)/2 and
+    # the per-row bound, i.e. it is Θ(n/2) — half the universe, unlike the
+    # probabilistic model's O(k).
+    triang_rows = [r for r in rows if r.system.startswith("Triang") and r.relation == ">="]
+    for row in triang_rows:
+        n = row.params["n"]
+        assert row.measured > 0.45 * n

@@ -1,0 +1,29 @@
+"""Benchmark `thm4.10-hqs-rand`: randomized HQS probing on the family P."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.analysis.bounds import HQS_PPC_EXPONENT
+from repro.experiments.hqs import run_randomized_hqs
+from repro.experiments.report import render_table, violations
+
+
+def test_r_and_ir_probe_hqs_exponents(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_randomized_hqs, heights=(2, 3, 4, 5), trials=fast_trials, seed=41
+    )
+    print()
+    print(render_table(rows, "Prop. 4.9 / Thm. 4.10 / Cor. 4.13: randomized HQS"))
+    assert not violations(rows)
+
+    fits = {row.quantity: row.measured for row in rows if row.system == "HQS (fit)"}
+    r_exponent = fits["fitted exponent, R_Probe_HQS on P"]
+    ir_exponent = fits["fitted exponent, IR_Probe_HQS on P"]
+    # Shape claims: both exponents are sub-linear, at least the Cor. 4.13
+    # lower-bound exponent (0.834) up to finite-size slack, and at most ~0.9
+    # (the Prop. 4.9 upper bound).
+    for exponent in (r_exponent, ir_exponent):
+        assert HQS_PPC_EXPONENT - 0.06 <= exponent <= 0.93
+    # IR_Probe_HQS does not scale worse than R_Probe_HQS.
+    assert ir_exponent <= r_exponent + 0.02

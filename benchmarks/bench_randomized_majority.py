@@ -1,0 +1,24 @@
+"""Benchmark `thm4.2-maj-rand`: randomized Majority probing, worst case."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_once
+
+from repro.analysis.yao import majority_lower_bound
+from repro.experiments.majority import run_randomized_majority
+from repro.experiments.report import render_table
+
+
+def test_r_probe_maj_matches_theorem_4_2(benchmark, fast_trials):
+    sizes = (5, 9, 21, 51)
+    rows = run_experiment_once(
+        benchmark, run_randomized_majority, sizes=sizes, trials=4 * fast_trials, seed=4002
+    )
+    print()
+    print(render_table(rows, "Theorem 4.2: PCR(Maj) = n − (n−1)/(n+3)"))
+    # Shape: both the worst-input measurement (upper side) and the hard-
+    # distribution measurement (Yao lower side) agree with the exact value
+    # within 5%, pinching PCR(Maj).
+    for row in rows:
+        exact = majority_lower_bound(row.params["n"])
+        assert abs(row.measured - exact) / exact < 0.05

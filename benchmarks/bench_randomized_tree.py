@@ -1,0 +1,41 @@
+"""Benchmark `thm4.7-tree-rand`: randomized Tree probing, worst case."""
+
+from __future__ import annotations
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.report import render_table
+from repro.experiments.tree import (
+    run_deterministic_vs_randomized_tree,
+    run_randomized_tree,
+)
+
+
+def test_r_probe_tree_between_paper_bounds(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark, run_randomized_tree, heights=(3, 5, 7, 9), trials=2 * fast_trials, seed=29
+    )
+    report(rows, "Theorems 4.7 / 4.8: 2(n+1)/3 ≤ R_Probe_Tree ≤ 5n/6 + 1/6")
+    # Shape: the cost is linear in n with a slope strictly between the two
+    # paper constants (2/3 and 5/6).
+    upper_rows = [r for r in rows if r.relation == "<="]
+    for row in upper_rows:
+        n = row.params["n"]
+        assert 0.60 * n <= row.measured <= 0.88 * n
+
+
+def test_randomized_beats_deterministic_on_hard_inputs(benchmark, fast_trials):
+    rows = run_experiment_once(
+        benchmark,
+        run_deterministic_vs_randomized_tree,
+        heights=(3, 5, 7),
+        trials=2 * fast_trials,
+        seed=31,
+    )
+    print()
+    print(render_table(rows, "Hard-input probes: deterministic / randomized ratio"))
+    # The deterministic fixed-order algorithm pays strictly more than the
+    # randomized one on the Theorem 4.8 inputs (ratio > 1), which is the
+    # paper's motivation for Section 4.
+    for row in rows:
+        assert row.measured > 1.05

@@ -1,0 +1,29 @@
+"""Benchmark `table1`: regenerate the paper's Table 1 (all 16 cells)."""
+
+from __future__ import annotations
+
+from conftest import report, run_experiment_once
+
+from repro.experiments.table1 import Table1Sizes, render_table1, run_table1
+
+
+def test_table1_regeneration(benchmark, fast_trials):
+    sizes = Table1Sizes(maj_n=101, triang_depth=10, tree_height=6, hqs_height=4)
+    rows = run_experiment_once(
+        benchmark, run_table1, sizes=sizes, trials=fast_trials, seed=1001
+    )
+    print()
+    print(render_table1(rows))
+    report(rows, "Table 1 (benchmark-sized regeneration)")
+
+    # Shape claims of Table 1 beyond the per-row relations:
+    by_cell = {(r.system, r.quantity): r for r in rows}
+    maj_ppc = by_cell[("Maj", "probabilistic p=1/2 (lower n-Θ(√n))")].measured
+    tri_ppc = by_cell[("Triang", "probabilistic p=1/2 (upper 2k-1)")].measured
+    tree_ppc = by_cell[("Tree", "probabilistic p=1/2 (upper O(n^0.585))")].measured
+    hqs_ppc = by_cell[("HQS", "probabilistic p=1/2 (upper O(n^0.834))")].measured
+
+    # In the probabilistic model the wall is by far the cheapest, the tree is
+    # sublinear, HQS sits between quorum size and n, and Majority is ~n.
+    assert tri_ppc < tree_ppc < maj_ppc
+    assert hqs_ppc < maj_ppc

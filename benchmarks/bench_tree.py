@@ -1,0 +1,32 @@
+"""Benchmark `prop3.6-tree`: the Tree system in the probabilistic model."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_experiment_once
+
+from repro.experiments.report import render_table, violations
+from repro.experiments.tree import run_probe_tree_scaling
+
+
+def test_probe_tree_exponent(benchmark, fast_trials):
+    rows, fits = run_experiment_once(
+        benchmark,
+        run_probe_tree_scaling,
+        heights=(3, 4, 5, 6, 7, 8),
+        ps=(0.5, 0.3, 0.1),
+        trials=fast_trials,
+        seed=23,
+    )
+    print()
+    print(render_table(rows, "Proposition 3.6 / Corollary 3.7: Probe_Tree scaling"))
+    assert not violations(rows)
+
+    # Shape claims: the fitted exponent at p = 1/2 is close to log2(1.5) and
+    # strictly below 1 (sublinear), and biasing p lowers the exponent.
+    assert abs(fits[0.5].exponent - math.log2(1.5)) < 0.12
+    assert fits[0.5].exponent < 0.75
+    assert fits[0.1].exponent < fits[0.3].exponent < fits[0.5].exponent + 0.02
+    for fit in fits.values():
+        assert fit.r_squared > 0.98

@@ -1,0 +1,76 @@
+"""Quorum-replicated storage under failures: which coterie probes least?
+
+Run with::
+
+    python examples/replicated_store.py
+
+This is the paper's second motivating application (replicated data).  A
+replicated register is deployed over a simulated cluster whose nodes crash
+and recover between operations.  Every read/write must first *probe* for a
+live quorum; the script compares three coteries of comparable size —
+Majority, Triang (a crumbling wall) and HQS — and three failure levels,
+reporting probes per operation, success rate and consistency (a read must
+never return a value older than the last committed write).
+
+The punchline mirrors Theorem 3.3: the crumbling wall needs only O(k)
+probes per operation regardless of how many replicas there are, whereas
+Majority must probe about half the cluster.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ProbeCW, ProbeHQS, ProbeMaj
+from repro.simulation import BernoulliFailures, SimulatedCluster
+from repro.simulation.protocols import ReplicatedRegister, run_replication_workload
+from repro.systems import HQS, MajoritySystem, TriangSystem
+
+
+def build_cases():
+    """Three coteries of roughly comparable size (n = 81, 78, 81)."""
+    maj = MajoritySystem(81)
+    triang = TriangSystem(12)  # n = 78, 12 rows
+    hqs = HQS(4)  # n = 81, quorums of size 16
+    return [
+        ("Majority(81)", maj, ProbeMaj(maj)),
+        ("Triang(12), n=78", triang, ProbeCW(triang)),
+        ("HQS(h=4), n=81", hqs, ProbeHQS(hqs)),
+    ]
+
+
+def main() -> None:
+    operations = 300
+    print(f"{operations} operations per configuration (30% writes), "
+          "nodes toggle up/down between operations\n")
+    header = (
+        f"{'coterie':<20} {'fail-rate':>9} {'probes/op':>10} "
+        f"{'failed ops':>10} {'stale reads':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for failure_rate in (0.01, 0.05, 0.15):
+        for label, system, prober in build_cases():
+            cluster = SimulatedCluster(
+                system.n,
+                failure_model=BernoulliFailures(0.1),
+                seed=42,
+            )
+            register = ReplicatedRegister(cluster, prober, seed=7)
+            stats = run_replication_workload(
+                register,
+                operations=operations,
+                write_fraction=0.3,
+                failure_rate_between_ops=failure_rate,
+                seed=13,
+            )
+            print(
+                f"{label:<20} {failure_rate:>9.2f} {stats.probes_per_operation:>10.2f} "
+                f"{stats.failed_operations:>10d} {stats.stale_reads:>11d}"
+            )
+        print()
+    print("Note how the crumbling wall's probes/op stays near 2k-1 = 23 "
+          "while Majority pays close to n - Θ(√n) ≈ 72 probes, "
+          "matching Theorem 3.3 vs Proposition 3.2.")
+
+
+if __name__ == "__main__":
+    main()

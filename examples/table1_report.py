@@ -1,0 +1,94 @@
+"""Regenerate the paper's Table 1 and the per-theorem experiment reports.
+
+Run with::
+
+    python examples/table1_report.py            # quick sizes (~1 minute)
+    python examples/table1_report.py --full     # paper-scale sizes
+
+Prints the measured-vs-paper comparison for every cell of Table 1 plus the
+supporting per-section experiments (Maj3 exact values, crumbling-wall bound,
+tree and HQS exponent fits, randomized lower/upper bounds).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    Table1Sizes,
+    render_table,
+    render_table1,
+    run_maj3_experiment,
+    run_probe_cw_bound,
+    run_probe_hqs_scaling,
+    run_probe_tree_scaling,
+    run_randomized_cw,
+    run_randomized_hqs,
+    run_randomized_majority,
+    run_randomized_tree,
+    run_table1,
+    violations,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use larger instance sizes and more trials (slower, tighter CIs)",
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        sizes = Table1Sizes(maj_n=201, triang_depth=20, tree_height=9, hqs_height=6)
+        trials = 4000
+        scaling_trials = 2500
+    else:
+        sizes = Table1Sizes(maj_n=101, triang_depth=12, tree_height=7, hqs_height=4)
+        trials = 1000
+        scaling_trials = 600
+
+    table1_rows = run_table1(sizes=sizes, trials=trials)
+    print(render_table1(table1_rows))
+    print()
+
+    print(render_table(run_maj3_experiment(), "Worked example: Maj3 (Section 2.3, Fig. 4)"))
+    print()
+
+    cw_rows = run_probe_cw_bound(ps=(0.3, 0.5), trials=trials)
+    print(render_table(cw_rows, "Theorem 3.3: Probe_CW ≤ 2k − 1"))
+    print()
+
+    tree_rows, tree_fits = run_probe_tree_scaling(trials=scaling_trials)
+    print(render_table(tree_rows, "Proposition 3.6: Probe_Tree scaling"))
+    for p, fit in tree_fits.items():
+        print(f"  fitted exponent at p={p}: {fit.exponent:.3f} (R² = {fit.r_squared:.4f})")
+    print()
+
+    hqs_rows, hqs_fits = run_probe_hqs_scaling(trials=scaling_trials)
+    print(render_table(hqs_rows, "Theorem 3.8: Probe_HQS scaling"))
+    for p, fit in hqs_fits.items():
+        print(f"  fitted exponent at p={p}: {fit.exponent:.3f} (R² = {fit.r_squared:.4f})")
+    print()
+
+    rand_rows = (
+        run_randomized_majority(trials=trials)
+        + run_randomized_cw(trials=trials)
+        + run_randomized_tree(trials=trials)
+        + run_randomized_hqs(trials=scaling_trials)
+    )
+    print(render_table(rand_rows, "Section 4: randomized worst-case bounds"))
+    print()
+
+    all_rows = table1_rows + cw_rows + tree_rows + hqs_rows + rand_rows
+    bad = violations(all_rows)
+    if bad:
+        print(f"WARNING: {len(bad)} rows violate their paper relation:")
+        print(render_table(bad))
+    else:
+        print(f"All {len(all_rows)} checked relations consistent with the paper.")
+
+
+if __name__ == "__main__":
+    main()

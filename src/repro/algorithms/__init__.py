@@ -1,0 +1,80 @@
+"""Probing algorithms from the paper plus generic baselines.
+
+Deterministic algorithms (evaluated in the probabilistic model, Section 3):
+``ProbeMaj``, ``ProbeCW``, ``ProbeTree``, ``ProbeHQS``.
+
+Randomized algorithms (evaluated in the worst-case model, Section 4):
+``RProbeMaj``, ``RProbeCW``, ``RProbeTree``, ``RProbeHQS``, ``IRProbeHQS``.
+
+Generic baselines usable with any system: ``SequentialScan``, ``RandomScan``,
+``CandidateQuorumProbe``.
+"""
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.algorithms.crumbling_walls import ProbeCW, RProbeCW, probe_cw_row_bound
+from repro.algorithms.generic import CandidateQuorumProbe, RandomScan, SequentialScan
+from repro.algorithms.hqs import IRProbeHQS, ProbeHQS, RProbeHQS
+from repro.algorithms.majority import ProbeMaj, RProbeMaj
+from repro.algorithms.tree import ProbeTree, RProbeTree
+
+__all__ = [
+    "ProbeRun",
+    "ProbingAlgorithm",
+    "ProbeCW",
+    "RProbeCW",
+    "probe_cw_row_bound",
+    "CandidateQuorumProbe",
+    "RandomScan",
+    "SequentialScan",
+    "IRProbeHQS",
+    "ProbeHQS",
+    "RProbeHQS",
+    "ProbeMaj",
+    "RProbeMaj",
+    "ProbeTree",
+    "RProbeTree",
+]
+
+
+def default_deterministic_algorithm(system) -> ProbingAlgorithm:
+    """The paper's deterministic probing algorithm for a given system.
+
+    Falls back to :class:`SequentialScan` for systems the paper does not
+    treat specifically.
+    """
+    from repro.systems.crumbling_walls import CrumblingWall
+    from repro.systems.hqs import HQS
+    from repro.systems.majority import MajoritySystem
+    from repro.systems.tree import TreeSystem
+
+    if isinstance(system, MajoritySystem):
+        return ProbeMaj(system)
+    if isinstance(system, CrumblingWall):
+        return ProbeCW(system)
+    if isinstance(system, TreeSystem):
+        return ProbeTree(system)
+    if isinstance(system, HQS):
+        return ProbeHQS(system)
+    return SequentialScan(system)
+
+
+def default_randomized_algorithm(system) -> ProbingAlgorithm:
+    """The paper's randomized probing algorithm for a given system.
+
+    Falls back to :class:`RandomScan` for systems the paper does not treat
+    specifically.
+    """
+    from repro.systems.crumbling_walls import CrumblingWall
+    from repro.systems.hqs import HQS
+    from repro.systems.majority import MajoritySystem
+    from repro.systems.tree import TreeSystem
+
+    if isinstance(system, MajoritySystem):
+        return RProbeMaj(system)
+    if isinstance(system, CrumblingWall):
+        return RProbeCW(system)
+    if isinstance(system, TreeSystem):
+        return RProbeTree(system)
+    if isinstance(system, HQS):
+        return IRProbeHQS(system)
+    return RandomScan(system)

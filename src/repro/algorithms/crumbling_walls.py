@@ -1,0 +1,161 @@
+"""Probing algorithms for Crumbling Walls (Sections 3.2 and 4.2).
+
+* **Probe_CW** (Fig. 5) scans the wall top-down.  It maintains a
+  monochromatic set ``W`` (a witness for the sub-wall scanned so far) and a
+  mode equal to ``W``'s color.  In each row it probes until it finds one
+  element of the current mode; if the whole row has the opposite color, the
+  row replaces ``W`` and the mode flips.  Its expected probe count is at
+  most ``2k − 1`` for a wall with ``k`` rows, for every failure probability
+  ``p`` (Theorem 3.3).
+* **R_Probe_CW** scans the wall bottom-up, probing each row in uniformly
+  random order until it has seen both colors (or exhausted the row).  It
+  stops at the first monochromatic row; its randomized worst-case probe
+  count is at most ``max_j { n_j + Σ_{i>j} ((n_i+1)/2 + 1/n_i) }``
+  (Theorem 4.4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.core.oracle import ProbeOracle
+from repro.core.witness import Witness
+from repro.systems.crumbling_walls import CrumblingWall
+
+
+class ProbeCW(ProbingAlgorithm):
+    """Algorithm Probe_CW of Fig. 5 (top-down scan, ``PPC ≤ 2k − 1``).
+
+    ``within_row_order`` selects how elements inside a row are tried:
+    ``"lexicographic"`` (default, fully deterministic) or ``"random"``
+    (shuffled per run; used by the order-ablation benchmark).  The top-down
+    row order is part of the algorithm's correctness argument and is not
+    configurable.
+    """
+
+    def __init__(self, system: CrumblingWall, within_row_order: str = "lexicographic") -> None:
+        if not isinstance(system, CrumblingWall):
+            raise TypeError("ProbeCW requires a CrumblingWall system")
+        if system.widths[0] != 1:
+            raise ValueError(
+                "Probe_CW is defined for walls whose first row has width 1 "
+                "(the ND shape of Section 2.2)"
+            )
+        if within_row_order not in ("lexicographic", "random"):
+            raise ValueError("within_row_order must be 'lexicographic' or 'random'")
+        super().__init__(system)
+        self._within_row_order = within_row_order
+        self.randomized = within_row_order == "random"
+
+    def _row_elements(self, row: frozenset[int], rng: random.Random | None) -> list[int]:
+        elements = sorted(row)
+        if self._within_row_order == "random":
+            rng = self._require_rng(rng)
+            rng.shuffle(elements)
+        return elements
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        wall: CrumblingWall = self._system
+        rows = wall.rows
+        probes = 0
+        sequence: list[int] = []
+
+        # Step 1-2: probe the unique element of the first row; it fixes the mode.
+        v1 = next(iter(rows[0]))
+        mode = oracle.probe(v1)
+        probes += 1
+        sequence.append(v1)
+        witness_elements: set[int] = {v1}
+
+        # Step 3: scan the remaining rows top-down.
+        for row in rows[1:]:
+            found: int | None = None
+            row_colors: dict[int, Color] = {}
+            for element in self._row_elements(row, rng):
+                color = oracle.probe(element)
+                probes += 1
+                sequence.append(element)
+                row_colors[element] = color
+                if color is mode:
+                    found = element
+                    break
+            if found is not None:
+                witness_elements.add(found)
+            else:
+                # The whole row was probed and is monochromatic of the
+                # opposite color: it becomes the new witness set.
+                witness_elements = set(row)
+                mode = mode.flipped()
+
+        witness = Witness(mode, frozenset(witness_elements))
+        return ProbeRun(witness, probes, tuple(sequence))
+
+
+class RProbeCW(ProbingAlgorithm):
+    """Algorithm R_Probe_CW (bottom-up randomized scan, Theorem 4.4)."""
+
+    randomized = True
+
+    def __init__(self, system: CrumblingWall) -> None:
+        if not isinstance(system, CrumblingWall):
+            raise TypeError("RProbeCW requires a CrumblingWall system")
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        rng = self._require_rng(rng)
+        wall: CrumblingWall = self._system
+        rows = wall.rows
+        probes = 0
+        sequence: list[int] = []
+        # For every row already scanned (all rows below the eventual
+        # monochromatic row), remember one representative of each color.
+        reps_below: dict[Color, list[int]] = {Color.GREEN: [], Color.RED: []}
+
+        for row in reversed(rows):
+            elements = sorted(row)
+            rng.shuffle(elements)
+            seen: dict[Color, list[int]] = {Color.GREEN: [], Color.RED: []}
+            for element in elements:
+                color = oracle.probe(element)
+                probes += 1
+                sequence.append(element)
+                seen[color].append(element)
+                if seen[Color.GREEN] and seen[Color.RED]:
+                    break
+            if not (seen[Color.GREEN] and seen[Color.RED]):
+                # The whole row was probed and is monochromatic: witness found.
+                mono_color = Color.GREEN if seen[Color.GREEN] else Color.RED
+                # The full row plus one representative of the witness color
+                # from each row below it.
+                witness_elements = set(row) | set(reps_below[mono_color])
+                witness = Witness(mono_color, frozenset(witness_elements))
+                return ProbeRun(witness, probes, tuple(sequence))
+            # Both colors present: record one representative per color and
+            # continue with the next row up.
+            reps_below[Color.GREEN].append(seen[Color.GREEN][0])
+            reps_below[Color.RED].append(seen[Color.RED][0])
+
+        raise RuntimeError(
+            "R_Probe_CW scanned all rows without finding a monochromatic row; "
+            "this cannot happen when the top row has width 1"
+        )
+
+
+def probe_cw_row_bound(widths: Sequence[int]) -> float:
+    """The per-row upper bound of Theorem 4.4 for R_Probe_CW.
+
+    Returns ``max_j { n_j + Σ_{i>j} ((n_i + 1)/2 + 1/n_i) }`` where rows are
+    numbered top-down and the sum ranges over the rows below row ``j``.
+    """
+    widths = list(widths)
+    k = len(widths)
+    best = 0.0
+    for j in range(k):
+        value = widths[j] + sum(
+            (widths[i] + 1) / 2.0 + 1.0 / widths[i] for i in range(j + 1, k)
+        )
+        best = max(best, value)
+    return best

@@ -1,0 +1,145 @@
+"""System-agnostic probing algorithms.
+
+These algorithms work for *any* quorum system through the implicit
+:class:`~repro.systems.base.QuorumSystem` interface and serve as baselines
+for the system-specific algorithms of the paper:
+
+* :class:`SequentialScan` — probe elements in a fixed order until the probed
+  colors settle the witness.  On Majority this is the (asymptotically
+  optimal) algorithm of Proposition 3.2.
+* :class:`RandomScan` — probe elements in a uniformly random order.  On
+  Majority this is Algorithm R_Probe_Maj of Theorem 4.2.
+* :class:`CandidateQuorumProbe` — the classical universal strategy (in the
+  spirit of the O(c²) algorithm of Peleg & Wool for c-uniform systems):
+  repeatedly pick a quorum avoiding all known-red elements and probe its
+  unknown members; a red discovery invalidates the candidate, completing it
+  green finishes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.core.oracle import ProbeOracle
+from repro.core.witness import Witness
+from repro.systems.base import QuorumSystem
+from repro.systems.boolean import CharacteristicFunction
+
+
+class SequentialScan(ProbingAlgorithm):
+    """Probe elements in a fixed order until the witness is settled.
+
+    The default order is ``1, 2, ..., n``; a custom order may be supplied.
+    Termination uses the exact three-valued evaluation of the characteristic
+    function, so the algorithm never probes more elements than necessary for
+    the chosen order.
+    """
+
+    def __init__(self, system: QuorumSystem, order: Sequence[int] | None = None) -> None:
+        super().__init__(system)
+        if order is None:
+            order = sorted(system.universe)
+        if sorted(order) != sorted(system.universe):
+            raise ValueError("order must be a permutation of the universe")
+        self._order = list(order)
+        self._f = CharacteristicFunction(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        return _scan(self, self._f, self._order, oracle)
+
+
+class RandomScan(ProbingAlgorithm):
+    """Probe elements in a uniformly random order until the witness settles."""
+
+    randomized = True
+
+    def __init__(self, system: QuorumSystem) -> None:
+        super().__init__(system)
+        self._f = CharacteristicFunction(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        rng = self._require_rng(rng)
+        order = list(sorted(self._system.universe))
+        rng.shuffle(order)
+        return _scan(self, self._f, order, oracle)
+
+
+def _scan(
+    algorithm: ProbingAlgorithm,
+    f: CharacteristicFunction,
+    order: Sequence[int],
+    oracle: ProbeOracle,
+) -> ProbeRun:
+    """Shared scan loop: probe in ``order`` until the knowledge settles."""
+    green: set[int] = set()
+    red: set[int] = set()
+    probes = 0
+    sequence: list[int] = []
+    for element in order:
+        color = oracle.probe(element)
+        probes += 1
+        sequence.append(element)
+        (green if color is Color.GREEN else red).add(element)
+        settled = f.witness_settled(frozenset(green), frozenset(red))
+        if settled is not None:
+            witness = _monochromatic_witness(algorithm.system, settled, green, red)
+            return ProbeRun(witness, probes, tuple(sequence))
+    raise RuntimeError("scanned the whole universe without settling a witness")
+
+
+def _monochromatic_witness(
+    system: QuorumSystem, color: Color, green: set[int], red: set[int]
+) -> Witness:
+    if color is Color.GREEN:
+        quorum = system.find_quorum_within(frozenset(green))
+        assert quorum is not None
+        return Witness(Color.GREEN, quorum)
+    return Witness(Color.RED, frozenset(red))
+
+
+class CandidateQuorumProbe(ProbingAlgorithm):
+    """Universal candidate-quorum strategy.
+
+    Repeatedly select a quorum disjoint from all elements already known to be
+    red (via ``find_quorum_within`` on the optimistic element set) and probe
+    its not-yet-probed members.  If the candidate completes all green it is a
+    live quorum; when no candidate exists the known-red elements form a
+    transversal.  For ``c``-uniform systems each failed candidate contributes
+    at least one new red element that every later candidate must avoid, which
+    is the mechanism behind the O(c²) universal bound of Peleg & Wool.
+    """
+
+    def __init__(self, system: QuorumSystem) -> None:
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        system = self._system
+        green: set[int] = set()
+        red: set[int] = set()
+        probes = 0
+        sequence: list[int] = []
+        while True:
+            optimistic = system.universe - frozenset(red)
+            candidate = system.find_quorum_within(optimistic)
+            if candidate is None:
+                return ProbeRun(Witness(Color.RED, frozenset(red)), probes, tuple(sequence))
+            failed = False
+            for element in sorted(candidate):
+                if element in green:
+                    continue
+                color = oracle.probe(element)
+                probes += 1
+                sequence.append(element)
+                if color is Color.GREEN:
+                    green.add(element)
+                else:
+                    red.add(element)
+                    failed = True
+                    break
+            if not failed:
+                return ProbeRun(
+                    Witness(Color.GREEN, frozenset(candidate)), probes, tuple(sequence)
+                )

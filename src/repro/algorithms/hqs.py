@@ -1,0 +1,238 @@
+"""Probing algorithms for the Hierarchical Quorum System (Sections 3.4, 4.4).
+
+Evaluating HQS means evaluating a complete ternary tree of 2-of-3 majority
+gates whose leaves are the universe elements.  The *value* of the root is
+green exactly when a live quorum exists; the witness is the set of evaluated
+leaves supporting the winning majority at every gate, which forms a
+monochromatic quorum.
+
+* **Probe_HQS** (Theorem 3.8) evaluates children left-to-right and skips the
+  third child whenever the first two agree.  At ``p = 1/2`` its expected
+  probe count is ``n^{log3 2.5} ≈ n^0.834`` and it is *optimal* among all
+  strategies (Theorem 3.9); for ``p < 1/2`` it is ``O(n^{log3 2})``.
+* **R_Probe_HQS** (Fig. 7, due to Boppana, analyzed by Saks & Wigderson)
+  evaluates two uniformly random children first; worst-case expected probes
+  ``O(n^{log3 8/3}) ≈ O(n^0.893)``.
+* **IR_Probe_HQS** (Fig. 8, Theorem 4.10) improves R_Probe_HQS by first
+  evaluating a single random grandchild of the second chosen child and using
+  its value to decide whether to finish that child or jump to the third
+  child; worst-case expected probes ``O(n^0.887)`` via the recursion
+  ``g(h) = (189.5 / 27) · g(h − 2)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.core.oracle import ProbeOracle
+from repro.core.witness import Witness
+from repro.systems.hqs import HQS
+
+
+class _GateEvaluation:
+    """Result of evaluating a gate node: its value and supporting leaves."""
+
+    __slots__ = ("value", "support")
+
+    def __init__(self, value: Color, support: frozenset[int]) -> None:
+        self.value = value
+        self.support = support
+
+
+class _HQSProbeState:
+    """Probe bookkeeping plus a cache of already-evaluated gate nodes."""
+
+    def __init__(self, oracle: ProbeOracle) -> None:
+        self.oracle = oracle
+        self.probes = 0
+        self.sequence: list[int] = []
+        self.evaluated: dict[int, _GateEvaluation] = {}
+
+    def probe(self, element: int) -> Color:
+        color = self.oracle.probe(element)
+        self.probes += 1
+        self.sequence.append(element)
+        return color
+
+
+class _HQSAlgorithm(ProbingAlgorithm):
+    """Shared machinery for the three HQS probing algorithms."""
+
+    def __init__(self, system: HQS) -> None:
+        if not isinstance(system, HQS):
+            raise TypeError(f"{type(self).__name__} requires an HQS system")
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        rng = self._require_rng(rng)
+        state = _HQSProbeState(oracle)
+        result = self._evaluate(self._system.root, state, rng)
+        witness = Witness(result.value, result.support)
+        return ProbeRun(witness, state.probes, tuple(state.sequence))
+
+    # -- to be provided by subclasses -------------------------------------------
+
+    def _evaluate(
+        self, node: int, state: _HQSProbeState, rng: random.Random
+    ) -> _GateEvaluation:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _evaluate_leaf(self, node: int, state: _HQSProbeState) -> _GateEvaluation:
+        system: HQS = self._system
+        element = system.leaf_to_element(node)
+        color = state.probe(element)
+        return _GateEvaluation(color, frozenset({element}))
+
+    def _finish_gate(
+        self,
+        node: int,
+        child_order: list[int],
+        state: _HQSProbeState,
+        rng: random.Random,
+        pre: list[_GateEvaluation] | None = None,
+    ) -> _GateEvaluation:
+        """Evaluate children of ``node`` in ``child_order`` until two agree.
+
+        ``pre`` holds evaluations of children that were already computed (and
+        must not appear in ``child_order``).  The result is cached so that a
+        node is never evaluated twice within one run.
+        """
+        if node in state.evaluated:
+            return state.evaluated[node]
+        results: list[_GateEvaluation] = list(pre or [])
+        value = self._majority_value(results)
+        for child in child_order:
+            if value is not None:
+                break
+            results.append(self._evaluate(child, state, rng))
+            value = self._majority_value(results)
+        if value is None:
+            raise RuntimeError("gate evaluation ended without a majority")
+        support = self._majority_support(results, value)
+        evaluation = _GateEvaluation(value, support)
+        state.evaluated[node] = evaluation
+        return evaluation
+
+    @staticmethod
+    def _majority_value(results: list[_GateEvaluation]) -> Color | None:
+        greens = sum(1 for r in results if r.value is Color.GREEN)
+        reds = len(results) - greens
+        if greens >= 2:
+            return Color.GREEN
+        if reds >= 2:
+            return Color.RED
+        return None
+
+    @staticmethod
+    def _majority_support(
+        results: list[_GateEvaluation], value: Color
+    ) -> frozenset[int]:
+        supports = [r.support for r in results if r.value is value]
+        return supports[0] | supports[1]
+
+
+class ProbeHQS(_HQSAlgorithm):
+    """Algorithm Probe_HQS: deterministic left-to-right 2-then-3 evaluation."""
+
+    def _evaluate(
+        self, node: int, state: _HQSProbeState, rng: random.Random
+    ) -> _GateEvaluation:
+        system: HQS = self._system
+        if system.is_leaf_node(node):
+            return self._evaluate_leaf(node, state)
+        children = list(system.children(node))
+        return self._finish_gate(node, children, state, rng)
+
+
+class RProbeHQS(_HQSAlgorithm):
+    """Algorithm R_Probe_HQS (Fig. 7): evaluate two random children first."""
+
+    randomized = True
+
+    def _evaluate(
+        self, node: int, state: _HQSProbeState, rng: random.Random
+    ) -> _GateEvaluation:
+        system: HQS = self._system
+        if system.is_leaf_node(node):
+            return self._evaluate_leaf(node, state)
+        children = list(system.children(node))
+        rng.shuffle(children)
+        return self._finish_gate(node, children, state, rng)
+
+
+class IRProbeHQS(_HQSAlgorithm):
+    """Algorithm IR_Probe_HQS (Fig. 8): grandchild-guided evaluation.
+
+    At a node of height at least 2, the algorithm evaluates one random child
+    ``r1``, then peeks at a single random grandchild of a second random
+    child ``r2``.  If the grandchild agrees with ``r1`` the algorithm
+    finishes ``r2`` (hoping to close the majority); otherwise it jumps to
+    the third child ``r3`` first and only completes ``r2`` if still needed.
+    Nodes of height 0 or 1 fall back to the standard randomized evaluation.
+    """
+
+    randomized = True
+
+    def _evaluate(
+        self, node: int, state: _HQSProbeState, rng: random.Random
+    ) -> _GateEvaluation:
+        system: HQS = self._system
+        if system.is_leaf_node(node):
+            return self._evaluate_leaf(node, state)
+        children = list(system.children(node))
+        # Height-1 nodes have leaf children: no grandchildren to peek at.
+        if system.is_leaf_node(children[0]):
+            rng.shuffle(children)
+            return self._finish_gate(node, children, state, rng)
+        if node in state.evaluated:
+            return state.evaluated[node]
+
+        shuffled = list(children)
+        rng.shuffle(shuffled)
+        r1, r2, r3 = shuffled
+
+        # Steps 1-2: fully evaluate r1.
+        eval_r1 = self._evaluate(r1, state, rng)
+
+        # Step 4: evaluate one random grandchild of r2.
+        grandchildren = list(system.children(r2))
+        rng.shuffle(grandchildren)
+        peek_child = grandchildren[0]
+        eval_peek = self._evaluate(peek_child, state, rng)
+
+        if eval_peek.value is eval_r1.value:
+            # Step 5: finish evaluating r2 (its peeked grandchild counts).
+            eval_r2 = self._finish_gate(
+                r2, grandchildren[1:], state, rng, pre=[eval_peek]
+            )
+            if eval_r2.value is eval_r1.value:
+                result = _GateEvaluation(
+                    eval_r1.value, eval_r1.support | eval_r2.support
+                )
+            else:
+                eval_r3 = self._evaluate(r3, state, rng)
+                partner = eval_r1 if eval_r3.value is eval_r1.value else eval_r2
+                result = _GateEvaluation(
+                    eval_r3.value, eval_r3.support | partner.support
+                )
+        else:
+            # Step 6: the peek disagrees with r1 — try the third child first.
+            eval_r3 = self._evaluate(r3, state, rng)
+            if eval_r3.value is eval_r1.value:
+                result = _GateEvaluation(
+                    eval_r1.value, eval_r1.support | eval_r3.support
+                )
+            else:
+                eval_r2 = self._finish_gate(
+                    r2, grandchildren[1:], state, rng, pre=[eval_peek]
+                )
+                partner = eval_r1 if eval_r2.value is eval_r1.value else eval_r3
+                result = _GateEvaluation(
+                    eval_r2.value, eval_r2.support | partner.support
+                )
+        state.evaluated[node] = result
+        return result

@@ -1,0 +1,83 @@
+"""Probing algorithms for the Majority system (Sections 3.1 and 4.1).
+
+For Majority over an odd universe of size ``n = 2k + 1`` a witness is a
+monochromatic set of size ``k + 1``:
+
+* **Probe_Maj** probes elements in an arbitrary fixed order; since the
+  elements are exchangeable in the probabilistic model, any order is optimal
+  and the expected probe count is ``n − Θ(√n)`` at ``p = 1/2`` and
+  ``n / (2q) + o(1)`` for ``p < 1/2`` (Proposition 3.2).
+* **R_Probe_Maj** probes elements in a uniformly random order; its
+  worst-case expected probe count is exactly ``n − (n − 1)/(n + 3)``
+  (Theorem 4.2), which matches the Yao lower bound and is therefore the
+  exact randomized probe complexity of Majority.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.core.oracle import ProbeOracle
+from repro.core.witness import Witness
+from repro.systems.majority import MajoritySystem
+
+
+class ProbeMaj(ProbingAlgorithm):
+    """Deterministic majority probing: fixed order, stop at ``(n+1)/2`` of a color."""
+
+    def __init__(self, system: MajoritySystem, order: list[int] | None = None) -> None:
+        if not isinstance(system, MajoritySystem):
+            raise TypeError("ProbeMaj requires a MajoritySystem")
+        super().__init__(system)
+        if order is None:
+            order = sorted(system.universe)
+        if sorted(order) != sorted(system.universe):
+            raise ValueError("order must be a permutation of the universe")
+        self._order = list(order)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        return _majority_scan(self._system, self._order, oracle)
+
+
+class RProbeMaj(ProbingAlgorithm):
+    """Algorithm R_Probe_Maj: probe elements uniformly at random (Thm. 4.2)."""
+
+    randomized = True
+
+    def __init__(self, system: MajoritySystem) -> None:
+        if not isinstance(system, MajoritySystem):
+            raise TypeError("RProbeMaj requires a MajoritySystem")
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        rng = self._require_rng(rng)
+        order = sorted(self._system.universe)
+        rng.shuffle(order)
+        return _majority_scan(self._system, order, oracle)
+
+
+def _majority_scan(
+    system: MajoritySystem, order: list[int], oracle: ProbeOracle
+) -> ProbeRun:
+    """Probe in the given order until one color reaches quorum size."""
+    target = system.quorum_size
+    green: list[int] = []
+    red: list[int] = []
+    probes = 0
+    sequence: list[int] = []
+    for element in order:
+        color = oracle.probe(element)
+        probes += 1
+        sequence.append(element)
+        (green if color is Color.GREEN else red).append(element)
+        if len(green) >= target:
+            return ProbeRun(
+                Witness(Color.GREEN, frozenset(green)), probes, tuple(sequence)
+            )
+        if len(red) >= target:
+            return ProbeRun(
+                Witness(Color.RED, frozenset(red)), probes, tuple(sequence)
+            )
+    raise RuntimeError("majority scan exhausted the universe without a witness")

@@ -1,0 +1,139 @@
+"""Probing algorithms for the binary Tree system (Sections 3.3 and 4.3).
+
+* **Probe_Tree** (Proposition 3.6) works recursively: probe the root, find a
+  witness for the right subtree; if its color matches the root, the union is
+  a witness for the whole tree, otherwise a witness of the left subtree is
+  found and combined with whichever of the root / right-subtree witness it
+  matches.  Its expected probe count in the probabilistic model is
+  ``O(n^{log2(1+p)})``, hence ``O(n^0.585)`` for every ``p``.
+* **R_Probe_Tree** (Theorem 4.7) chooses uniformly among three evaluation
+  orders at every node — (root, right) then left, (root, left) then right,
+  or (left, right) then root — skipping the third component whenever the
+  first two already determine a witness.  Its worst-case expected probe
+  count is at most ``5n/6 + 1/6``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import ProbeRun, ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.core.oracle import ProbeOracle
+from repro.core.witness import Witness
+from repro.systems.tree import TreeSystem
+
+
+class _TreeProbeState:
+    """Bookkeeping shared by the recursive tree-probing procedures."""
+
+    def __init__(self, oracle: ProbeOracle) -> None:
+        self.oracle = oracle
+        self.probes = 0
+        self.sequence: list[int] = []
+
+    def probe(self, element: int) -> Color:
+        color = self.oracle.probe(element)
+        self.probes += 1
+        self.sequence.append(element)
+        return color
+
+
+class ProbeTree(ProbingAlgorithm):
+    """Algorithm Probe_Tree: recursive right-then-left probing (Prop. 3.6)."""
+
+    def __init__(self, system: TreeSystem) -> None:
+        if not isinstance(system, TreeSystem):
+            raise TypeError("ProbeTree requires a TreeSystem")
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        state = _TreeProbeState(oracle)
+        color, elements = self._witness(self._system.root, state)
+        witness = Witness(color, frozenset(elements))
+        return ProbeRun(witness, state.probes, tuple(state.sequence))
+
+    def _witness(self, node: int, state: _TreeProbeState) -> tuple[Color, set[int]]:
+        """Find a monochromatic quorum of the subtree rooted at ``node``."""
+        system: TreeSystem = self._system
+        if system.is_leaf(node):
+            return state.probe(node), {node}
+        left, right = system.children(node)
+        root_color = state.probe(node)
+        right_color, right_witness = self._witness(right, state)
+        if right_color is root_color:
+            return root_color, right_witness | {node}
+        left_color, left_witness = self._witness(left, state)
+        if left_color is root_color:
+            return root_color, left_witness | {node}
+        # left agrees with right (both differ from the root).
+        return left_color, left_witness | right_witness
+
+
+class RProbeTree(ProbingAlgorithm):
+    """Algorithm R_Probe_Tree: random choice among three orders (Thm. 4.7)."""
+
+    randomized = True
+
+    def __init__(self, system: TreeSystem) -> None:
+        if not isinstance(system, TreeSystem):
+            raise TypeError("RProbeTree requires a TreeSystem")
+        super().__init__(system)
+
+    def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
+        rng = self._require_rng(rng)
+        state = _TreeProbeState(oracle)
+        color, elements = self._witness(self._system.root, state, rng)
+        witness = Witness(color, frozenset(elements))
+        return ProbeRun(witness, state.probes, tuple(state.sequence))
+
+    def _witness(
+        self, node: int, state: _TreeProbeState, rng: random.Random
+    ) -> tuple[Color, set[int]]:
+        system: TreeSystem = self._system
+        if system.is_leaf(node):
+            return state.probe(node), {node}
+        left, right = system.children(node)
+        choice = rng.randrange(3)
+        if choice == 0:
+            return self._root_then_subtrees(node, right, left, state, rng)
+        if choice == 1:
+            return self._root_then_subtrees(node, left, right, state, rng)
+        return self._subtrees_then_root(node, left, right, state, rng)
+
+    def _root_then_subtrees(
+        self,
+        node: int,
+        first: int,
+        second: int,
+        state: _TreeProbeState,
+        rng: random.Random,
+    ) -> tuple[Color, set[int]]:
+        """Probe the root and the ``first`` subtree; only descend into the
+        ``second`` subtree when they disagree."""
+        root_color = state.probe(node)
+        first_color, first_witness = self._witness(first, state, rng)
+        if first_color is root_color:
+            return root_color, first_witness | {node}
+        second_color, second_witness = self._witness(second, state, rng)
+        if second_color is root_color:
+            return root_color, second_witness | {node}
+        return second_color, second_witness | first_witness
+
+    def _subtrees_then_root(
+        self,
+        node: int,
+        left: int,
+        right: int,
+        state: _TreeProbeState,
+        rng: random.Random,
+    ) -> tuple[Color, set[int]]:
+        """Probe both subtrees; only probe the root when they disagree."""
+        left_color, left_witness = self._witness(left, state, rng)
+        right_color, right_witness = self._witness(right, state, rng)
+        if left_color is right_color:
+            return left_color, left_witness | right_witness
+        root_color = state.probe(node)
+        if root_color is left_color:
+            return root_color, left_witness | {node}
+        return root_color, right_witness | {node}

@@ -1,0 +1,138 @@
+"""Availability ``F_p(S)`` of the paper's systems (Fact 2.3 and the
+recursions used in Sections 3.3 and 3.4).
+
+``F_p(S)`` is the probability that no live quorum exists when each element
+fails independently with probability ``p``.  The paper's Tree and HQS
+analyses rely on recursive expressions / bounds for these probabilities:
+
+* Tree: ``F_p(h) ≤ (p + 1/2)^h`` for ``p ≤ 1/2`` (used in Prop. 3.6);
+* HQS:  ``F_p(h) ≤ p (3p − 2p²)^h`` for ``p < 1/2`` (used in Thm. 3.8),
+  and ``F_{1/2}(h) = 1/2`` exactly for every height.
+
+This module provides the exact recursions (not just the bounds) together
+with binomial formulas for Majority and crumbling walls, so the experiments
+can report paper-bound versus exact versus simulated availability.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"failure probability must be in [0, 1], got {p}")
+
+
+# -- Majority ----------------------------------------------------------------------------
+
+
+def majority_availability(n: int, p: float) -> float:
+    """``F_p(Maj)``: probability that fewer than ``(n+1)/2`` elements are live."""
+    if n % 2 == 0:
+        raise ValueError("Majority requires odd n")
+    _check_p(p)
+    q = 1.0 - p
+    need = (n + 1) // 2
+    return sum(
+        math.comb(n, g) * (q**g) * (p ** (n - g)) for g in range(0, need)
+    )
+
+
+# -- Crumbling walls ---------------------------------------------------------------------
+
+
+def crumbling_wall_availability(widths: Sequence[int], p: float) -> float:
+    """``F_p`` of an ``(n_1, ..., n_k)``-CW, by the row recursion.
+
+    Let ``A_i`` be the probability that the sub-wall of the first ``i`` rows
+    has a live quorum.  Scanning rows top-down: the sub-wall of rows
+    ``1..i`` has a live quorum iff either rows ``1..i−1`` do and row ``i``
+    has at least one live element, or row ``i`` is entirely live.
+    """
+    _check_p(p)
+    widths = list(widths)
+    if not widths:
+        raise ValueError("need at least one row")
+    q = 1.0 - p
+    live_prob = 0.0  # probability the wall of rows scanned so far is available
+    for i, width in enumerate(widths):
+        all_live = q**width
+        some_live = 1.0 - p**width
+        if i == 0:
+            live_prob = all_live
+        else:
+            live_prob = live_prob * some_live + (1.0 - live_prob) * all_live
+    return 1.0 - live_prob
+
+
+# -- Tree -------------------------------------------------------------------------------
+
+
+def tree_availability(height: int, p: float) -> float:
+    """Exact ``F_p`` of the Tree system of a given height, by recursion.
+
+    A subtree of height ``h`` has a live quorum iff (both child subtrees do)
+    or (the root is live and at least one child subtree does).  A height-0
+    subtree is available iff its single node is live.
+    """
+    if height < 0:
+        raise ValueError("height must be nonnegative")
+    _check_p(p)
+    q = 1.0 - p
+    available = q  # height 0
+    for _ in range(height):
+        both = available * available
+        one = 2.0 * available * (1.0 - available)
+        available = both + q * one
+    return 1.0 - available
+
+
+def tree_availability_bound(height: int, p: float) -> float:
+    """The bound ``F_p(h) ≤ (p + 1/2)^h`` used in Proposition 3.6 (p ≤ 1/2)."""
+    if height < 0:
+        raise ValueError("height must be nonnegative")
+    _check_p(p)
+    effective = min(p, 1.0 - p)
+    return (effective + 0.5) ** height
+
+
+# -- HQS --------------------------------------------------------------------------------
+
+
+def hqs_availability(height: int, p: float) -> float:
+    """Exact ``F_p`` of the HQS of a given height, by the 2-of-3 recursion.
+
+    A gate evaluates to live iff at least two of its three children do; a
+    leaf is live with probability ``q = 1 − p``.
+    """
+    if height < 0:
+        raise ValueError("height must be nonnegative")
+    _check_p(p)
+    live = 1.0 - p
+    for _ in range(height):
+        live = live**3 + 3.0 * live**2 * (1.0 - live)
+    return 1.0 - live
+
+
+def hqs_availability_bound(height: int, p: float) -> float:
+    """The bound ``F_p(h) ≤ p (3p − 2p²)^h`` used in Theorem 3.8 (p < 1/2)."""
+    if height < 0:
+        raise ValueError("height must be nonnegative")
+    _check_p(p)
+    return p * (3.0 * p - 2.0 * p * p) ** height
+
+
+# -- Fact 2.3 -----------------------------------------------------------------------------
+
+
+def satisfies_fact_2_3(fp: float, f1mp: float, p: float) -> bool:
+    """Check the two parts of Fact 2.3 on a pair of availability values.
+
+    Part (1): ``F_p ≤ p`` for ``p ≤ 1/2``; part (2): ``F_p + F_{1−p} = 1``.
+    """
+    _check_p(p)
+    part2 = math.isclose(fp + f1mp, 1.0, abs_tol=1e-9)
+    part1 = fp <= p + 1e-9 if p <= 0.5 else True
+    return part1 and part2

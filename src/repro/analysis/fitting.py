@@ -1,0 +1,113 @@
+"""Finite-size scaling fits for the asymptotic claims of the paper.
+
+Several of the paper's results are asymptotic — ``O(n^0.585)`` for
+Probe_Tree, ``n^0.834`` for Probe_HQS, ``n − Θ(√n)`` for Majority.  The
+reproduction checks these by measuring probe counts across geometrically
+increasing system sizes and fitting:
+
+* a power law ``cost ≈ A · n^α`` on log–log axes (``fit_power_law``), so
+  the measured exponent ``α`` can be compared against the paper's;
+* a square-root correction ``cost ≈ n − A·√n + B`` (``fit_sqrt_correction``)
+  for the Majority-style ``n − Θ(√n)`` statements.
+
+All fits are ordinary least squares on numpy arrays and return the fitted
+parameters together with the coefficient of determination ``R²``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``cost = A · n^alpha``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Predicted cost at size ``n``."""
+        return self.prefactor * (n**self.exponent)
+
+
+@dataclass(frozen=True)
+class SqrtCorrectionFit:
+    """Result of fitting ``cost = n − A·√n + B``."""
+
+    sqrt_coefficient: float
+    offset: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Predicted cost at size ``n``."""
+        return n - self.sqrt_coefficient * np.sqrt(n) + self.offset
+
+
+def fit_power_law(sizes: Sequence[float], costs: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log cost = alpha · log n + log A``."""
+    x = np.asarray(list(sizes), dtype=float)
+    y = np.asarray(list(costs), dtype=float)
+    _check_xy(x, y)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires positive sizes and costs")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(np.exp(intercept)),
+        r_squared=_r_squared(log_y, predicted),
+    )
+
+
+def fit_sqrt_correction(
+    sizes: Sequence[float], costs: Sequence[float]
+) -> SqrtCorrectionFit:
+    """Least-squares fit of ``n − cost = A·√n − B`` (the Θ(√n) deficit)."""
+    x = np.asarray(list(sizes), dtype=float)
+    y = np.asarray(list(costs), dtype=float)
+    _check_xy(x, y)
+    deficit = x - y
+    design = np.column_stack([np.sqrt(x), -np.ones_like(x)])
+    coeffs, *_ = np.linalg.lstsq(design, deficit, rcond=None)
+    predicted = design @ coeffs
+    return SqrtCorrectionFit(
+        sqrt_coefficient=float(coeffs[0]),
+        offset=float(coeffs[1]),
+        r_squared=_r_squared(deficit, predicted),
+    )
+
+
+def fit_linear(sizes: Sequence[float], costs: Sequence[float]) -> tuple[float, float, float]:
+    """Ordinary least-squares line ``cost = slope · n + intercept``.
+
+    Returns ``(slope, intercept, r_squared)``; used for the linear-regime
+    results (e.g. R_Probe_Tree's ``5n/6``).
+    """
+    x = np.asarray(list(sizes), dtype=float)
+    y = np.asarray(list(costs), dtype=float)
+    _check_xy(x, y)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    return float(slope), float(intercept), _r_squared(y, predicted)
+
+
+def _check_xy(x: np.ndarray, y: np.ndarray) -> None:
+    if x.size != y.size:
+        raise ValueError("sizes and costs must have the same length")
+    if x.size < 2:
+        raise ValueError("need at least two data points to fit")
+
+
+def _r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((actual - predicted) ** 2))
+    total = float(np.sum((actual - np.mean(actual)) ** 2))
+    if total == 0.0:
+        return 1.0
+    return 1.0 - residual / total

@@ -1,0 +1,265 @@
+"""The paper's technical lemmas (Section 2.4 and Appendix A).
+
+Each lemma is provided both as the closed-form expression stated in the
+paper and, where meaningful, as an exact combinatorial computation (dynamic
+program or direct expectation) so the test-suite can verify the closed form
+against ground truth, and the benchmark harness can compare simulated
+processes against both.
+
+* ``Lemma 2.4`` — expected exit time of a right/up random walk from an
+  ``N × N`` grid.
+* ``Lemma 2.5`` — the product bound ``Π (a + c·bⁱ) ≤ e^{Bc/a} · aʰ``.
+* ``Fact 2.6``  — the solution of the linear recursion
+  ``f(h) = b_h + a_h · f(h − 1)``.
+* ``Fact 2.7`` / ``Lemma 2.8`` — urn expectations: trials until the first /
+  j-th red element when drawing without replacement.
+* ``Lemma 2.9`` — trials until both colors have been seen.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from fractions import Fraction
+
+
+# -- Lemma 2.4: random-walk exit time ---------------------------------------------------
+
+
+def grid_walk_exit_time_exact(n: int, p: float) -> float:
+    """Exact expected exit time of the grid random walk of Lemma 2.4.
+
+    The walk starts at ``(0, 0)`` and repeatedly moves right with
+    probability ``p`` or up with probability ``q = 1 − p``; it stops upon
+    reaching ``x = n`` or ``y = n``.  The expectation is computed exactly by
+    observing that the walk stops at step ``t`` iff after ``t`` steps one
+    coordinate first reaches ``n``; equivalently,
+    ``E[T] = Σ_{t ≥ 0} P(T > t)`` where ``P(T > t)`` is the probability that
+    after ``t`` steps both coordinates are below ``n``.
+    """
+    _check_walk_args(n, p)
+    q = 1.0 - p
+    expectation = 0.0
+    # After t steps the position is (R, t - R) with R ~ Binomial(t, p).
+    # Both coordinates below n requires R <= n-1 and t - R <= n-1.  The
+    # binomial terms are evaluated in log space so large grids do not
+    # overflow.
+    for t in range(2 * n - 1):
+        prob_alive = 0.0
+        low = max(0, t - (n - 1))
+        high = min(n - 1, t)
+        for r in range(low, high + 1):
+            prob_alive += binomial_pmf(t, r, p)
+        expectation += prob_alive
+    return expectation
+
+
+def binomial_pmf(trials: int, successes: int, prob: float) -> float:
+    """Numerically safe Binomial(trials, prob) pmf at ``successes``.
+
+    Uses log-gamma so that large ``trials`` (where ``comb`` exceeds float
+    range) remain representable.
+    """
+    if not 0 <= successes <= trials:
+        return 0.0
+    if prob <= 0.0:
+        return 1.0 if successes == 0 else 0.0
+    if prob >= 1.0:
+        return 1.0 if successes == trials else 0.0
+    log_comb = (
+        math.lgamma(trials + 1)
+        - math.lgamma(successes + 1)
+        - math.lgamma(trials - successes + 1)
+    )
+    log_pmf = (
+        log_comb
+        + successes * math.log(prob)
+        + (trials - successes) * math.log(1.0 - prob)
+    )
+    return math.exp(log_pmf)
+
+
+def grid_walk_exit_time_bound(n: int, p: float) -> float:
+    """The closed-form estimate of Lemma 2.4.
+
+    ``2N − Θ(√N)`` for ``p = q = 1/2`` (instantiated with the random-walk
+    constant ``√(2N/π)`` for the expected absolute displacement) and
+    ``N / q`` for ``p < q``.
+    """
+    _check_walk_args(n, p)
+    q = 1.0 - p
+    if math.isclose(p, 0.5):
+        return 2.0 * n - math.sqrt(2.0 * n / math.pi)
+    if p < q:
+        return n / q
+    # Symmetric case p > q: the walk exits through the right border.
+    return n / p
+
+
+def _check_walk_args(n: int, p: float) -> None:
+    if n < 1:
+        raise ValueError("grid size must be at least 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"step probability must be in [0, 1], got {p}")
+
+
+# -- Lemma 2.5: product bound --------------------------------------------------------------
+
+
+def product_value(a: float, b: float, c: float, h: int) -> float:
+    """The exact product ``Π_{i=1..h} (a + c·bⁱ)`` of Lemma 2.5."""
+    _check_product_args(a, b, c, h)
+    result = 1.0
+    for i in range(1, h + 1):
+        result *= a + c * (b**i)
+    return result
+
+
+def product_bound(a: float, b: float, c: float, h: int) -> float:
+    """The upper bound ``e^{Bc/a} · aʰ`` of Lemma 2.5, with ``B = 1/(1−b)``."""
+    _check_product_args(a, b, c, h)
+    big_b = 1.0 / (1.0 - b)
+    return math.exp(big_b * c / a) * (a**h)
+
+
+def _check_product_args(a: float, b: float, c: float, h: int) -> None:
+    if h < 0:
+        raise ValueError("h must be nonnegative")
+    if not 0.0 < b < 1.0:
+        raise ValueError("Lemma 2.5 requires 0 < b < 1")
+    if a <= 0 or c < 0:
+        raise ValueError("Lemma 2.5 requires a > 0 and c >= 0")
+
+
+# -- Fact 2.6: linear recursion solver --------------------------------------------------------
+
+
+def solve_recursion(
+    f0: float,
+    a: Sequence[float] | Callable[[int], float],
+    b: Sequence[float] | Callable[[int], float],
+    h: int,
+) -> float:
+    """Solve ``f(i) = b_i + a_i · f(i − 1)`` for ``f(h)`` given ``f(0) = f0``.
+
+    ``a`` and ``b`` may be sequences indexed from 1 (so ``a[0]`` is ``a_1``)
+    or callables mapping ``i`` to the coefficient.  This is Fact 2.6,
+    evaluated by direct iteration (which is also the closed form's value).
+    """
+    if h < 0:
+        raise ValueError("h must be nonnegative")
+    a_of = _coefficient(a)
+    b_of = _coefficient(b)
+    value = f0
+    for i in range(1, h + 1):
+        value = b_of(i) + a_of(i) * value
+    return value
+
+
+def solve_constant_recursion(f0: float, a: float, b: float, h: int) -> float:
+    """Closed form of Fact 2.6 with constant coefficients:
+    ``f(h) = f(0)·aʰ + b·Σ_{i<h} aⁱ``.
+    """
+    if h < 0:
+        raise ValueError("h must be nonnegative")
+    if math.isclose(a, 1.0):
+        return f0 + b * h
+    geometric = (a**h - 1.0) / (a - 1.0)
+    return f0 * (a**h) + b * geometric
+
+
+def _coefficient(
+    coeff: Sequence[float] | Callable[[int], float],
+) -> Callable[[int], float]:
+    if callable(coeff):
+        return coeff
+    values = list(coeff)
+    return lambda i: values[i - 1]
+
+
+# -- Fact 2.7 / Lemma 2.8: urn expectations ---------------------------------------------------
+
+
+def expected_trials_first_red(r: int, g: int) -> Fraction:
+    """Fact 2.7: expected draws (without replacement) to the first red.
+
+    For an urn with ``r`` red and ``g`` green elements the expectation is
+    ``(r + g + 1) / (r + 1)``.
+    """
+    _check_urn(r, g)
+    if r == 0:
+        raise ValueError("the urn must contain at least one red element")
+    return Fraction(r + g + 1, r + 1)
+
+
+def expected_trials_jth_red(r: int, g: int, j: int) -> Fraction:
+    """Lemma 2.8: expected draws to the ``j``-th red element,
+    ``j (n + 1) / (r + 1)`` with ``n = r + g``.
+    """
+    _check_urn(r, g)
+    if not 1 <= j <= r:
+        raise ValueError(f"j must be between 1 and r={r}, got {j}")
+    n = r + g
+    return Fraction(j * (n + 1), r + 1)
+
+
+def expected_trials_jth_red_exact(r: int, g: int, j: int) -> Fraction:
+    """Exact expectation for Lemma 2.8 by direct summation over positions.
+
+    The ``j``-th red sits at position ``t`` with probability
+    ``C(t−1, j−1)·C(n−t, r−j) / C(n, r)``; the expectation of ``t`` is
+    computed from this distribution and should equal
+    :func:`expected_trials_jth_red`.
+    """
+    _check_urn(r, g)
+    if not 1 <= j <= r:
+        raise ValueError(f"j must be between 1 and r={r}, got {j}")
+    n = r + g
+    total = Fraction(0)
+    denom = math.comb(n, r)
+    for t in range(j, n - (r - j) + 1):
+        ways = math.comb(t - 1, j - 1) * math.comb(n - t, r - j)
+        total += Fraction(t * ways, denom)
+    return total
+
+
+def expected_trials_both_colors(r: int, g: int) -> Fraction:
+    """Lemma 2.9: expected draws until both colors have been seen,
+    ``1 + r/(g + 1) + g/(r + 1)``.
+    """
+    _check_urn(r, g)
+    if r == 0 or g == 0:
+        raise ValueError("Lemma 2.9 requires both colors present in the urn")
+    return 1 + Fraction(r, g + 1) + Fraction(g, r + 1)
+
+
+def expected_trials_both_colors_exact(r: int, g: int) -> Fraction:
+    """Exact expectation for Lemma 2.9 by conditioning on run lengths.
+
+    The process stops at ``t + 1`` when the first ``t`` draws are
+    monochromatic and draw ``t + 1`` differs; summing
+    ``E[T] = Σ_{t ≥ 0} P(T > t)`` where ``P(T > t)`` is the probability the
+    first ``t`` draws are monochromatic.
+    """
+    _check_urn(r, g)
+    if r == 0 or g == 0:
+        raise ValueError("Lemma 2.9 requires both colors present in the urn")
+    n = r + g
+    expectation = Fraction(0)
+    for t in range(0, n):
+        mono = Fraction(0)
+        if t <= r:
+            mono += Fraction(math.comb(r, t), math.comb(n, t))
+        if t <= g:
+            mono += Fraction(math.comb(g, t), math.comb(n, t))
+        if t == 0:
+            mono = Fraction(1)
+        expectation += mono
+    return expectation
+
+
+def _check_urn(r: int, g: int) -> None:
+    if r < 0 or g < 0:
+        raise ValueError("urn counts must be nonnegative")
+    if r + g == 0:
+        raise ValueError("the urn must be nonempty")

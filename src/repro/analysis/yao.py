@@ -1,0 +1,168 @@
+"""Yao's-principle machinery for randomized lower bounds (Section 4).
+
+Yao's theorem reduces lower-bounding randomized algorithms to exhibiting a
+*hard input distribution* on which every deterministic algorithm is slow in
+expectation.  The paper uses three such distributions:
+
+* **Theorem 4.2 (Majority)** — uniform over colorings with exactly
+  ``k + 1`` red and ``k`` green elements (``n = 2k + 1``); the closed-form
+  value is ``n − (n − 1)/(n + 3)``.
+* **Theorem 4.6 (Crumbling walls)** — uniform over colorings with exactly
+  one green element in every row; the value is ``(n + k)/2``.
+* **Theorem 4.8 (Tree)** — all nodes at depth ``< h − 1`` are green; in
+  every height-1 bottom subtree exactly two of the three nodes are red,
+  uniformly and independently; the value is ``2(n + 1)/3``.
+
+Each distribution is provided both as a sampler (for Monte-Carlo
+experiments on large systems) and as an explicit
+:class:`~repro.core.coloring.ColoringDistribution` (for exact best-
+deterministic computations on small systems via
+:meth:`repro.core.exact.ExactSolver.best_deterministic_under`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core.coloring import Coloring, ColoringDistribution, WeightedColoring
+from repro.systems.crumbling_walls import CrumblingWall
+from repro.systems.majority import MajoritySystem
+from repro.systems.tree import TreeSystem
+
+
+# -- Majority (Theorem 4.2) -------------------------------------------------------------------
+
+
+def majority_hard_sampler(system: MajoritySystem):
+    """Sampler for the hard distribution of Theorem 4.2."""
+    reds = system.quorum_size  # k + 1
+
+    def sample(rng: random.Random) -> Coloring:
+        return Coloring.with_exact_reds(system.n, reds, rng)
+
+    return sample
+
+
+def majority_hard_distribution(system: MajoritySystem) -> ColoringDistribution:
+    """Explicit hard distribution of Theorem 4.2 (small ``n`` only)."""
+    return ColoringDistribution.exact_reds(system.n, system.quorum_size)
+
+
+def majority_lower_bound(n: int) -> float:
+    """The closed-form Yao bound of Theorem 4.2: ``n − (n − 1)/(n + 3)``."""
+    if n % 2 == 0:
+        raise ValueError("Majority requires odd n")
+    return n - (n - 1) / (n + 3)
+
+
+# -- Crumbling walls (Theorem 4.6) ---------------------------------------------------------------
+
+
+def cw_hard_sampler(system: CrumblingWall):
+    """Sampler for the hard distribution of Theorem 4.6.
+
+    Exactly one uniformly chosen element of every row is green; all other
+    elements are red.
+    """
+
+    def sample(rng: random.Random) -> Coloring:
+        green = {rng.choice(sorted(row)) for row in system.rows}
+        red = system.universe - green
+        return Coloring(system.n, red)
+
+    return sample
+
+
+def cw_hard_distribution(system: CrumblingWall) -> ColoringDistribution:
+    """Explicit hard distribution of Theorem 4.6 (small walls only)."""
+    row_choices = [sorted(row) for row in system.rows]
+    colorings = []
+    for greens in itertools.product(*row_choices):
+        red = system.universe - frozenset(greens)
+        colorings.append(Coloring(system.n, red))
+    return ColoringDistribution.uniform(colorings)
+
+
+def cw_lower_bound(system: CrumblingWall) -> float:
+    """The closed-form Yao bound of Theorem 4.6: ``(n + k)/2``."""
+    return (system.n + system.num_rows) / 2.0
+
+
+# -- Tree (Theorem 4.8) ------------------------------------------------------------------------
+
+
+def tree_hard_sampler(system: TreeSystem):
+    """Sampler for the hard distribution of Theorem 4.8.
+
+    Every node of depth at most ``h − 2`` is green.  The ``(n + 1)/4``
+    height-1 subtrees hanging at depth ``h − 1`` each have exactly two of
+    their three nodes (parent plus two leaves) colored red, the green one
+    chosen uniformly and independently per subtree.
+
+    Requires height at least 1 (so that height-1 subtrees exist).
+    """
+    if system.height < 1:
+        raise ValueError("the Theorem 4.8 distribution needs height >= 1")
+    subtree_roots = [
+        v for v in range(1, system.n + 1) if system.depth_of(v) == system.height - 1
+    ]
+
+    def sample(rng: random.Random) -> Coloring:
+        red: set[int] = set()
+        for root in subtree_roots:
+            left, right = system.children(root)
+            trio = [root, left, right]
+            green_one = rng.choice(trio)
+            red.update(v for v in trio if v != green_one)
+        return Coloring(system.n, red)
+
+    return sample
+
+
+def tree_hard_distribution(system: TreeSystem) -> ColoringDistribution:
+    """Explicit hard distribution of Theorem 4.8 (small trees only)."""
+    if system.height < 1:
+        raise ValueError("the Theorem 4.8 distribution needs height >= 1")
+    subtree_roots = [
+        v for v in range(1, system.n + 1) if system.depth_of(v) == system.height - 1
+    ]
+    trios = []
+    for root in subtree_roots:
+        left, right = system.children(root)
+        trios.append([root, left, right])
+    colorings = []
+    for greens in itertools.product(*[range(3) for _ in trios]):
+        red: set[int] = set()
+        for trio, green_index in zip(trios, greens):
+            red.update(v for i, v in enumerate(trio) if i != green_index)
+        colorings.append(Coloring(system.n, red))
+    return ColoringDistribution.uniform(colorings)
+
+
+def tree_lower_bound(n: int) -> float:
+    """The closed-form Yao bound of Theorem 4.8: ``2(n + 1)/3``."""
+    return 2.0 * (n + 1) / 3.0
+
+
+def tree_subtree_expected_probes() -> float:
+    """Expected probes within one hard-distribution subtree (the ``8/3`` of
+    Theorem 4.8's proof): the algorithm must find the two red nodes among
+    three, and the green node is equally likely to be probed first, second
+    or third.
+    """
+    return (3 + 3 + 2) / 3.0
+
+
+# -- generic helpers ---------------------------------------------------------------------------
+
+
+def yao_bound_via_exact(system, distribution: ColoringDistribution) -> float:
+    """Exact best-deterministic expected cost under ``distribution``.
+
+    Thin wrapper over :class:`repro.core.exact.ExactSolver` kept here so the
+    lower-bound experiments read naturally; only usable on small universes.
+    """
+    from repro.core.exact import ExactSolver
+
+    return ExactSolver(system).best_deterministic_under(distribution)

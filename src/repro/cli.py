@@ -1,0 +1,294 @@
+"""Command-line interface for the reproduction.
+
+Provides a small set of subcommands so the experiments can be driven without
+writing Python:
+
+* ``repro-probe systems``          — list the built-in systems and their metrics
+* ``repro-probe figures``          — render the paper's Figures 1–3 as ASCII
+* ``repro-probe maj3``             — the Section 2.3 worked example, exact
+* ``repro-probe probe``            — run one probing episode on a random coloring
+* ``repro-probe estimate``         — Monte-Carlo PPC estimate vs the paper bound
+* ``repro-probe table1``           — regenerate Table 1
+* ``repro-probe experiment <id>``  — run a named per-theorem experiment
+
+The module is also usable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.algorithms import default_deterministic_algorithm, default_randomized_algorithm
+from repro.core.coloring import Coloring
+from repro.core.estimator import estimate_average_probes
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    QuorumSystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+def build_system(name: str, size: int) -> QuorumSystem:
+    """Construct one of the paper's systems from a CLI name and size knob.
+
+    ``size`` means: universe size for Majority/Wheel (odd / >= 3), number of
+    rows for Triang, tree height for Tree and HQS, side length for Grid.
+    """
+    key = name.lower()
+    if key in ("maj", "majority"):
+        return MajoritySystem(size if size % 2 == 1 else size + 1)
+    if key == "wheel":
+        return WheelSystem(max(size, 3))
+    if key == "triang":
+        return TriangSystem(max(size, 1))
+    if key in ("cw", "wall"):
+        return CrumblingWall([1] + [max(size, 2)] * max(size - 1, 1))
+    if key == "tree":
+        return TreeSystem(max(size, 0))
+    if key == "hqs":
+        return HQS(max(size, 0))
+    if key == "grid":
+        return GridSystem(max(size, 1))
+    raise ValueError(
+        f"unknown system {name!r}; choose from maj, wheel, triang, cw, tree, hqs, grid"
+    )
+
+
+SYSTEM_CHOICES = ("maj", "wheel", "triang", "cw", "tree", "hqs", "grid")
+
+EXPERIMENT_IDS = (
+    "maj3",
+    "majority",
+    "crumbling-walls",
+    "tree",
+    "hqs",
+    "randomized",
+    "lemmas",
+    "availability",
+    "ablations",
+)
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    from repro.core.metrics import quorum_size_statistics
+
+    systems = [
+        MajoritySystem(9),
+        WheelSystem(8),
+        TriangSystem(4),
+        CrumblingWall([1, 3, 3]),
+        TreeSystem(2),
+        HQS(2),
+        GridSystem(3),
+    ]
+    print(f"{'system':<16} {'n':>4} {'quorums':>8} {'min':>4} {'max':>4} {'ND':>4}")
+    for system in systems:
+        stats = quorum_size_statistics(system)
+        nd = system.is_nondominated() if system.n <= 12 else None
+        print(
+            f"{system.name:<16} {system.n:>4} {int(stats['count']):>8} "
+            f"{int(stats['min']):>4} {int(stats['max']):>4} "
+            f"{'yes' if nd else 'no' if nd is not None else '?':>4}"
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import render_all_figures
+
+    print(render_all_figures())
+    return 0
+
+
+def _cmd_maj3(args: argparse.Namespace) -> int:
+    from repro.experiments.maj3 import run_maj3_experiment
+    from repro.experiments.report import render_table
+
+    print(render_table(run_maj3_experiment(), "Maj3 worked example (Section 2.3)"))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    import random
+
+    system = build_system(args.system, args.size)
+    algorithm = (
+        default_randomized_algorithm(system)
+        if args.randomized
+        else default_deterministic_algorithm(system)
+    )
+    rng = random.Random(args.seed)
+    coloring = Coloring.random(system.n, args.p, rng)
+    run = algorithm.run_on(coloring, rng=rng, validate=True)
+    print(f"system    : {system.name} (n={system.n})")
+    print(f"algorithm : {algorithm.name}")
+    print(f"failed    : {sorted(coloring.red_elements)}")
+    print(f"probes    : {run.probes}")
+    print(f"sequence  : {list(run.sequence)}")
+    print(f"witness   : {run.witness.color.value} {sorted(run.witness.elements)}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    system = build_system(args.system, args.size)
+    algorithm = (
+        default_randomized_algorithm(system)
+        if args.randomized
+        else default_deterministic_algorithm(system)
+    )
+    estimate = estimate_average_probes(
+        algorithm, args.p, trials=args.trials, seed=args.seed
+    )
+    print(f"system    : {system.name} (n={system.n})")
+    print(f"algorithm : {algorithm.name}")
+    print(f"p         : {args.p}")
+    print(f"avg probes: {estimate.mean:.3f} ± {estimate.ci95:.3f} ({estimate.trials} trials)")
+    try:
+        from repro.analysis.bounds import Direction, Model, bounds_for
+
+        table = bounds_for(system)
+        for direction in (Direction.LOWER, Direction.EXACT, Direction.UPPER):
+            bound = table.get(Model.PROBABILISTIC, direction)
+            if bound is not None:
+                print(
+                    f"paper {direction.value:<5}: {bound.value(system.n, args.p):.3f}  "
+                    f"[{bound.source}: {bound.formula}]"
+                )
+    except KeyError:
+        print("paper bounds: none stated for this system")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import Table1Sizes, render_table1, run_table1
+
+    sizes = Table1Sizes(
+        maj_n=args.maj_n,
+        triang_depth=args.triang_depth,
+        tree_height=args.tree_height,
+        hqs_height=args.hqs_height,
+    )
+    rows = run_table1(sizes=sizes, trials=args.trials, seed=args.seed)
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    rows = []
+    extra_lines: list[str] = []
+    if args.id == "maj3":
+        rows = exp.run_maj3_experiment()
+    elif args.id == "majority":
+        rows = exp.run_probabilistic_majority(trials=args.trials)
+    elif args.id == "crumbling-walls":
+        rows = exp.run_probe_cw_bound(trials=args.trials) + exp.run_cw_independence_of_n(
+            trials=args.trials
+        )
+    elif args.id == "tree":
+        rows, fits = exp.run_probe_tree_scaling(trials=args.trials)
+        extra_lines = [
+            f"fitted exponent at p={p}: {fit.exponent:.3f}" for p, fit in fits.items()
+        ]
+    elif args.id == "hqs":
+        rows, fits = exp.run_probe_hqs_scaling(trials=args.trials)
+        rows += exp.run_probe_hqs_optimality()
+        extra_lines = [
+            f"fitted exponent at p={p}: {fit.exponent:.3f}" for p, fit in fits.items()
+        ]
+    elif args.id == "randomized":
+        rows = (
+            exp.run_randomized_majority(trials=args.trials)
+            + exp.run_randomized_cw(trials=args.trials)
+            + exp.run_randomized_tree(trials=args.trials)
+            + exp.run_randomized_hqs(trials=args.trials)
+        )
+    elif args.id == "lemmas":
+        rows = exp.run_walk_experiment(trials=args.trials) + exp.run_urn_experiment(
+            trials=args.trials
+        )
+    elif args.id == "availability":
+        rows = exp.run_availability_experiment(trials=args.trials)
+    elif args.id == "ablations":
+        rows = (
+            exp.run_cw_order_ablation(trials=args.trials)
+            + exp.run_hqs_ablation(trials=args.trials)
+            + exp.run_generic_baseline_ablation(trials=args.trials)
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment id {args.id!r}")
+
+    print(exp.render_table(rows, f"Experiment {args.id}"))
+    for line in extra_lines:
+        print(line)
+    bad = exp.violations(rows)
+    if bad:
+        print(f"\nWARNING: {len(bad)} rows violate their paper relation")
+        return 1
+    print(f"\nAll {len(rows)} checked relations consistent with the paper.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-probe",
+        description="Probe-complexity experiments for quorum systems (Hassin & Peleg)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list built-in systems").set_defaults(func=_cmd_systems)
+    sub.add_parser("figures", help="render Figures 1-3").set_defaults(func=_cmd_figures)
+    sub.add_parser("maj3", help="the Maj3 worked example").set_defaults(func=_cmd_maj3)
+
+    probe = sub.add_parser("probe", help="run one probing episode")
+    probe.add_argument("--system", choices=SYSTEM_CHOICES, default="triang")
+    probe.add_argument("--size", type=int, default=6, help="system size knob")
+    probe.add_argument("--p", type=float, default=0.5, help="failure probability")
+    probe.add_argument("--seed", type=int, default=None)
+    probe.add_argument("--randomized", action="store_true", help="use the randomized algorithm")
+    probe.set_defaults(func=_cmd_probe)
+
+    estimate = sub.add_parser("estimate", help="Monte-Carlo average probe estimate")
+    estimate.add_argument("--system", choices=SYSTEM_CHOICES, default="triang")
+    estimate.add_argument("--size", type=int, default=8)
+    estimate.add_argument("--p", type=float, default=0.5)
+    estimate.add_argument("--trials", type=int, default=1000)
+    estimate.add_argument("--seed", type=int, default=None)
+    estimate.add_argument("--randomized", action="store_true")
+    estimate.set_defaults(func=_cmd_estimate)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--maj-n", type=int, default=101, dest="maj_n")
+    table1.add_argument("--triang-depth", type=int, default=12, dest="triang_depth")
+    table1.add_argument("--tree-height", type=int, default=7, dest="tree_height")
+    table1.add_argument("--hqs-height", type=int, default=4, dest="hqs_height")
+    table1.add_argument("--trials", type=int, default=1000)
+    table1.add_argument("--seed", type=int, default=1001)
+    table1.set_defaults(func=_cmd_table1)
+
+    experiment = sub.add_parser("experiment", help="run a named per-theorem experiment")
+    experiment.add_argument("id", choices=EXPERIMENT_IDS)
+    experiment.add_argument("--trials", type=int, default=800)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

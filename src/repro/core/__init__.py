@@ -1,0 +1,89 @@
+"""Probe-complexity core: colorings, oracles, witnesses, strategy trees,
+exact optimal solvers and Monte-Carlo estimators."""
+
+from repro.core.coloring import (
+    GREEN,
+    RED,
+    Color,
+    Coloring,
+    ColoringDistribution,
+    WeightedColoring,
+    enumerate_colorings,
+    enumerate_colorings_with_reds,
+)
+from repro.core.estimator import (
+    Estimate,
+    WorstCaseEstimate,
+    estimate_average_probes,
+    estimate_average_under,
+    estimate_expected_probes_on,
+    estimate_worst_case_expected,
+)
+from repro.core.exact import (
+    ExactSolver,
+    permutation_algorithm_worst_expected,
+    probabilistic_probe_complexity,
+    probe_complexity,
+    yao_lower_bound,
+)
+from repro.core.metrics import (
+    availability_exact,
+    availability_monte_carlo,
+    check_availability_identity,
+    is_uniform,
+    minimal_quorum_size_lower_bound,
+    optimal_load,
+    quorum_size_statistics,
+    system_summary,
+    uniform_strategy_load,
+)
+from repro.core.oracle import ColoringOracle, ProbeBudgetExceeded, ProbeOracle, RecordingOracle
+from repro.core.strategy_tree import (
+    Leaf,
+    ProbeNode,
+    StrategyTree,
+    strategy_tree_from_algorithm,
+)
+from repro.core.witness import InvalidWitnessError, Witness, reference_witness
+
+__all__ = [
+    "GREEN",
+    "RED",
+    "Color",
+    "Coloring",
+    "ColoringDistribution",
+    "WeightedColoring",
+    "enumerate_colorings",
+    "enumerate_colorings_with_reds",
+    "Estimate",
+    "WorstCaseEstimate",
+    "estimate_average_probes",
+    "estimate_average_under",
+    "estimate_expected_probes_on",
+    "estimate_worst_case_expected",
+    "ExactSolver",
+    "permutation_algorithm_worst_expected",
+    "probabilistic_probe_complexity",
+    "probe_complexity",
+    "yao_lower_bound",
+    "availability_exact",
+    "availability_monte_carlo",
+    "check_availability_identity",
+    "is_uniform",
+    "minimal_quorum_size_lower_bound",
+    "optimal_load",
+    "quorum_size_statistics",
+    "system_summary",
+    "uniform_strategy_load",
+    "ColoringOracle",
+    "ProbeBudgetExceeded",
+    "ProbeOracle",
+    "RecordingOracle",
+    "Leaf",
+    "ProbeNode",
+    "StrategyTree",
+    "strategy_tree_from_algorithm",
+    "InvalidWitnessError",
+    "Witness",
+    "reference_witness",
+]

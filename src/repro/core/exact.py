@@ -1,0 +1,279 @@
+"""Exact (optimal) probe complexities on small universes.
+
+The probe complexity measures of Section 2.3 are defined as optima over all
+probe strategy trees.  On small universes the optima can be computed exactly
+by dynamic programming over *knowledge states*: the pair (elements known
+green, elements known red).  A state is terminal when the knowledge already
+settles the witness — the known-green set contains a quorum, or the
+known-red set is a transversal.  Otherwise the algorithm must probe some
+element, and
+
+* for the deterministic worst case (``PC``) the adversary picks the worse
+  outcome (minimax),
+* for the probabilistic model (``PPC_p``) the outcome is green with
+  probability ``q = 1 - p`` (expectimax),
+* for Yao-style bounds the outcome probabilities are conditioned on an
+  explicit input distribution.
+
+These exact optima back the paper's ``Maj3`` worked example (PC = 3,
+PPC_{1/2} = 5/2, PCR = 8/3) and the optimality claim for Probe_HQS
+(Theorem 3.9), and serve as ground truth in the test-suite.
+
+The state space has size ``3^n`` so the computations are intended for
+``n`` up to roughly 14.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.core.coloring import Color, Coloring, ColoringDistribution
+from repro.core.strategy_tree import Leaf, ProbeNode, StrategyNode, StrategyTree
+from repro.systems.base import QuorumSystem
+from repro.systems.boolean import CharacteristicFunction
+
+#: Hard cap on the universe size accepted by the exact solvers.
+EXACT_LIMIT = 16
+
+
+def _check_size(system: QuorumSystem) -> None:
+    if system.n > EXACT_LIMIT:
+        raise ValueError(
+            f"exact probe-complexity computation is limited to n <= {EXACT_LIMIT}; "
+            f"{system.name} has n = {system.n}"
+        )
+
+
+class ExactSolver:
+    """Dynamic-programming solver for optimal probe strategies.
+
+    One solver instance caches knowledge-state values per (system, model)
+    combination; create a fresh instance per query.
+    """
+
+    def __init__(self, system: QuorumSystem) -> None:
+        _check_size(system)
+        self._system = system
+        self._f = CharacteristicFunction(system)
+        self._universe = tuple(sorted(system.universe))
+
+    # -- deterministic worst case (PC) -------------------------------------------
+
+    def probe_complexity(self) -> int:
+        """The deterministic worst-case probe complexity ``PC(S)``."""
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> int:
+            if self._f.witness_settled(green, red) is not None:
+                return 0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1 + min(
+                max(value(green | {e}, red), value(green, red | {e}))
+                for e in remaining
+            )
+
+        return value(frozenset(), frozenset())
+
+    def is_evasive(self) -> bool:
+        """True when ``PC(S) = n``, i.e. the system is evasive.
+
+        The paper (Lemma 2.2, from [PW02]) notes that Maj, Wheel, CW and
+        Tree are all evasive.
+        """
+        return self.probe_complexity() == self._system.n
+
+    # -- probabilistic model (PPC_p) ------------------------------------------------
+
+    def probabilistic_probe_complexity(self, p: float) -> float:
+        """The optimal expected probe count ``PPC_p(S)`` in the i.i.d. model."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        q = 1.0 - p
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> float:
+            if self._f.witness_settled(green, red) is not None:
+                return 0.0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1.0 + min(
+                q * value(green | {e}, red) + p * value(green, red | {e})
+                for e in remaining
+            )
+
+        return value(frozenset(), frozenset())
+
+    def optimal_strategy_tree(self, p: float) -> StrategyTree:
+        """An optimal strategy tree for the probabilistic model at ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        q = 1.0 - p
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> float:
+            if self._f.witness_settled(green, red) is not None:
+                return 0.0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1.0 + min(
+                q * value(green | {e}, red) + p * value(green, red | {e})
+                for e in remaining
+            )
+
+        def build(green: frozenset[int], red: frozenset[int]) -> StrategyNode:
+            settled = self._f.witness_settled(green, red)
+            if settled is not None:
+                return Leaf(settled)
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            best = min(
+                remaining,
+                key=lambda e: q * value(green | {e}, red) + p * value(green, red | {e}),
+            )
+            return ProbeNode(
+                element=best,
+                on_green=build(green | {best}, red),
+                on_red=build(green, red | {best}),
+            )
+
+        return StrategyTree(self._system, build(frozenset(), frozenset()))
+
+    def optimal_worst_case_tree(self) -> StrategyTree:
+        """A strategy tree achieving the deterministic worst-case optimum."""
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> int:
+            if self._f.witness_settled(green, red) is not None:
+                return 0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1 + min(
+                max(value(green | {e}, red), value(green, red | {e}))
+                for e in remaining
+            )
+
+        def build(green: frozenset[int], red: frozenset[int]) -> StrategyNode:
+            settled = self._f.witness_settled(green, red)
+            if settled is not None:
+                return Leaf(settled)
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            best = min(
+                remaining,
+                key=lambda e: max(value(green | {e}, red), value(green, red | {e})),
+            )
+            return ProbeNode(
+                element=best,
+                on_green=build(green | {best}, red),
+                on_red=build(green, red | {best}),
+            )
+
+        return StrategyTree(self._system, build(frozenset(), frozenset()))
+
+    # -- best deterministic strategy under an input distribution (Yao) ---------------
+
+    def best_deterministic_under(self, distribution: ColoringDistribution) -> float:
+        """Minimum expected probes of a deterministic strategy under ``distribution``.
+
+        By Yao's principle (Section 4) this is a lower bound on the
+        randomized worst-case probe complexity ``PCR(S)`` for any input
+        distribution.  The strategy must still terminate with a proper
+        witness (a monochromatic certificate among probed elements), exactly
+        as in the paper's model.
+        """
+        if distribution.n != self._system.n:
+            raise ValueError("distribution universe does not match the system")
+        support = distribution.support
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> float:
+            if self._f.witness_settled(green, red) is not None:
+                return 0.0
+            consistent = [
+                w
+                for w in support
+                if green <= w.coloring.green_elements
+                and red <= w.coloring.red_elements
+            ]
+            total = sum(w.probability for w in consistent)
+            if total == 0:
+                # Unreachable knowledge state under this distribution; its
+                # cost never contributes to the expectation.
+                return 0.0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            best = float("inf")
+            for e in remaining:
+                green_mass = sum(
+                    w.probability for w in consistent if w.coloring.is_green(e)
+                )
+                prob_green = green_mass / total
+                cost = (
+                    1.0
+                    + prob_green * value(green | {e}, red)
+                    + (1.0 - prob_green) * value(green, red | {e})
+                )
+                best = min(best, cost)
+            return best
+
+        return value(frozenset(), frozenset())
+
+
+# -- convenience wrappers --------------------------------------------------------------
+
+
+def probe_complexity(system: QuorumSystem) -> int:
+    """Exact deterministic worst-case probe complexity ``PC(S)``."""
+    return ExactSolver(system).probe_complexity()
+
+
+def probabilistic_probe_complexity(system: QuorumSystem, p: float = 0.5) -> float:
+    """Exact probabilistic probe complexity ``PPC_p(S)``."""
+    return ExactSolver(system).probabilistic_probe_complexity(p)
+
+
+def yao_lower_bound(system: QuorumSystem, distribution: ColoringDistribution) -> float:
+    """Yao lower bound on ``PCR(S)`` from an explicit hard distribution."""
+    return ExactSolver(system).best_deterministic_under(distribution)
+
+
+def permutation_algorithm_worst_expected(system: QuorumSystem) -> float:
+    """Exact worst-case expected probes of the uniform random-permutation
+    algorithm.
+
+    The algorithm draws a uniformly random order of the universe and probes
+    in that order until a witness is found.  For each input coloring the
+    expected probe count is averaged over all ``n!`` permutations exactly,
+    and the maximum over all ``2^n`` colorings is returned.  This matches the
+    paper's ``Maj3`` example, where the value is ``8/3``, and the analysis of
+    Algorithm R_Probe_Maj (Theorem 4.2).
+
+    Only feasible for very small systems (``n <= 7`` or so).
+    """
+    if system.n > 8:
+        raise ValueError("exact permutation analysis is limited to n <= 8")
+    f = CharacteristicFunction(system)
+    universe = sorted(system.universe)
+    worst = 0.0
+    for red_size in range(system.n + 1):
+        for red in itertools.combinations(universe, red_size):
+            coloring = Coloring(system.n, red)
+            total = 0.0
+            count = 0
+            for order in itertools.permutations(universe):
+                probes = _probes_in_order(f, coloring, order)
+                total += probes
+                count += 1
+            expected = total / count
+            worst = max(worst, expected)
+    return worst
+
+
+def _probes_in_order(
+    f: CharacteristicFunction, coloring: Coloring, order: tuple[int, ...]
+) -> int:
+    green: set[int] = set()
+    red: set[int] = set()
+    for i, element in enumerate(order, start=1):
+        if coloring[element] is Color.GREEN:
+            green.add(element)
+        else:
+            red.add(element)
+        if f.witness_settled(frozenset(green), frozenset(red)) is not None:
+            return i
+    return len(order)

@@ -1,0 +1,283 @@
+"""Probe strategy trees (decision trees) for quorum probing.
+
+The paper describes adaptive probing algorithms by binary rooted trees: each
+internal node is labeled with the element to probe next, its two outgoing
+edges correspond to the green/red outcome, and each leaf is labeled with the
+color of the witness found (Fig. 4 shows the tree for ``Maj3``).
+
+This module provides an explicit tree representation with the three cost
+measures of Section 2.3:
+
+* ``depth``                      — worst-case number of probes (PC);
+* ``expected_depth(p)``          — expected probes in the probabilistic model
+                                   (PPC_p) for this particular tree;
+* ``expected_depth_under(dist)`` — expected probes under an arbitrary input
+                                   distribution (used in Yao-style bounds).
+
+Trees can be validated against a system (every leaf must be justified by the
+probes on its root-to-leaf path) and extracted from any deterministic
+probing algorithm by simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.core.coloring import Color, Coloring, ColoringDistribution
+from repro.core.oracle import ProbeOracle
+from repro.systems.base import QuorumSystem
+from repro.systems.boolean import CharacteristicFunction
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A leaf of the strategy tree, announcing the witness color."""
+
+    output: Color
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ProbeNode:
+    """An internal node probing ``element`` and branching on the outcome."""
+
+    element: int
+    on_green: "StrategyNode"
+    on_red: "StrategyNode"
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def child(self, outcome: Color) -> "StrategyNode":
+        """The subtree followed when the probe returns ``outcome``."""
+        return self.on_green if outcome is Color.GREEN else self.on_red
+
+
+StrategyNode = Union[Leaf, ProbeNode]
+
+
+class StrategyTree:
+    """A complete probe strategy tree for a quorum system."""
+
+    def __init__(self, system: QuorumSystem, root: StrategyNode) -> None:
+        self._system = system
+        self._root = root
+
+    @property
+    def system(self) -> QuorumSystem:
+        return self._system
+
+    @property
+    def root(self) -> StrategyNode:
+        return self._root
+
+    # -- cost measures ----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Worst-case number of probes (the deterministic PC of this tree)."""
+        return _depth(self._root)
+
+    def expected_depth(self, p: float) -> float:
+        """Expected probes when each element is red with probability ``p``.
+
+        This is the probabilistic probe complexity ``PPC_p`` of this
+        particular strategy tree.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        return _expected_depth(self._root, p)
+
+    def expected_depth_under(self, distribution: ColoringDistribution) -> float:
+        """Expected probes under an explicit distribution over colorings."""
+        if distribution.n != self._system.n:
+            raise ValueError("distribution universe does not match the system")
+        return distribution.expectation(lambda coloring: self.probes_on(coloring))
+
+    def probes_on(self, coloring: Coloring) -> int:
+        """Number of probes performed on a specific input coloring."""
+        node = self._root
+        count = 0
+        while not node.is_leaf:
+            count += 1
+            node = node.child(coloring[node.element])
+        return count
+
+    def output_on(self, coloring: Coloring) -> Color:
+        """Witness color announced on a specific input coloring."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.child(coloring[node.element])
+        return node.output
+
+    # -- structure ---------------------------------------------------------------
+
+    def leaf_count(self) -> int:
+        """Number of leaves of the tree."""
+        return _leaf_count(self._root)
+
+    def node_count(self) -> int:
+        """Number of internal (probe) nodes of the tree."""
+        return _node_count(self._root)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check that every leaf announcement is justified by its path.
+
+        Along the path to a green leaf the elements probed green must contain
+        a quorum; along the path to a red leaf the elements probed red must
+        form a transversal.  Also checks that no element is probed twice on a
+        single path.  Raises ``ValueError`` on any violation.
+        """
+        f = CharacteristicFunction(self._system)
+        _validate(self._root, f, frozenset(), frozenset())
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+
+# -- recursive helpers ------------------------------------------------------------
+
+
+def _depth(node: StrategyNode) -> int:
+    if node.is_leaf:
+        return 0
+    return 1 + max(_depth(node.on_green), _depth(node.on_red))
+
+
+def _expected_depth(node: StrategyNode, p: float) -> float:
+    if node.is_leaf:
+        return 0.0
+    q = 1.0 - p
+    return 1.0 + q * _expected_depth(node.on_green, p) + p * _expected_depth(node.on_red, p)
+
+
+def _leaf_count(node: StrategyNode) -> int:
+    if node.is_leaf:
+        return 1
+    return _leaf_count(node.on_green) + _leaf_count(node.on_red)
+
+
+def _node_count(node: StrategyNode) -> int:
+    if node.is_leaf:
+        return 0
+    return 1 + _node_count(node.on_green) + _node_count(node.on_red)
+
+
+def _validate(
+    node: StrategyNode,
+    f: CharacteristicFunction,
+    green: frozenset[int],
+    red: frozenset[int],
+) -> None:
+    if node.is_leaf:
+        settled = f.witness_settled(green, red)
+        if settled is None:
+            raise ValueError(
+                f"leaf reached with inconclusive knowledge "
+                f"(green={sorted(green)}, red={sorted(red)})"
+            )
+        if settled is not node.output:
+            raise ValueError(
+                f"leaf announces {node.output.value} but knowledge implies "
+                f"{settled.value}"
+            )
+        return
+    if node.element in green or node.element in red:
+        raise ValueError(f"element {node.element} probed twice on one path")
+    _validate(node.on_green, f, green | {node.element}, red)
+    _validate(node.on_red, f, green, red | {node.element})
+
+
+# -- building trees from algorithms --------------------------------------------------
+
+
+class _NeedProbe(Exception):
+    """Internal control-flow signal: the simulated algorithm probed an
+    element whose color is not yet fixed on the current tree path."""
+
+    def __init__(self, element: int) -> None:
+        super().__init__(element)
+        self.element = element
+
+
+class _PartialOracle:
+    """Oracle that answers from a fixed partial coloring and raises
+    :class:`_NeedProbe` on the first unknown element."""
+
+    def __init__(self, n: int, known: dict[int, Color]) -> None:
+        self._n = n
+        self._known = known
+        self._probed: dict[int, Color] = {}
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def probe(self, element: int) -> Color:
+        if not 1 <= element <= self._n:
+            raise ValueError(f"element {element} outside universe 1..{self._n}")
+        if element not in self._known:
+            raise _NeedProbe(element)
+        color = self._known[element]
+        self._probed[element] = color
+        return color
+
+    @property
+    def probe_count(self) -> int:
+        return len(self._probed)
+
+    @property
+    def known(self) -> dict[int, Color]:
+        return dict(self._probed)
+
+
+def strategy_tree_from_algorithm(
+    algorithm: Callable[[ProbeOracle], "object"],
+    system: QuorumSystem,
+    max_nodes: int = 1_000_000,
+) -> StrategyTree:
+    """Extract the strategy tree of a deterministic probing algorithm.
+
+    ``algorithm`` is any callable taking a probe oracle and returning an
+    object with a ``color`` attribute (e.g. a
+    :class:`~repro.core.witness.Witness`); it is re-run once per tree path,
+    against an oracle that answers from the colors fixed on that path and
+    forks the tree at the first unknown probe.  The algorithm must be
+    deterministic given the oracle answers.
+
+    The resulting tree has at most ``2^PC`` leaves, so this is intended for
+    small systems; ``max_nodes`` guards against runaway extraction.
+    """
+    counter = {"nodes": 0}
+
+    def build(known: dict[int, Color]) -> StrategyNode:
+        oracle = _PartialOracle(system.n, known)
+        try:
+            result = algorithm(oracle)
+        except _NeedProbe as need:
+            counter["nodes"] += 1
+            if counter["nodes"] > max_nodes:
+                raise RuntimeError(
+                    f"strategy tree exceeds {max_nodes} nodes; "
+                    "system too large for explicit extraction"
+                ) from None
+            element = need.element
+            return ProbeNode(
+                element=element,
+                on_green=build({**known, element: Color.GREEN}),
+                on_red=build({**known, element: Color.RED}),
+            )
+        return Leaf(result.color)
+
+    return StrategyTree(system, build({}))

@@ -1,0 +1,93 @@
+"""Witnesses to the state of a quorum system.
+
+A probing algorithm terminates by exhibiting a *witness*: either a green
+(live) quorum, proving that the task can be performed, or a red transversal,
+proving that no live quorum exists.  For a nondominated coterie the red
+transversal always contains a red quorum (Lemma 2.1), so both kinds of
+witness are monochromatic sets that contain a quorum — which is what the
+paper's algorithms search for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coloring import Color, Coloring
+from repro.systems.base import QuorumSystem
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A monochromatic witness to the system state.
+
+    ``color`` is green for a live-quorum witness and red for a
+    no-live-quorum witness; ``elements`` is the witnessing set (a green
+    quorum, or a red transversal / red quorum respectively).
+    """
+
+    color: Color
+    elements: frozenset[int]
+
+    @property
+    def is_green(self) -> bool:
+        """True when the witness certifies that a live quorum exists."""
+        return self.color is Color.GREEN
+
+    @property
+    def is_red(self) -> bool:
+        """True when the witness certifies that no live quorum exists."""
+        return self.color is Color.RED
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def validate(self, system: QuorumSystem, coloring: Coloring) -> None:
+        """Raise :class:`InvalidWitnessError` unless this witness is valid.
+
+        Validity means: (1) the witness elements really have the claimed
+        color under ``coloring``; (2) a green witness contains a quorum;
+        (3) a red witness is a transversal of the system (equivalently, its
+        removal leaves no quorum).
+        """
+        for element in self.elements:
+            actual = coloring[element]
+            if actual is not self.color:
+                raise InvalidWitnessError(
+                    f"witness claims element {element} is {self.color.value} "
+                    f"but it is {actual.value}"
+                )
+        if self.is_green:
+            if not system.contains_quorum(self.elements):
+                raise InvalidWitnessError(
+                    "green witness does not contain a quorum"
+                )
+        else:
+            if not system.is_transversal(self.elements):
+                raise InvalidWitnessError(
+                    "red witness is not a transversal of the system"
+                )
+
+    def is_valid(self, system: QuorumSystem, coloring: Coloring) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(system, coloring)
+        except InvalidWitnessError:
+            return False
+        return True
+
+
+class InvalidWitnessError(AssertionError):
+    """Raised when a probing algorithm returns an incorrect witness."""
+
+
+def reference_witness(system: QuorumSystem, coloring: Coloring) -> Witness:
+    """Construct a correct witness directly from full knowledge of the coloring.
+
+    This is the "omniscient" baseline used to check algorithm outputs: a
+    green quorum when one exists, otherwise the set of all red elements
+    (which is then necessarily a transversal).
+    """
+    green_quorum = system.find_green_quorum(coloring)
+    if green_quorum is not None:
+        return Witness(Color.GREEN, green_quorum)
+    return Witness(Color.RED, coloring.red_elements)

@@ -1,0 +1,85 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each driver returns a list of :class:`~repro.experiments.report.Row`
+objects; ``render_table`` turns them into plain text.  The mapping from
+driver to paper artifact is documented in DESIGN.md (per-experiment index)
+and EXPERIMENTS.md (measured results).
+"""
+
+from repro.experiments.ablations import (
+    EagerProbeHQS,
+    run_cw_order_ablation,
+    run_generic_baseline_ablation,
+    run_hqs_ablation,
+)
+from repro.experiments.availability import run_availability_experiment
+from repro.experiments.crumbling_walls import (
+    run_cw_independence_of_n,
+    run_probe_cw_bound,
+    run_randomized_cw,
+    run_wheel_and_triang_corollaries,
+)
+from repro.experiments.figures import (
+    render_all_figures,
+    render_crumbling_wall,
+    render_hqs,
+    render_tree,
+)
+from repro.experiments.hqs import (
+    probe_hqs_expected_exact,
+    run_probe_hqs_optimality,
+    run_probe_hqs_scaling,
+    run_randomized_hqs,
+    worst_case_family_sampler,
+)
+from repro.experiments.lemmas import run_urn_experiment, run_walk_experiment
+from repro.experiments.maj3 import maj3_strategy_tree_summary, run_maj3_experiment
+from repro.experiments.majority import (
+    majority_sqrt_deficit_fit,
+    run_probabilistic_majority,
+    run_randomized_majority,
+)
+from repro.experiments.report import Row, render_table, violations
+from repro.experiments.table1 import Table1Sizes, render_table1, run_table1
+from repro.experiments.tree import (
+    run_deterministic_vs_randomized_tree,
+    run_probe_tree_scaling,
+    run_randomized_tree,
+)
+
+__all__ = [
+    "EagerProbeHQS",
+    "run_cw_order_ablation",
+    "run_generic_baseline_ablation",
+    "run_hqs_ablation",
+    "run_availability_experiment",
+    "run_cw_independence_of_n",
+    "run_probe_cw_bound",
+    "run_randomized_cw",
+    "run_wheel_and_triang_corollaries",
+    "render_all_figures",
+    "render_crumbling_wall",
+    "render_hqs",
+    "render_tree",
+    "probe_hqs_expected_exact",
+    "run_probe_hqs_optimality",
+    "run_probe_hqs_scaling",
+    "run_randomized_hqs",
+    "worst_case_family_sampler",
+    "run_urn_experiment",
+    "run_walk_experiment",
+    "maj3_strategy_tree_summary",
+    "run_maj3_experiment",
+    "majority_sqrt_deficit_fit",
+    "run_probabilistic_majority",
+    "run_randomized_majority",
+    "Row",
+    "render_table",
+    "violations",
+    "Table1Sizes",
+    "render_table1",
+    "run_table1",
+    "run_deterministic_vs_randomized_tree",
+    "run_probe_tree_scaling",
+    "run_randomized_tree",
+]

@@ -1,0 +1,94 @@
+"""ASCII renderings of the paper's illustrative figures (Figs. 1–3).
+
+The paper's Figures 1, 2 and 3 show an example quorum (shaded) in the
+Triang, Tree and HQS systems respectively.  These functions render the same
+pictures as text, marking the elements of a chosen quorum with ``[x]`` and
+the rest with ``( )``; they back the ``fig1-3`` experiment entry and the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.systems.crumbling_walls import CrumblingWall
+from repro.systems.hqs import HQS
+from repro.systems.tree import TreeSystem
+
+
+def _mark(element: int, quorum: frozenset[int]) -> str:
+    return f"[{element:>2}]" if element in quorum else f"({element:>2})"
+
+
+def render_crumbling_wall(
+    wall: CrumblingWall, quorum: frozenset[int] | None = None
+) -> str:
+    """Figure 1 style: one row per line, quorum elements bracketed."""
+    quorum = quorum if quorum is not None else next(iter(wall.quorums()))
+    if not all(e in wall.universe for e in quorum):
+        raise ValueError("quorum contains elements outside the wall")
+    lines = [f"{wall.name}: quorum = {sorted(quorum)}"]
+    for index, row in enumerate(wall.rows, start=1):
+        cells = " ".join(_mark(e, quorum) for e in sorted(row))
+        lines.append(f"row {index:>2}: {cells}")
+    return "\n".join(lines)
+
+
+def render_tree(tree: TreeSystem, quorum: frozenset[int] | None = None) -> str:
+    """Figure 2 style: one tree level per line, quorum elements bracketed."""
+    quorum = quorum if quorum is not None else next(iter(tree.quorums()))
+    if not all(e in tree.universe for e in quorum):
+        raise ValueError("quorum contains elements outside the tree")
+    lines = [f"{tree.name}: quorum = {sorted(quorum)}"]
+    for depth in range(tree.height + 1):
+        nodes = [v for v in range(1, tree.n + 1) if tree.depth_of(v) == depth]
+        pad = " " * (2 ** (tree.height - depth) - 1)
+        cells = pad + (" " * len(pad)).join(_mark(v, quorum) for v in nodes)
+        lines.append(f"level {depth}: {cells}")
+    return "\n".join(lines)
+
+
+def render_hqs(hqs: HQS, quorum: frozenset[int] | None = None) -> str:
+    """Figure 3 style: the ternary gate tree with quorum leaves bracketed."""
+    quorum = quorum if quorum is not None else next(iter(hqs.quorums()))
+    if not all(e in hqs.universe for e in quorum):
+        raise ValueError("quorum contains elements outside the system")
+    lines = [f"{hqs.name}: quorum = {sorted(quorum)} (size {len(quorum)})"]
+    lines.append(f"gate tree of height {hqs.height}; internal nodes are 2-of-3 majority gates")
+    leaves = " ".join(_mark(e, quorum) for e in sorted(hqs.universe))
+    lines.append(f"leaves : {leaves}")
+    # Show, per internal level, which gates are "won" by the quorum (at
+    # least two children supported).
+    supported = {hqs.element_to_leaf(e) for e in quorum}
+    for depth in range(hqs.height - 1, -1, -1):
+        nodes = [
+            v
+            for v in range(hqs._first_leaf)  # internal nodes only
+            if hqs.node_depth(v) == depth
+        ]
+        marks = []
+        next_supported = set()
+        for v in nodes:
+            votes = sum(1 for child in hqs.children(v) if child in supported)
+            won = votes >= 2
+            if won:
+                next_supported.add(v)
+            marks.append("[*]" if won else "( )")
+        supported |= next_supported
+        lines.append(f"gates at depth {depth}: " + " ".join(marks))
+    return "\n".join(lines)
+
+
+def render_all_figures() -> str:
+    """Render the three paper figures on the paper's own example sizes."""
+    from repro.systems.crumbling_walls import TriangSystem
+
+    parts = [
+        "Figure 1 — Triang system (a quorum is bracketed)",
+        render_crumbling_wall(TriangSystem(4)),
+        "",
+        "Figure 2 — Tree system (a quorum is bracketed)",
+        render_tree(TreeSystem(2)),
+        "",
+        "Figure 3 — HQS (the quorum {1,2,5,6}-style minterm is bracketed)",
+        render_hqs(HQS(2)),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,241 @@
+"""HQS experiments: Theorem 3.8 / 3.9 (Probe_HQS) and Proposition 4.9 /
+Theorem 4.10 / Corollary 4.13 (R_Probe_HQS, IR_Probe_HQS).
+
+The probabilistic claim is that Probe_HQS probes ``2.5^h = n^{0.834}``
+elements on average at ``p = 1/2`` — *more* than the uniform quorum size
+``2^h = n^{0.63}`` — and that no algorithm can do better (Theorem 3.9).  We
+check the exact ``2.5^h`` growth, verify optimality against the exact
+knowledge-state solver on small instances, and compare the two randomized
+variants on the worst-case family ``P`` of Lemma 4.11.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.algorithms.hqs import IRProbeHQS, ProbeHQS, RProbeHQS
+from repro.analysis.bounds import (
+    HQS_PCR_BOPPANA_EXPONENT,
+    HQS_PCR_IMPROVED_EXPONENT,
+    HQS_PPC_EXPONENT,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.core.coloring import Coloring
+from repro.core.estimator import estimate_average_probes, estimate_average_under
+from repro.core.exact import ExactSolver
+from repro.experiments.report import Row
+from repro.systems.hqs import HQS
+
+
+def probe_hqs_expected_exact(height: int, p: float) -> float:
+    """Exact expected probes of Probe_HQS by the paper's recursion.
+
+    ``T(h) = 2 T(h−1) + 2 F(h−1) (1 − F(h−1)) T(h−1)`` with ``T(0) = 1``,
+    where ``F(h)`` is the probability a height-``h`` subtree evaluates to
+    red (Theorem 3.8).  At ``p = 1/2`` this is exactly ``2.5^h``.
+    """
+    from repro.analysis.availability import hqs_availability
+
+    t = 1.0
+    for h in range(1, height + 1):
+        f = hqs_availability(h - 1, p)
+        t = (2.0 + 2.0 * f * (1.0 - f)) * t
+    return t
+
+
+def run_probe_hqs_scaling(
+    heights: Sequence[int] = (2, 3, 4, 5, 6),
+    ps: Sequence[float] = (0.5, 0.25),
+    trials: int = 1500,
+    seed: int = 37,
+) -> tuple[list[Row], dict[float, PowerLawFit]]:
+    """Measured Probe_HQS averages vs ``2.5^h`` and the exponent fits."""
+    rows: list[Row] = []
+    fits: dict[float, PowerLawFit] = {}
+    for p in ps:
+        sizes: list[float] = []
+        costs: list[float] = []
+        for height in heights:
+            system = HQS(height)
+            estimate = estimate_average_probes(
+                ProbeHQS(system), p, trials=trials, seed=seed
+            )
+            sizes.append(float(system.n))
+            costs.append(estimate.mean)
+            rows.append(
+                Row(
+                    experiment="thm3.8-hqs",
+                    system=system.name,
+                    quantity="avg probes (Probe_HQS)",
+                    measured=estimate.mean,
+                    paper=probe_hqs_expected_exact(height, p),
+                    relation="~",
+                    params={"n": system.n, "h": height, "p": p},
+                    note=f"recursion value; ±{estimate.ci95:.2f}",
+                )
+            )
+        fit = fit_power_law(sizes, costs)
+        fits[p] = fit
+        paper_exponent = HQS_PPC_EXPONENT if abs(p - 0.5) < 1e-9 else None
+        rows.append(
+            Row(
+                experiment="thm3.8-hqs",
+                system="HQS (fit)",
+                quantity=f"fitted exponent at p={p}",
+                measured=fit.exponent,
+                paper=paper_exponent,
+                relation="~",
+                params={"heights": tuple(heights), "p": p},
+                note=f"R^2 = {fit.r_squared:.4f}"
+                + ("" if paper_exponent else "; paper predicts < 0.834 for biased p"),
+            )
+        )
+    return rows, fits
+
+
+def run_probe_hqs_optimality(heights: Sequence[int] = (1, 2)) -> list[Row]:
+    """Theorem 3.9 cross-check: Probe_HQS versus the exact optimum at ``p = 1/2``.
+
+    The exact knowledge-state solver is feasible for heights 1 and 2
+    (n = 3 and 9).  At height 1 the optimum coincides with Probe_HQS's
+    ``2.5``.  At height 2 the exact optimum is ``6.140625``, slightly below
+    Probe_HQS's ``2.5² = 6.25`` — i.e. the *directional* algorithm is not
+    exactly optimal, a (small) measured deviation from the paper's
+    Theorem 3.9 that matches later literature on recursive majority-of-three.
+    The rows therefore assert only the direction that does hold: the exact
+    optimum never exceeds ``2.5^h``, and Probe_HQS achieves ``2.5^h``.
+    """
+    rows: list[Row] = []
+    for height in heights:
+        system = HQS(height)
+        optimal = ExactSolver(system).probabilistic_probe_complexity(0.5)
+        rows.append(
+            Row(
+                experiment="thm3.8-hqs",
+                system=system.name,
+                quantity="optimal PPC at p=1/2 (exact solver)",
+                measured=optimal,
+                paper=2.5**height,
+                relation="<=",
+                params={"n": system.n, "h": height},
+                note="Thm 3.9 claims equality; see EXPERIMENTS.md deviation note",
+            )
+        )
+        rows.append(
+            Row(
+                experiment="thm3.8-hqs",
+                system=system.name,
+                quantity="Probe_HQS expected probes at p=1/2 (recursion)",
+                measured=probe_hqs_expected_exact(height, 0.5),
+                paper=2.5**height,
+                relation="==",
+                params={"n": system.n, "h": height},
+                note="Theorem 3.8",
+            )
+        )
+    return rows
+
+
+def worst_case_family_sampler(system: HQS):
+    """Sampler over the worst-case input family ``P`` of Lemma 4.11.
+
+    Recursively: the root has some value; exactly two of its three children
+    carry that value, and the same property holds in every subtree.  The
+    identity of the minority child is chosen uniformly at every gate, and
+    the root value is a fair coin.
+    """
+
+    def sample(rng: random.Random) -> Coloring:
+        red: set[int] = set()
+
+        def assign(node: int, value_red: bool) -> None:
+            if system.is_leaf_node(node):
+                if value_red:
+                    red.add(system.leaf_to_element(node))
+                return
+            children = list(system.children(node))
+            minority = rng.randrange(3)
+            for index, child in enumerate(children):
+                assign(child, not value_red if index == minority else value_red)
+
+        assign(system.root, rng.random() < 0.5)
+        return Coloring(system.n, red)
+
+    return sample
+
+
+def run_randomized_hqs(
+    heights: Sequence[int] = (2, 3, 4, 5),
+    trials: int = 1500,
+    seed: int = 41,
+) -> list[Row]:
+    """R_Probe_HQS vs IR_Probe_HQS on the family ``P``, with exponent fits."""
+    rows: list[Row] = []
+    sizes: list[float] = []
+    costs_r: list[float] = []
+    costs_ir: list[float] = []
+    for height in heights:
+        system = HQS(height)
+        sampler = worst_case_family_sampler(system)
+        est_r = estimate_average_under(
+            RProbeHQS(system), sampler, trials=trials, seed=seed + height
+        )
+        est_ir = estimate_average_under(
+            IRProbeHQS(system), sampler, trials=trials, seed=seed + height
+        )
+        sizes.append(float(system.n))
+        costs_r.append(est_r.mean)
+        costs_ir.append(est_ir.mean)
+        rows.append(
+            Row(
+                experiment="thm4.10-hqs-rand",
+                system=system.name,
+                quantity="E[probes] on family P (R_Probe_HQS)",
+                measured=est_r.mean,
+                paper=None,
+                relation="~",
+                params={"n": system.n, "h": height},
+                note=f"±{est_r.ci95:.2f}",
+            )
+        )
+        rows.append(
+            Row(
+                experiment="thm4.10-hqs-rand",
+                system=system.name,
+                quantity="E[probes] on family P (IR_Probe_HQS)",
+                measured=est_ir.mean,
+                paper=est_r.mean,
+                relation="<=",
+                params={"n": system.n, "h": height},
+                note=f"IR should not exceed R; ±{est_ir.ci95:.2f}",
+                tolerance=est_ir.ci95 + est_r.ci95,
+            )
+        )
+    fit_r = fit_power_law(sizes, costs_r)
+    fit_ir = fit_power_law(sizes, costs_ir)
+    rows.append(
+        Row(
+            experiment="thm4.10-hqs-rand",
+            system="HQS (fit)",
+            quantity="fitted exponent, R_Probe_HQS on P",
+            measured=fit_r.exponent,
+            paper=HQS_PCR_BOPPANA_EXPONENT,
+            relation="~",
+            params={"heights": tuple(heights)},
+            note=f"paper 0.893; R^2={fit_r.r_squared:.3f}",
+        )
+    )
+    rows.append(
+        Row(
+            experiment="thm4.10-hqs-rand",
+            system="HQS (fit)",
+            quantity="fitted exponent, IR_Probe_HQS on P",
+            measured=fit_ir.exponent,
+            paper=HQS_PCR_IMPROVED_EXPONENT,
+            relation="~",
+            params={"heights": tuple(heights)},
+            note=f"paper 0.887; lower bound exponent {HQS_PPC_EXPONENT:.3f}",
+        )
+    )
+    return rows

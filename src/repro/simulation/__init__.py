@@ -1,0 +1,51 @@
+"""Distributed-system simulation substrate: discrete-event cluster, failure
+and latency models, Monte-Carlo batch runner and the motivating application
+protocols."""
+
+from repro.simulation.cluster import ClusterProbeOracle, NodeState, SimulatedCluster
+from repro.simulation.events import EventSimulator
+from repro.simulation.failures import (
+    AdversarialFailures,
+    BernoulliFailures,
+    CorrelatedGroupFailures,
+    CrashRecoveryProcess,
+    FailureModel,
+    FixedCountFailures,
+)
+from repro.simulation.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.simulation.montecarlo import BatchResult, TrialResult, run_cluster_trials
+from repro.simulation.protocols import (
+    QuorumMutex,
+    ReplicatedRegister,
+    run_mutex_workload,
+    run_replication_workload,
+)
+
+__all__ = [
+    "ClusterProbeOracle",
+    "NodeState",
+    "SimulatedCluster",
+    "EventSimulator",
+    "AdversarialFailures",
+    "BernoulliFailures",
+    "CorrelatedGroupFailures",
+    "CrashRecoveryProcess",
+    "FailureModel",
+    "FixedCountFailures",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyModel",
+    "UniformLatency",
+    "BatchResult",
+    "TrialResult",
+    "run_cluster_trials",
+    "QuorumMutex",
+    "ReplicatedRegister",
+    "run_mutex_workload",
+    "run_replication_workload",
+]

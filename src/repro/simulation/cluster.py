@@ -1,0 +1,227 @@
+"""A simulated cluster of processors that probing algorithms can run against.
+
+The cluster owns one node per universe element, an up/down state per node, a
+latency model for probe RPCs and (optionally) a crash/recovery process that
+keeps changing node states over simulated time.  The
+:class:`ClusterProbeOracle` adapter exposes the cluster through the same
+``ProbeOracle`` protocol used by the complexity experiments, so the paper's
+algorithms run unchanged against the simulated distributed system, and the
+application protocols (mutual exclusion, replication) measure both probe
+counts and elapsed simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.coloring import Color, Coloring
+from repro.simulation.events import EventSimulator
+from repro.simulation.failures import CrashRecoveryProcess, FailureModel
+from repro.simulation.latency import ConstantLatency, LatencyModel
+
+
+@dataclass
+class NodeState:
+    """Runtime state of one simulated processor."""
+
+    element: int
+    up: bool = True
+    probes_served: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+
+class SimulatedCluster:
+    """A set of processors with up/down state, probe RPCs and failures.
+
+    Parameters
+    ----------
+    n:
+        Number of processors (universe size).
+    failure_model:
+        Optional snapshot failure model used to draw the initial up/down
+        states (e.g. :class:`~repro.simulation.failures.BernoulliFailures`
+        for the paper's probabilistic model).
+    latency:
+        Round-trip latency model for probe RPCs.
+    dynamics:
+        Optional :class:`CrashRecoveryProcess`; when given, crash and repair
+        events are scheduled on the internal event simulator and node states
+        evolve over simulated time.
+    seed:
+        Seed for all cluster-internal randomness.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        failure_model: FailureModel | None = None,
+        latency: LatencyModel | None = None,
+        dynamics: CrashRecoveryProcess | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("cluster needs at least one node")
+        self._n = n
+        self._rng = random.Random(seed)
+        self._latency = latency or ConstantLatency(1.0)
+        self._simulator = EventSimulator()
+        self._nodes = {e: NodeState(e) for e in range(1, n + 1)}
+        self._dynamics = dynamics
+        self._total_probes = 0
+        if failure_model is not None:
+            for e in failure_model.sample_failed(n, self._rng):
+                self._nodes[e].up = False
+        if dynamics is not None:
+            for e in range(1, n + 1):
+                self._schedule_transition(e)
+
+    # -- basic accessors -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def simulator(self) -> EventSimulator:
+        """The underlying discrete-event simulator (exposes the clock)."""
+        return self._simulator
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._simulator.now
+
+    @property
+    def total_probes(self) -> int:
+        """Total probe RPCs served by the cluster since creation."""
+        return self._total_probes
+
+    def node(self, element: int) -> NodeState:
+        """Runtime state of one node."""
+        self._check_element(element)
+        return self._nodes[element]
+
+    def is_up(self, element: int) -> bool:
+        """Whether a node is currently up (without counting a probe)."""
+        self._check_element(element)
+        return self._nodes[element].up
+
+    def snapshot_coloring(self) -> Coloring:
+        """The current global state as a coloring (red = down)."""
+        return Coloring(self._n, [e for e, s in self._nodes.items() if not s.up])
+
+    def live_elements(self) -> frozenset[int]:
+        """Elements currently up."""
+        return frozenset(e for e, s in self._nodes.items() if s.up)
+
+    # -- state changes ------------------------------------------------------------------
+
+    def fail(self, element: int) -> None:
+        """Crash a node immediately."""
+        self._check_element(element)
+        state = self._nodes[element]
+        if state.up:
+            state.up = False
+            state.crashes += 1
+
+    def recover(self, element: int) -> None:
+        """Repair a node immediately."""
+        self._check_element(element)
+        state = self._nodes[element]
+        if not state.up:
+            state.up = True
+            state.recoveries += 1
+
+    def apply_coloring(self, coloring: Coloring) -> None:
+        """Force the cluster state to match a coloring (red = down)."""
+        if coloring.n != self._n:
+            raise ValueError("coloring size does not match the cluster")
+        for e in range(1, self._n + 1):
+            self._nodes[e].up = coloring.is_green(e)
+
+    # -- probing ----------------------------------------------------------------------------
+
+    def probe(self, element: int) -> Color:
+        """Execute one probe RPC: advances the clock and returns the status."""
+        self._check_element(element)
+        delay = self._latency.sample(self._rng)
+        # Process any crash/recovery events that happen while the RPC is in
+        # flight, then advance the clock to the RPC's completion time.
+        self._simulator.run_until(self._simulator.now + delay)
+        state = self._nodes[element]
+        state.probes_served += 1
+        self._total_probes += 1
+        return Color.GREEN if state.up else Color.RED
+
+    def _check_element(self, element: int) -> None:
+        if not 1 <= element <= self._n:
+            raise ValueError(f"element {element} outside universe 1..{self._n}")
+
+    # -- crash/recovery dynamics ----------------------------------------------------------------
+
+    def _schedule_transition(self, element: int) -> None:
+        assert self._dynamics is not None
+        state = self._nodes[element]
+        delay = self._dynamics.next_transition(state.up, self._rng)
+        if delay == float("inf"):
+            return
+
+        def flip() -> None:
+            if state.up:
+                state.up = False
+                state.crashes += 1
+            else:
+                state.up = True
+                state.recoveries += 1
+            self._schedule_transition(element)
+
+        self._simulator.schedule(delay, flip)
+
+
+class ClusterProbeOracle:
+    """Adapter exposing a :class:`SimulatedCluster` as a probe oracle.
+
+    Like :class:`~repro.core.oracle.ColoringOracle`, repeated probes of the
+    same element are served from cache — the complexity measure of the paper
+    counts distinct probed elements.  (Under crash/recovery dynamics this
+    means the oracle reports the status observed at first probe, which is
+    exactly the "state of the system at query time" semantics the paper
+    assumes.)
+    """
+
+    def __init__(self, cluster: SimulatedCluster) -> None:
+        self._cluster = cluster
+        self._known: dict[int, Color] = {}
+        self._sequence: list[int] = []
+        self._start_time = cluster.now
+
+    @property
+    def n(self) -> int:
+        return self._cluster.n
+
+    def probe(self, element: int) -> Color:
+        if element in self._known:
+            return self._known[element]
+        color = self._cluster.probe(element)
+        self._known[element] = color
+        self._sequence.append(element)
+        return color
+
+    @property
+    def probe_count(self) -> int:
+        return len(self._known)
+
+    @property
+    def known(self) -> dict[int, Color]:
+        return dict(self._known)
+
+    @property
+    def sequence(self) -> list[int]:
+        return list(self._sequence)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated time spent by the probes issued through this oracle."""
+        return self._cluster.now - self._start_time

@@ -1,0 +1,115 @@
+"""A minimal discrete-event simulator.
+
+The probing model of the paper is synchronous and cost is measured in
+probes, but the motivating scenario is a distributed system in which probes
+are RPCs with latency and processors crash and recover over time.  This
+module provides the small event-driven kernel used by
+:mod:`repro.simulation.cluster`: a clock, an event queue ordered by time,
+and helpers to schedule one-shot and periodic events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventSimulator:
+    """Event queue plus simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError("cannot schedule events in the past")
+        return self.schedule(time - self._now, callback)
+
+    @staticmethod
+    def cancel(event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (it will be skipped)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` were executed)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run all events scheduled up to and including ``time``."""
+        executed = 0
+        while self._queue:
+            upcoming = self._queue[0]
+            if upcoming.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if upcoming.time > time:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, time)
+        return executed
+
+    def advance(self, delay: float) -> float:
+        """Advance the clock by ``delay`` without executing events.
+
+        Used by synchronous callers (e.g. a blocking probe RPC) to account
+        for elapsed time.  Returns the new clock value.
+        """
+        if delay < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += delay
+        return self._now

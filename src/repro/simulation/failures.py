@@ -1,0 +1,130 @@
+"""Failure models for the simulated cluster.
+
+The paper's probabilistic model colors every element red independently with
+probability ``p``; that is :class:`BernoulliFailures`.  The worst-case model
+corresponds to an adversarially chosen red set
+(:class:`AdversarialFailures`), and the hard distributions of Section 4 are
+exactly-``r``-failures style models (:class:`FixedCountFailures`).  For the
+application examples, :class:`CrashRecoveryProcess` additionally drives
+crash/repair dynamics over simulated time, and
+:class:`CorrelatedGroupFailures` fails whole groups (a rack, a wall row, a
+subtree) together to illustrate behaviour outside the i.i.d. assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.core.coloring import Coloring
+
+
+class FailureModel(ABC):
+    """Generator of failure snapshots (one red set per draw)."""
+
+    @abstractmethod
+    def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        """Draw the set of failed (red) elements for a universe of size ``n``."""
+
+    def sample_coloring(self, n: int, rng: random.Random) -> Coloring:
+        """Draw a full coloring (red = failed)."""
+        return Coloring(n, self.sample_failed(n, rng))
+
+
+class BernoulliFailures(FailureModel):
+    """Each node fails independently with probability ``p`` (the paper's model)."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        return frozenset(e for e in range(1, n + 1) if rng.random() < self.p)
+
+
+class FixedCountFailures(FailureModel):
+    """Exactly ``count`` uniformly chosen nodes fail."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("failure count must be nonnegative")
+        self.count = count
+
+    def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        if self.count > n:
+            raise ValueError(f"cannot fail {self.count} of {n} nodes")
+        return frozenset(rng.sample(range(1, n + 1), self.count))
+
+
+class AdversarialFailures(FailureModel):
+    """A fixed, adversarially chosen set of failed nodes."""
+
+    def __init__(self, failed: Iterable[int]) -> None:
+        self.failed = frozenset(failed)
+
+    def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        if any(not 1 <= e <= n for e in self.failed):
+            raise ValueError("failed set contains elements outside the universe")
+        return self.failed
+
+
+class CorrelatedGroupFailures(FailureModel):
+    """Whole groups of nodes fail together.
+
+    Each group (e.g. a rack, a crumbling-wall row, a subtree) fails with
+    probability ``group_p``; nodes outside any group never fail.  Used to
+    illustrate how probe complexity degrades when the independence
+    assumption of the probabilistic model is violated.
+    """
+
+    def __init__(self, groups: Sequence[Iterable[int]], group_p: float) -> None:
+        if not 0.0 <= group_p <= 1.0:
+            raise ValueError(f"group failure probability must be in [0, 1], got {group_p}")
+        self.groups = [frozenset(g) for g in groups]
+        self.group_p = group_p
+
+    def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        failed: set[int] = set()
+        for group in self.groups:
+            if any(not 1 <= e <= n for e in group):
+                raise ValueError("group contains elements outside the universe")
+            if rng.random() < self.group_p:
+                failed.update(group)
+        return frozenset(failed)
+
+
+class CrashRecoveryProcess:
+    """A continuous-time Markov crash/repair process per node.
+
+    Each node alternates between up and down states: an up node crashes
+    after an exponential time with rate ``crash_rate``, a down node recovers
+    after an exponential time with rate ``recovery_rate``.  The stationary
+    failure probability is ``crash_rate / (crash_rate + recovery_rate)``,
+    which plays the role of the paper's ``p`` when the process is sampled at
+    a random time.
+    """
+
+    def __init__(self, crash_rate: float, recovery_rate: float) -> None:
+        if crash_rate < 0 or recovery_rate <= 0:
+            raise ValueError("need crash_rate >= 0 and recovery_rate > 0")
+        self.crash_rate = crash_rate
+        self.recovery_rate = recovery_rate
+
+    @property
+    def stationary_failure_probability(self) -> float:
+        """Long-run probability that a node is down."""
+        return self.crash_rate / (self.crash_rate + self.recovery_rate)
+
+    def initial_failed(self, n: int, rng: random.Random) -> frozenset[int]:
+        """Sample the stationary distribution as the initial state."""
+        p = self.stationary_failure_probability
+        return frozenset(e for e in range(1, n + 1) if rng.random() < p)
+
+    def next_transition(self, is_up: bool, rng: random.Random) -> float:
+        """Time until the next state change of a node currently up/down."""
+        rate = self.crash_rate if is_up else self.recovery_rate
+        if rate == 0:
+            return float("inf")
+        return rng.expovariate(rate)

@@ -1,0 +1,64 @@
+"""Latency models for probe RPCs in the simulated cluster."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Distribution of the round-trip time of a single probe RPC."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one round-trip latency (time units)."""
+
+    def mean(self) -> float:
+        """Expected round-trip latency (used in analytic summaries)."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every probe takes exactly ``value`` time units."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("latency must be nonnegative")
+        self._value = value
+
+    def sample(self, rng: random.Random) -> float:
+        return self._value
+
+    def mean(self) -> float:
+        return self._value
+
+
+class UniformLatency(LatencyModel):
+    """Round-trip latency uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self._low = low
+        self._high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self._low, self._high)
+
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed latency with the given mean."""
+
+    def __init__(self, mean: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError("mean latency must be positive")
+        self._mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self._mean

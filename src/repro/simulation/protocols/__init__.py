@@ -1,0 +1,26 @@
+"""The two motivating applications built on quorum probing: mutual
+exclusion and replicated storage."""
+
+from repro.simulation.protocols.mutex import (
+    AcquisitionResult,
+    MutexStats,
+    QuorumMutex,
+    run_mutex_workload,
+)
+from repro.simulation.protocols.replication import (
+    OperationResult,
+    ReplicatedRegister,
+    StoreStats,
+    run_replication_workload,
+)
+
+__all__ = [
+    "AcquisitionResult",
+    "MutexStats",
+    "QuorumMutex",
+    "run_mutex_workload",
+    "OperationResult",
+    "ReplicatedRegister",
+    "StoreStats",
+    "run_replication_workload",
+]

@@ -1,0 +1,200 @@
+"""Quorum-based mutual exclusion over the simulated cluster.
+
+This is the first motivating application mentioned in the paper's
+introduction: a client may enter the critical section only after collecting
+permission (a lock) from every member of some quorum; pairwise intersection
+of quorums guarantees mutual exclusion.  When processors can fail, the
+client must first *probe* for a live quorum — which is exactly the problem
+the paper studies — and only then try to lock its members.
+
+The implementation is intentionally sequential (requests are processed one
+at a time by a coordinator loop): the point of the example is to measure how
+much probing work different coteries and probing algorithms require per
+critical-section entry under failures, not to model message-level
+concurrency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
+
+
+@dataclass(frozen=True)
+class AcquisitionResult:
+    """Outcome of one critical-section request."""
+
+    client: str
+    acquired: bool
+    probes: int
+    elapsed: float
+    quorum: frozenset[int] | None
+    reason: str = ""
+
+
+@dataclass
+class MutexStats:
+    """Aggregate statistics of a mutual-exclusion run."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures_no_quorum: int = 0
+    failures_contention: int = 0
+    total_probes: int = 0
+    total_time: float = 0.0
+    history: list[AcquisitionResult] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def probes_per_attempt(self) -> float:
+        return self.total_probes / self.attempts if self.attempts else 0.0
+
+
+class QuorumMutex:
+    """A lock manager granting the critical section through quorum consensus.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster whose nodes hold the locks.
+    prober:
+        The probing algorithm used to find a live quorum (any algorithm from
+        :mod:`repro.algorithms`); its system defines the coterie in use.
+    seed:
+        Seed for the prober's randomness.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        prober: ProbingAlgorithm,
+        seed: int | None = None,
+    ) -> None:
+        if prober.system.n != cluster.n:
+            raise ValueError("prober's quorum system does not match the cluster size")
+        self._cluster = cluster
+        self._prober = prober
+        self._rng = random.Random(seed)
+        self._locks: dict[int, str] = {}
+        self._holder: str | None = None
+        self._held_quorum: frozenset[int] = frozenset()
+        self.stats = MutexStats()
+
+    @property
+    def holder(self) -> str | None:
+        """Client currently inside the critical section, if any."""
+        return self._holder
+
+    # -- client operations ---------------------------------------------------------------
+
+    def acquire(self, client: str) -> AcquisitionResult:
+        """Attempt to enter the critical section.
+
+        The client probes for a live quorum; if one exists and none of its
+        members is locked by another client, it locks all of them and enters
+        the critical section.
+        """
+        self.stats.attempts += 1
+        start = self._cluster.now
+        oracle = ClusterProbeOracle(self._cluster)
+        run = self._prober.run(oracle, rng=self._rng)
+        probes = oracle.probe_count
+        elapsed = self._cluster.now - start
+        self.stats.total_probes += probes
+        self.stats.total_time += elapsed
+
+        if run.witness.color is Color.RED:
+            result = AcquisitionResult(
+                client, False, probes, elapsed, None, reason="no live quorum"
+            )
+            self.stats.failures_no_quorum += 1
+            self.stats.history.append(result)
+            return result
+
+        quorum = run.witness.elements
+        blocked = [e for e in quorum if self._locks.get(e, client) != client]
+        if blocked:
+            result = AcquisitionResult(
+                client,
+                False,
+                probes,
+                elapsed,
+                quorum,
+                reason=f"members {sorted(blocked)} locked by another client",
+            )
+            self.stats.failures_contention += 1
+            self.stats.history.append(result)
+            return result
+
+        for e in quorum:
+            self._locks[e] = client
+        self._holder = client
+        self._held_quorum = quorum
+        self.stats.successes += 1
+        result = AcquisitionResult(client, True, probes, elapsed, quorum)
+        self.stats.history.append(result)
+        return result
+
+    def release(self, client: str) -> None:
+        """Leave the critical section and release all locks held by ``client``."""
+        if self._holder != client:
+            raise RuntimeError(f"{client} does not hold the critical section")
+        for e in list(self._locks):
+            if self._locks[e] == client:
+                del self._locks[e]
+        self._holder = None
+        self._held_quorum = frozenset()
+
+    # -- invariant ------------------------------------------------------------------------
+
+    def assert_mutual_exclusion(self, other: "QuorumMutex") -> None:
+        """Check that two lock managers over the same coterie cannot both be held.
+
+        Because any two quorums intersect, the lock tables of two holders
+        would have to share an element; used by the tests and examples as a
+        safety check.
+        """
+        if self._holder is not None and other._holder is not None:
+            overlap = self._held_quorum & other._held_quorum
+            if not overlap:
+                raise AssertionError(
+                    "two clients hold disjoint quorums: mutual exclusion violated"
+                )
+
+
+def run_mutex_workload(
+    mutex: QuorumMutex,
+    clients: list[str],
+    requests: int,
+    failure_rate_between_requests: float = 0.0,
+    seed: int | None = None,
+) -> MutexStats:
+    """Drive a simple closed-loop workload against a :class:`QuorumMutex`.
+
+    Clients take turns requesting the critical section; a successful holder
+    immediately releases before the next request.  Between requests each
+    node crashes with probability ``failure_rate_between_requests`` and
+    recovers with the same probability, exercising the probing layer under a
+    changing failure pattern.
+    """
+    rng = random.Random(seed)
+    cluster = mutex._cluster
+    for i in range(requests):
+        client = clients[i % len(clients)]
+        result = mutex.acquire(client)
+        if result.acquired:
+            mutex.release(client)
+        for e in range(1, cluster.n + 1):
+            if rng.random() < failure_rate_between_requests:
+                if cluster.is_up(e):
+                    cluster.fail(e)
+                else:
+                    cluster.recover(e)
+    return mutex.stats

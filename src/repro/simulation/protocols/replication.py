@@ -1,0 +1,195 @@
+"""Quorum-replicated read/write register over the simulated cluster.
+
+The second motivating application from the paper's introduction: a data item
+is replicated on every processor; a write stores (value, version) on all
+members of some live quorum, a read collects (value, version) pairs from all
+members of some live quorum and returns the value with the highest version.
+Quorum intersection guarantees that a read always observes the latest
+completed write — provided a live quorum can be found, which is again the
+probing problem studied by the paper.
+
+Probing and data access are measured separately so the examples can show how
+much of the operation cost is spent *finding* a live quorum with different
+coteries and probing algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import ProbingAlgorithm
+from repro.core.coloring import Color
+from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
+
+
+@dataclass
+class Replica:
+    """Per-node replica state."""
+
+    value: object = None
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of one read or write."""
+
+    kind: str
+    ok: bool
+    value: object
+    version: int
+    probes: int
+    accesses: int
+    elapsed: float
+    reason: str = ""
+
+
+@dataclass
+class StoreStats:
+    """Aggregate statistics of a replicated-register run."""
+
+    reads: int = 0
+    writes: int = 0
+    failed_operations: int = 0
+    total_probes: int = 0
+    total_accesses: int = 0
+    stale_reads: int = 0
+    history: list[OperationResult] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def probes_per_operation(self) -> float:
+        return self.total_probes / self.operations if self.operations else 0.0
+
+
+class ReplicatedRegister:
+    """A single replicated register with quorum reads and writes."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        prober: ProbingAlgorithm,
+        seed: int | None = None,
+    ) -> None:
+        if prober.system.n != cluster.n:
+            raise ValueError("prober's quorum system does not match the cluster size")
+        self._cluster = cluster
+        self._prober = prober
+        self._rng = random.Random(seed)
+        self._replicas = {e: Replica() for e in range(1, cluster.n + 1)}
+        self._next_version = 1
+        self._last_committed_version = 0
+        self._last_committed_value: object = None
+        self.stats = StoreStats()
+
+    # -- quorum discovery -------------------------------------------------------------------
+
+    def _find_live_quorum(self) -> tuple[frozenset[int] | None, int, float]:
+        start = self._cluster.now
+        oracle = ClusterProbeOracle(self._cluster)
+        run = self._prober.run(oracle, rng=self._rng)
+        elapsed = self._cluster.now - start
+        if run.witness.color is Color.RED:
+            return None, oracle.probe_count, elapsed
+        return run.witness.elements, oracle.probe_count, elapsed
+
+    # -- operations --------------------------------------------------------------------------
+
+    def write(self, value: object) -> OperationResult:
+        """Write ``value`` to all members of a live quorum."""
+        self.stats.writes += 1
+        quorum, probes, elapsed = self._find_live_quorum()
+        self.stats.total_probes += probes
+        if quorum is None:
+            self.stats.failed_operations += 1
+            result = OperationResult(
+                "write", False, None, 0, probes, 0, elapsed, reason="no live quorum"
+            )
+            self.stats.history.append(result)
+            return result
+        version = self._next_version
+        self._next_version += 1
+        accesses = 0
+        for e in quorum:
+            self._replicas[e].value = value
+            self._replicas[e].version = version
+            accesses += 1
+        self.stats.total_accesses += accesses
+        self._last_committed_version = version
+        self._last_committed_value = value
+        result = OperationResult("write", True, value, version, probes, accesses, elapsed)
+        self.stats.history.append(result)
+        return result
+
+    def read(self) -> OperationResult:
+        """Read from all members of a live quorum; return the freshest value."""
+        self.stats.reads += 1
+        quorum, probes, elapsed = self._find_live_quorum()
+        self.stats.total_probes += probes
+        if quorum is None:
+            self.stats.failed_operations += 1
+            result = OperationResult(
+                "read", False, None, 0, probes, 0, elapsed, reason="no live quorum"
+            )
+            self.stats.history.append(result)
+            return result
+        accesses = 0
+        best_version = 0
+        best_value: object = None
+        for e in quorum:
+            replica = self._replicas[e]
+            accesses += 1
+            if replica.version > best_version:
+                best_version = replica.version
+                best_value = replica.value
+        self.stats.total_accesses += accesses
+        if best_version < self._last_committed_version:
+            # Can only happen if a write quorum and a read quorum failed to
+            # intersect — i.e. if the quorum system were broken.
+            self.stats.stale_reads += 1
+        result = OperationResult("read", True, best_value, best_version, probes, accesses, elapsed)
+        self.stats.history.append(result)
+        return result
+
+    # -- consistency check --------------------------------------------------------------------
+
+    @property
+    def last_committed(self) -> tuple[object, int]:
+        """Value and version of the last successful write."""
+        return self._last_committed_value, self._last_committed_version
+
+
+def run_replication_workload(
+    register: ReplicatedRegister,
+    operations: int,
+    write_fraction: float = 0.3,
+    failure_rate_between_ops: float = 0.0,
+    seed: int | None = None,
+) -> StoreStats:
+    """Drive a mixed read/write workload against a replicated register.
+
+    Between operations, each node independently toggles (crash or recover)
+    with probability ``failure_rate_between_ops``.
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    cluster = register._cluster
+    counter = 0
+    for _ in range(operations):
+        if rng.random() < write_fraction:
+            counter += 1
+            register.write(f"value-{counter}")
+        else:
+            register.read()
+        for e in range(1, cluster.n + 1):
+            if rng.random() < failure_rate_between_ops:
+                if cluster.is_up(e):
+                    cluster.fail(e)
+                else:
+                    cluster.recover(e)
+    return register.stats

@@ -1,0 +1,61 @@
+"""Quorum-system constructions (the substrate of the paper).
+
+This subpackage provides the abstract :class:`~repro.systems.base.QuorumSystem`
+interface together with every concrete construction analyzed or referenced in
+the paper: Majority, Wheel, Crumbling Walls (including Triang), the binary
+Tree system, the hierarchical quorum system (HQS), plus grid and composition
+constructions used by the examples.
+"""
+
+from repro.systems.base import (
+    ExplicitQuorumSystem,
+    QuorumSystem,
+    intersection_property,
+    is_antichain,
+)
+from repro.systems.boolean import (
+    CharacteristicFunction,
+    Ternary,
+    dual_system,
+    systems_equal,
+)
+from repro.systems.composition import CompositeSystem, self_composition
+from repro.systems.crumbling_walls import (
+    CrumblingWall,
+    TriangSystem,
+    uniform_wall,
+    wheel_as_crumbling_wall,
+)
+from repro.systems.fpp import ProjectivePlaneSystem
+from repro.systems.grid import GridSystem
+from repro.systems.hqs import HQS
+from repro.systems.majority import MajoritySystem, WeightedMajoritySystem
+from repro.systems.singleton import SingletonSystem, StarSystem
+from repro.systems.tree import TreeSystem
+from repro.systems.wheel import WheelSystem
+
+__all__ = [
+    "QuorumSystem",
+    "ExplicitQuorumSystem",
+    "intersection_property",
+    "is_antichain",
+    "CharacteristicFunction",
+    "Ternary",
+    "dual_system",
+    "systems_equal",
+    "CompositeSystem",
+    "self_composition",
+    "CrumblingWall",
+    "TriangSystem",
+    "uniform_wall",
+    "wheel_as_crumbling_wall",
+    "ProjectivePlaneSystem",
+    "GridSystem",
+    "HQS",
+    "MajoritySystem",
+    "WeightedMajoritySystem",
+    "SingletonSystem",
+    "StarSystem",
+    "TreeSystem",
+    "WheelSystem",
+]

@@ -1,0 +1,176 @@
+"""Recursive composition of coteries.
+
+Several of the paper's systems are compositions of a small outer coterie
+with copies of itself: the Tree system composes the 3-element coterie
+``{{root, L}, {root, R}, {L, R}}`` recursively, and HQS composes ``Maj3``
+recursively over its leaves.  This module provides the general construction:
+replace each element of an *outer* coterie with a disjoint *inner* quorum
+system; a composed quorum is obtained by choosing an outer quorum and, for
+each of its elements, a quorum of the corresponding inner system.
+
+The composition of nondominated coteries is again nondominated, which the
+property-based tests verify on small instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.systems.base import QuorumSystem
+
+
+class CompositeSystem(QuorumSystem):
+    """Composition of an outer coterie with per-element inner systems.
+
+    Parameters
+    ----------
+    outer:
+        The outer quorum system, over universe ``{1..k}``.
+    inners:
+        One inner quorum system per outer element, in order.  Inner universes
+        are relabeled to consecutive blocks: inner system ``i`` occupies the
+        elements ``offset_i + 1 .. offset_i + n_i`` of the composed universe.
+    """
+
+    def __init__(
+        self,
+        outer: QuorumSystem,
+        inners: Sequence[QuorumSystem],
+        name: str | None = None,
+    ) -> None:
+        if len(inners) != outer.n:
+            raise ValueError(
+                f"need exactly one inner system per outer element "
+                f"({outer.n}), got {len(inners)}"
+            )
+        offsets = []
+        total = 0
+        for inner in inners:
+            offsets.append(total)
+            total += inner.n
+        super().__init__(total, name=name or f"Composite({outer.name})")
+        self._outer = outer
+        self._inners = list(inners)
+        self._offsets = offsets
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def outer(self) -> QuorumSystem:
+        return self._outer
+
+    @property
+    def inners(self) -> list[QuorumSystem]:
+        return list(self._inners)
+
+    def block(self, outer_element: int) -> frozenset[int]:
+        """Composed-universe elements belonging to a given outer element."""
+        self._check_outer(outer_element)
+        offset = self._offsets[outer_element - 1]
+        size = self._inners[outer_element - 1].n
+        return frozenset(range(offset + 1, offset + size + 1))
+
+    def to_inner(self, outer_element: int, element: int) -> int:
+        """Translate a composed-universe element into inner coordinates."""
+        self._check_outer(outer_element)
+        offset = self._offsets[outer_element - 1]
+        inner = self._inners[outer_element - 1]
+        local = element - offset
+        if not 1 <= local <= inner.n:
+            raise ValueError(
+                f"element {element} does not belong to outer element {outer_element}"
+            )
+        return local
+
+    def from_inner(self, outer_element: int, local: int) -> int:
+        """Translate inner coordinates into the composed universe."""
+        self._check_outer(outer_element)
+        inner = self._inners[outer_element - 1]
+        if not 1 <= local <= inner.n:
+            raise ValueError(f"local element {local} outside inner universe")
+        return self._offsets[outer_element - 1] + local
+
+    def _check_outer(self, outer_element: int) -> None:
+        if not 1 <= outer_element <= self._outer.n:
+            raise ValueError(
+                f"outer element {outer_element} outside 1..{self._outer.n}"
+            )
+
+    def _live_outer_elements(self, s: frozenset[int]) -> frozenset[int]:
+        """Outer elements whose inner system has a quorum inside ``s``."""
+        live = []
+        for outer_element in range(1, self._outer.n + 1):
+            inner = self._inners[outer_element - 1]
+            local = frozenset(
+                self.to_inner(outer_element, e)
+                for e in s & self.block(outer_element)
+            )
+            if inner.contains_quorum(local):
+                live.append(outer_element)
+        return frozenset(live)
+
+    # -- quorum predicate ----------------------------------------------------------
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._outer.contains_quorum(self._live_outer_elements(s))
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        live = self._live_outer_elements(s)
+        outer_quorum = self._outer.find_quorum_within(live)
+        if outer_quorum is None:
+            return None
+        composed: set[int] = set()
+        for outer_element in outer_quorum:
+            inner = self._inners[outer_element - 1]
+            local = frozenset(
+                self.to_inner(outer_element, e)
+                for e in s & self.block(outer_element)
+            )
+            inner_quorum = inner.find_quorum_within(local)
+            assert inner_quorum is not None
+            composed.update(
+                self.from_inner(outer_element, e) for e in inner_quorum
+            )
+        return frozenset(composed)
+
+    # -- enumeration --------------------------------------------------------------
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for outer_quorum in self._outer.quorums():
+            yield from self._expand(sorted(outer_quorum), frozenset())
+
+    def _expand(
+        self, remaining: list[int], acc: frozenset[int]
+    ) -> Iterator[frozenset[int]]:
+        if not remaining:
+            yield acc
+            return
+        outer_element, rest = remaining[0], remaining[1:]
+        inner = self._inners[outer_element - 1]
+        for inner_quorum in inner.quorums():
+            mapped = frozenset(
+                self.from_inner(outer_element, e) for e in inner_quorum
+            )
+            yield from self._expand(rest, acc | mapped)
+
+
+def self_composition(base: QuorumSystem, levels: int, factory=None) -> QuorumSystem:
+    """Compose ``base`` with itself ``levels`` times.
+
+    ``levels = 0`` returns ``base`` unchanged; each further level replaces
+    every element of the previous system by a fresh copy of ``base``.  With
+    ``base = Maj3`` restricted to its leaves this reproduces the HQS gate
+    structure.
+    """
+    if levels < 0:
+        raise ValueError("levels must be nonnegative")
+    system = base
+    for _ in range(levels):
+        system = CompositeSystem(base, [system] * base.n)
+    return system

@@ -1,0 +1,136 @@
+"""Finite-projective-plane (FPP) quorum systems.
+
+Maekawa's classical √n mutual-exclusion algorithm — cited in the paper's
+related work — builds its quorums from a finite projective plane: the
+elements are the ``n = q² + q + 1`` points of the plane of order ``q``, the
+quorums are its lines (each of size ``q + 1``), and any two lines meet in
+exactly one point, giving the intersection property with optimally small,
+optimally balanced quorums.
+
+This module constructs the plane ``PG(2, q)`` for prime ``q`` using
+homogeneous coordinates over ``GF(q)``.  The order-2 plane (the Fano plane)
+is a nondominated coterie; planes of larger order are *dominated* — unlike
+the systems analyzed in the paper's theorems — which makes them a useful
+contrast case in the test-suite: probing can end without a monochromatic
+quorum witness on the red side, only a red transversal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+def _is_prime(q: int) -> bool:
+    if q < 2:
+        return False
+    if q % 2 == 0:
+        return q == 2
+    d = 3
+    while d * d <= q:
+        if q % d == 0:
+            return False
+        d += 2
+    return True
+
+
+def _normalize(vector: tuple[int, int, int], q: int) -> tuple[int, int, int]:
+    """Scale a nonzero homogeneous triple so its first nonzero entry is 1."""
+    for index in range(3):
+        if vector[index] % q != 0:
+            inverse = pow(vector[index], -1, q)
+            return tuple((value * inverse) % q for value in vector)  # type: ignore[return-value]
+    raise ValueError("the zero vector is not a projective point")
+
+
+class ProjectivePlaneSystem(QuorumSystem):
+    """The FPP quorum system of prime order ``q`` (Maekawa-style quorums).
+
+    Elements ``1 .. q² + q + 1`` are the points of ``PG(2, q)``; the quorums
+    are the lines.  Every quorum has size ``q + 1 ≈ √n`` and every element
+    lies on exactly ``q + 1`` quorums, so the system is both uniform and
+    perfectly balanced.
+    """
+
+    def __init__(self, order: int) -> None:
+        if not _is_prime(order):
+            raise ValueError(
+                f"this construction supports prime orders only, got {order}"
+            )
+        n = order * order + order + 1
+        super().__init__(n, name=f"FPP(q={order})")
+        self._order = order
+        self._points = self._projective_points(order)
+        self._point_index = {point: i + 1 for i, point in enumerate(self._points)}
+        self._lines = self._build_lines(order)
+
+    @property
+    def order(self) -> int:
+        """The order ``q`` of the plane."""
+        return self._order
+
+    @property
+    def quorum_size(self) -> int:
+        """Uniform quorum (line) size ``q + 1``."""
+        return self._order + 1
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def _projective_points(q: int) -> list[tuple[int, int, int]]:
+        points: set[tuple[int, int, int]] = set()
+        for x in range(q):
+            for y in range(q):
+                for z in range(q):
+                    if x == y == z == 0:
+                        continue
+                    points.add(_normalize((x, y, z), q))
+        return sorted(points)
+
+    def _build_lines(self, q: int) -> list[frozenset[int]]:
+        lines = []
+        for line in self._projective_points(q):
+            members = frozenset(
+                self._point_index[point]
+                for point in self._points
+                if sum(a * b for a, b in zip(line, point)) % q == 0
+            )
+            lines.append(members)
+        return sorted(lines, key=sorted)
+
+    # -- QuorumSystem interface ---------------------------------------------------
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return any(line <= s for line in self._lines)
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        for line in self._lines:
+            if line <= s:
+                return line
+        return None
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        return iter(self._lines)
+
+    def quorum_count(self) -> int:
+        """Number of lines, ``q² + q + 1`` (equal to the number of points)."""
+        return len(self._lines)
+
+    def min_quorum_size(self) -> int:
+        return self.quorum_size
+
+    def max_quorum_size(self) -> int:
+        return self.quorum_size
+
+    def lines_through(self, element: int) -> list[frozenset[int]]:
+        """All quorums containing a given element (exactly ``q + 1`` of them)."""
+        if not 1 <= element <= self.n:
+            raise ValueError(f"element {element} outside universe 1..{self.n}")
+        return [line for line in self._lines if element in line]

@@ -1,0 +1,99 @@
+"""Grid quorum systems (Maekawa-style row/column quorums).
+
+The paper cites Maekawa's ``sqrt(n)`` mutual-exclusion algorithm as one of
+the classical quorum constructions.  This module provides a rectangular grid
+system whose quorums are a full row together with a full column.  It is used
+by the example applications and the ablation benchmarks as an additional
+point of comparison; it is *not* one of the systems analyzed in the paper's
+theorems, which is why no closed-form probe-complexity bound is attached to
+it in :mod:`repro.analysis.bounds`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+class GridSystem(QuorumSystem):
+    """A ``rows x cols`` grid whose quorums are one full row plus one full
+    column.
+
+    Elements are numbered row-major: element ``(r - 1) * cols + c`` sits at
+    row ``r``, column ``c`` (both 1-based).
+    """
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        cols = rows if cols is None else cols
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        super().__init__(rows * cols, name=f"Grid({rows}x{cols})")
+        self._rows = rows
+        self._cols = cols
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    def position(self, element: int) -> tuple[int, int]:
+        """(row, column) of an element, 1-based."""
+        if not 1 <= element <= self._n:
+            raise ValueError(f"element {element} outside universe 1..{self._n}")
+        return ((element - 1) // self._cols + 1, (element - 1) % self._cols + 1)
+
+    def element_at(self, row: int, col: int) -> int:
+        """Element at a (row, column) position, 1-based."""
+        if not (1 <= row <= self._rows and 1 <= col <= self._cols):
+            raise ValueError(f"position ({row}, {col}) outside the grid")
+        return (row - 1) * self._cols + col
+
+    def row_elements(self, row: int) -> frozenset[int]:
+        """All elements of a row."""
+        return frozenset(self.element_at(row, c) for c in range(1, self._cols + 1))
+
+    def col_elements(self, col: int) -> frozenset[int]:
+        """All elements of a column."""
+        return frozenset(self.element_at(r, col) for r in range(1, self._rows + 1))
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        full_rows = [r for r in range(1, self._rows + 1) if self.row_elements(r) <= s]
+        if not full_rows:
+            return False
+        full_cols = [c for c in range(1, self._cols + 1) if self.col_elements(c) <= s]
+        return bool(full_cols)
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        for r in range(1, self._rows + 1):
+            if not self.row_elements(r) <= s:
+                continue
+            for c in range(1, self._cols + 1):
+                if self.col_elements(c) <= s:
+                    return self.row_elements(r) | self.col_elements(c)
+        return None
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for r, c in itertools.product(
+            range(1, self._rows + 1), range(1, self._cols + 1)
+        ):
+            yield self.row_elements(r) | self.col_elements(c)
+
+    def quorum_count(self) -> int:
+        return self._rows * self._cols
+
+    def min_quorum_size(self) -> int:
+        return self._rows + self._cols - 1
+
+    def max_quorum_size(self) -> int:
+        return self._rows + self._cols - 1

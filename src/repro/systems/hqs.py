@@ -1,0 +1,173 @@
+"""The Hierarchical Quorum System (HQS) of Kumar (1991).
+
+The ``n = 3^h`` universe elements are the leaves of a complete ternary tree
+whose internal nodes act as 2-of-3 majority gates.  The tree computes a
+monotone boolean function of the leaf values; its minterms — minimal leaf
+sets whose assignment to 1 forces the root to 1 — are the quorums.  Every
+quorum has exactly ``2^h = n^{log_3 2}`` elements, so the system is uniform.
+
+Internal nodes are addressed by a ternary-heap index: the root is node 0 and
+the children of node ``v`` are ``3v + 1``, ``3v + 2`` and ``3v + 3``.  The
+leaf with heap index ``v`` corresponds to universe element
+``v - (3^h - 1) / 2 + 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+class HQS(QuorumSystem):
+    """Kumar's hierarchical quorum system over ``n = 3^h`` elements."""
+
+    def __init__(self, height: int) -> None:
+        if height < 0:
+            raise ValueError("HQS height must be nonnegative")
+        n = 3**height
+        super().__init__(n, name=f"HQS(h={height})")
+        self._height = height
+        self._first_leaf = (3**height - 1) // 2
+        self._total_nodes = (3 ** (height + 1) - 1) // 2
+
+    @classmethod
+    def from_size(cls, n: int) -> "HQS":
+        """Build the HQS over ``n = 3^h`` elements."""
+        height = 0
+        size = 1
+        while size < n:
+            size *= 3
+            height += 1
+        if size != n:
+            raise ValueError(f"n={n} is not a power of 3")
+        return cls(height)
+
+    # -- tree structure ---------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the ternary gate tree."""
+        return self._height
+
+    @property
+    def root(self) -> int:
+        """Heap index of the root gate (0)."""
+        return 0
+
+    def is_leaf_node(self, v: int) -> bool:
+        """True when heap node ``v`` is a leaf (i.e. a universe element)."""
+        self._check_node(v)
+        return v >= self._first_leaf
+
+    def children(self, v: int) -> tuple[int, int, int] | tuple[()]:
+        """The three children of an internal node, or () for a leaf."""
+        self._check_node(v)
+        if self.is_leaf_node(v):
+            return ()
+        return (3 * v + 1, 3 * v + 2, 3 * v + 3)
+
+    def node_depth(self, v: int) -> int:
+        """Depth of heap node ``v`` (root at depth 0)."""
+        self._check_node(v)
+        depth = 0
+        while v > 0:
+            v = (v - 1) // 3
+            depth += 1
+        return depth
+
+    def leaf_to_element(self, v: int) -> int:
+        """Universe element corresponding to leaf heap node ``v``."""
+        if not self.is_leaf_node(v):
+            raise ValueError(f"node {v} is not a leaf")
+        return v - self._first_leaf + 1
+
+    def element_to_leaf(self, element: int) -> int:
+        """Leaf heap node corresponding to a universe element."""
+        if not 1 <= element <= self._n:
+            raise ValueError(f"element {element} outside universe 1..{self._n}")
+        return element + self._first_leaf - 1
+
+    def leaves_under(self, v: int) -> frozenset[int]:
+        """Universe elements whose leaves lie in the subtree of heap node ``v``."""
+        self._check_node(v)
+        elements = []
+        frontier = [v]
+        while frontier:
+            node = frontier.pop()
+            if self.is_leaf_node(node):
+                elements.append(self.leaf_to_element(node))
+            else:
+                frontier.extend(self.children(node))
+        return frozenset(elements)
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self._total_nodes:
+            raise ValueError(f"heap node {v} outside 0..{self._total_nodes - 1}")
+
+    # -- quorum predicate ----------------------------------------------------------
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._evaluates_true(0, s)
+
+    def _evaluates_true(self, v: int, s: frozenset[int]) -> bool:
+        if self.is_leaf_node(v):
+            return self.leaf_to_element(v) in s
+        votes = sum(1 for child in self.children(v) if self._evaluates_true(child, s))
+        return votes >= 2
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._find_minterm(0, s)
+
+    def _find_minterm(self, v: int, s: frozenset[int]) -> frozenset[int] | None:
+        if self.is_leaf_node(v):
+            element = self.leaf_to_element(v)
+            return frozenset({element}) if element in s else None
+        winning = []
+        for child in self.children(v):
+            sub = self._find_minterm(child, s)
+            if sub is not None:
+                winning.append(sub)
+            if len(winning) == 2:
+                return winning[0] | winning[1]
+        return None
+
+    # -- enumeration / sizes ----------------------------------------------------------
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        yield from self._enumerate(0)
+
+    def _enumerate(self, v: int) -> Iterator[frozenset[int]]:
+        if self.is_leaf_node(v):
+            yield frozenset({self.leaf_to_element(v)})
+            return
+        child_quorums = [list(self._enumerate(child)) for child in self.children(v)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                for qa in child_quorums[i]:
+                    for qb in child_quorums[j]:
+                        yield qa | qb
+
+    def quorum_count(self) -> int:
+        """Number of quorums, via ``Q(h) = 3 Q(h-1)^2``."""
+        count = 1
+        for _ in range(self._height):
+            count = 3 * count * count
+        return count
+
+    @property
+    def quorum_size(self) -> int:
+        """Uniform quorum size ``2^h = n^{log_3 2}``."""
+        return 2**self._height
+
+    def min_quorum_size(self) -> int:
+        return self.quorum_size
+
+    def max_quorum_size(self) -> int:
+        return self.quorum_size

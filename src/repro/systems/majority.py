@@ -1,0 +1,113 @@
+"""The Majority quorum system (Thomas 1979) and weighted voting systems.
+
+``Maj`` over an odd universe of size ``n`` has as quorums all subsets of size
+``(n + 1) / 2``.  It is the canonical nondominated coterie and the paper's
+first running example (Proposition 3.2 and Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.systems.base import QuorumSystem
+
+
+class MajoritySystem(QuorumSystem):
+    """The majority coterie: all subsets of size ``(n + 1) / 2`` (n odd)."""
+
+    def __init__(self, n: int) -> None:
+        if n % 2 == 0:
+            raise ValueError(f"the Majority system requires an odd universe, got n={n}")
+        super().__init__(n, name=f"Maj({n})")
+
+    @property
+    def quorum_size(self) -> int:
+        """Size of every quorum, ``(n + 1) / 2``."""
+        return (self._n + 1) // 2
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return len(s) >= self.quorum_size
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if len(s) < self.quorum_size:
+            return None
+        return frozenset(sorted(s)[: self.quorum_size])
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for combo in itertools.combinations(sorted(self.universe), self.quorum_size):
+            yield frozenset(combo)
+
+    def quorum_count(self) -> int:
+        """Number of quorums, ``C(n, (n+1)/2)`` (without enumeration)."""
+        return math.comb(self._n, self.quorum_size)
+
+    def min_quorum_size(self) -> int:
+        return self.quorum_size
+
+    def max_quorum_size(self) -> int:
+        return self.quorum_size
+
+
+class WeightedMajoritySystem(QuorumSystem):
+    """A weighted voting system: quorums are the minimal sets whose total
+    weight strictly exceeds half of the total weight.
+
+    With all weights equal to 1 (and odd ``n``) this reduces to
+    :class:`MajoritySystem`.  Weighted voting is the classical vote-assignment
+    view of quorum systems (Garcia-Molina & Barbara), included as a substrate
+    generalization used in the examples.
+    """
+
+    def __init__(self, weights: Mapping[int, int] | Iterable[int], name: str | None = None) -> None:
+        if isinstance(weights, Mapping):
+            items = dict(weights)
+            n = max(items)
+            if set(items) != set(range(1, n + 1)):
+                raise ValueError("weights mapping must cover the universe 1..n")
+            weight_list = [items[e] for e in range(1, n + 1)]
+        else:
+            weight_list = list(weights)
+            n = len(weight_list)
+        if n < 1:
+            raise ValueError("need at least one element")
+        if any(w < 0 for w in weight_list):
+            raise ValueError("weights must be nonnegative")
+        total = sum(weight_list)
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        super().__init__(n, name=name or f"WeightedMaj({n})")
+        self._weights = {e: weight_list[e - 1] for e in range(1, n + 1)}
+        self._threshold = total / 2.0
+
+    @property
+    def weights(self) -> dict[int, int]:
+        """Vote weight of each element."""
+        return dict(self._weights)
+
+    def weight_of(self, elements: Iterable[int]) -> int:
+        """Total vote weight of a set of elements."""
+        return sum(self._weights[e] for e in elements)
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self.weight_of(s) > self._threshold
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not self.contains_quorum(s):
+            return None
+        # Greedily shrink to a minimal majority set, dropping light elements first.
+        members = sorted(s, key=lambda e: (self._weights[e], e))
+        chosen = set(s)
+        for e in members:
+            if self.weight_of(chosen - {e}) > self._threshold:
+                chosen.discard(e)
+        return frozenset(chosen)

@@ -1,0 +1,83 @@
+"""Degenerate and star-shaped coteries used in tests and compositions."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+class SingletonSystem(QuorumSystem):
+    """The coterie whose single quorum is ``{center}``.
+
+    Over a universe of size ``n`` this is a (degenerately) nondominated
+    coterie: every transversal contains the center.  It models a single
+    primary-copy replica and is the base case of recursive compositions.
+    """
+
+    def __init__(self, n: int = 1, center: int = 1) -> None:
+        super().__init__(n, name=f"Singleton({center}/{n})")
+        if not 1 <= center <= n:
+            raise ValueError(f"center {center} outside universe 1..{n}")
+        self._center = center
+
+    @property
+    def center(self) -> int:
+        """The single element forming the quorum."""
+        return self._center
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._center in s
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        if self._center in frozenset(elements):
+            return frozenset({self._center})
+        return None
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        yield frozenset({self._center})
+
+
+class StarSystem(QuorumSystem):
+    """The star coterie: quorums are ``{hub, i}`` for every ``i != hub``.
+
+    Over ``n >= 3`` elements this is a coterie (all quorums share the hub and
+    none contains another) but it is *dominated* — e.g. by the Wheel system,
+    which adds the quorum consisting of all non-hub elements.  It is used in
+    tests as a canonical example of a dominated coterie.
+    """
+
+    def __init__(self, n: int, hub: int = 1) -> None:
+        if n < 3:
+            raise ValueError("the star coterie needs at least 3 elements")
+        if not 1 <= hub <= n:
+            raise ValueError(f"hub {hub} outside universe 1..{n}")
+        super().__init__(n, name=f"Star({n})")
+        self._hub = hub
+
+    @property
+    def hub(self) -> int:
+        """The element shared by all quorums."""
+        return self._hub
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._hub in s and len(s) >= 2
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if self._hub not in s:
+            return None
+        others = sorted(s - {self._hub})
+        if not others:
+            return None
+        return frozenset({self._hub, others[0]})
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for i in sorted(self.universe - {self._hub}):
+            yield frozenset({self._hub, i})

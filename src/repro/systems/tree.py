@@ -1,0 +1,168 @@
+"""The Tree quorum system (Agrawal & El-Abbadi 1991).
+
+The universe is arranged as a complete binary tree.  A quorum is defined
+recursively: it is either the root together with a quorum of one of its
+subtrees, or the union of one quorum from each of the two subtrees.  For a
+single node the only quorum is that node itself.
+
+Nodes are numbered in heap order: the root is 1 and the children of node
+``v`` are ``2v`` and ``2v + 1``; a tree of height ``h`` therefore has
+``n = 2^(h+1) - 1`` elements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+class TreeSystem(QuorumSystem):
+    """The binary-tree coterie over a complete binary tree of height ``h``."""
+
+    def __init__(self, height: int) -> None:
+        if height < 0:
+            raise ValueError("tree height must be nonnegative")
+        n = 2 ** (height + 1) - 1
+        super().__init__(n, name=f"Tree(h={height})")
+        self._height = height
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_size(cls, n: int) -> "TreeSystem":
+        """Build the tree system over ``n = 2^(h+1) - 1`` elements."""
+        height = (n + 1).bit_length() - 2
+        if 2 ** (height + 1) - 1 != n:
+            raise ValueError(f"n={n} is not of the form 2^(h+1) - 1")
+        return cls(height)
+
+    # -- tree structure ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (a single node has height 0)."""
+        return self._height
+
+    @property
+    def root(self) -> int:
+        """The root element (heap index 1)."""
+        return 1
+
+    def is_leaf(self, v: int) -> bool:
+        """True when ``v`` has no children."""
+        self._check_node(v)
+        return 2 * v > self._n
+
+    def children(self, v: int) -> tuple[int, int] | tuple[()]:
+        """The (left, right) children of ``v``, or () for a leaf."""
+        self._check_node(v)
+        if self.is_leaf(v):
+            return ()
+        return (2 * v, 2 * v + 1)
+
+    def parent(self, v: int) -> int | None:
+        """Parent of ``v``, or None for the root."""
+        self._check_node(v)
+        return None if v == 1 else v // 2
+
+    def leaves(self) -> list[int]:
+        """All leaf elements, left to right."""
+        first_leaf = 2**self._height
+        return list(range(first_leaf, self._n + 1))
+
+    def depth_of(self, v: int) -> int:
+        """Depth of node ``v`` (the root has depth 0)."""
+        self._check_node(v)
+        return v.bit_length() - 1
+
+    def subtree_elements(self, v: int) -> frozenset[int]:
+        """All elements in the subtree rooted at ``v`` (including ``v``)."""
+        self._check_node(v)
+        elements = []
+        frontier = [v]
+        while frontier:
+            node = frontier.pop()
+            elements.append(node)
+            if not self.is_leaf(node):
+                frontier.extend((2 * node, 2 * node + 1))
+        return frozenset(elements)
+
+    def _check_node(self, v: int) -> None:
+        if not 1 <= v <= self._n:
+            raise ValueError(f"node {v} outside universe 1..{self._n}")
+
+    # -- quorum predicate ----------------------------------------------------------
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._has_quorum(1, s)
+
+    def _has_quorum(self, v: int, s: frozenset[int]) -> bool:
+        if self.is_leaf(v):
+            return v in s
+        left, right = 2 * v, 2 * v + 1
+        left_ok = self._has_quorum(left, s)
+        right_ok = self._has_quorum(right, s)
+        if left_ok and right_ok:
+            return True
+        return v in s and (left_ok or right_ok)
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        return self._find_quorum(1, s)
+
+    def _find_quorum(self, v: int, s: frozenset[int]) -> frozenset[int] | None:
+        if self.is_leaf(v):
+            return frozenset({v}) if v in s else None
+        left_q = self._find_quorum(2 * v, s)
+        right_q = self._find_quorum(2 * v + 1, s)
+        if v in s:
+            # Prefer the cheaper root+subtree form when available.
+            if left_q is not None and (right_q is None or len(left_q) <= len(right_q)):
+                return left_q | {v}
+            if right_q is not None:
+                return right_q | {v}
+            return None
+        if left_q is not None and right_q is not None:
+            return left_q | right_q
+        return None
+
+    # -- enumeration / sizes ----------------------------------------------------------
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        yield from self._enumerate(1)
+
+    def _enumerate(self, v: int) -> Iterator[frozenset[int]]:
+        if self.is_leaf(v):
+            yield frozenset({v})
+            return
+        left, right = 2 * v, 2 * v + 1
+        left_quorums = list(self._enumerate(left))
+        right_quorums = list(self._enumerate(right))
+        for q in left_quorums:
+            yield q | {v}
+        for q in right_quorums:
+            yield q | {v}
+        for ql in left_quorums:
+            for qr in right_quorums:
+                yield ql | qr
+
+    def quorum_count(self) -> int:
+        """Number of quorums, via ``Q(h) = 2 Q(h-1) + Q(h-1)^2``."""
+        count = 1
+        for _ in range(self._height):
+            count = 2 * count + count * count
+        return count
+
+    def min_quorum_size(self) -> int:
+        """A root-to-leaf path, of size ``h + 1``."""
+        return self._height + 1
+
+    def max_quorum_size(self) -> int:
+        """All the leaves, of size ``2^h = (n + 1) / 2``."""
+        return 2**self._height

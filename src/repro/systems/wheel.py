@@ -1,0 +1,67 @@
+"""The Wheel quorum system (Holzman, Marcus & Peleg).
+
+The Wheel over ``{1..n}`` has the quorums ``{1, i}`` for every ``i >= 2``
+(spokes through the hub ``1``) together with the rim ``{2, ..., n}``.  It is
+a nondominated coterie, and it coincides with the ``(1, n-1)``-crumbling
+wall, which is how the paper obtains its probabilistic probe complexity bound
+of at most 3 probes (Corollary 3.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.systems.base import QuorumSystem
+
+
+class WheelSystem(QuorumSystem):
+    """The Wheel coterie: spokes ``{1, i}`` plus the rim ``{2..n}``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"the Wheel system needs at least 3 elements, got n={n}")
+        super().__init__(n, name=f"Wheel({n})")
+
+    @property
+    def hub(self) -> int:
+        """The hub element shared by all spoke quorums."""
+        return 1
+
+    @property
+    def rim(self) -> frozenset[int]:
+        """The rim quorum ``{2, ..., n}``."""
+        return frozenset(range(2, self._n + 1))
+
+    def contains_quorum(self, elements: Iterable[int]) -> bool:
+        s = frozenset(elements)
+        if not s <= self.universe:
+            raise ValueError("elements outside the universe")
+        if 1 in s and len(s) >= 2:
+            return True
+        return self.rim <= s
+
+    def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
+        s = frozenset(elements)
+        if 1 in s:
+            others = sorted(s - {1})
+            if others:
+                return frozenset({1, others[0]})
+            return None
+        if self.rim <= s:
+            return self.rim
+        return None
+
+    def quorums(self) -> Iterator[frozenset[int]]:
+        for i in range(2, self._n + 1):
+            yield frozenset({1, i})
+        yield self.rim
+
+    def quorum_count(self) -> int:
+        """Number of quorums: ``n - 1`` spokes plus the rim."""
+        return self._n
+
+    def min_quorum_size(self) -> int:
+        return 2
+
+    def max_quorum_size(self) -> int:
+        return self._n - 1

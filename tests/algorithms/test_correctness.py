@@ -1,0 +1,209 @@
+"""Cross-cutting correctness properties of every probing algorithm.
+
+Every algorithm, on every input, must (a) return a witness that is valid for
+the system and the true coloring, (b) report a probe count that matches the
+oracle's count, (c) never probe more than ``n`` distinct elements, and
+(d) announce green exactly when a live quorum exists.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    CandidateQuorumProbe,
+    IRProbeHQS,
+    ProbeCW,
+    ProbeHQS,
+    ProbeMaj,
+    ProbeTree,
+    RandomScan,
+    RProbeCW,
+    RProbeHQS,
+    RProbeMaj,
+    RProbeTree,
+    SequentialScan,
+    default_deterministic_algorithm,
+    default_randomized_algorithm,
+)
+from repro.core.coloring import Coloring, enumerate_colorings
+from repro.core.oracle import ColoringOracle
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+def algorithm_cases():
+    """Every (algorithm, system) pair exercised by the correctness sweep."""
+    return [
+        ProbeMaj(MajoritySystem(9)),
+        RProbeMaj(MajoritySystem(9)),
+        ProbeCW(TriangSystem(4)),
+        ProbeCW(CrumblingWall([1, 3, 2, 4])),
+        ProbeCW(TriangSystem(4), within_row_order="random"),
+        RProbeCW(TriangSystem(4)),
+        RProbeCW(CrumblingWall([1, 2, 5])),
+        ProbeTree(TreeSystem(3)),
+        RProbeTree(TreeSystem(3)),
+        ProbeHQS(HQS(2)),
+        RProbeHQS(HQS(2)),
+        IRProbeHQS(HQS(2)),
+        IRProbeHQS(HQS(3)),
+        SequentialScan(WheelSystem(7)),
+        RandomScan(TriangSystem(4)),
+        CandidateQuorumProbe(GridSystem(3)),
+        CandidateQuorumProbe(MajoritySystem(7)),
+    ]
+
+
+@pytest.fixture(params=algorithm_cases(), ids=lambda a: f"{a.name}-{a.system.name}")
+def algorithm(request):
+    return request.param
+
+
+class TestWitnessValidity:
+    def test_valid_witness_on_random_colorings(self, algorithm, rng):
+        system = algorithm.system
+        for _ in range(60):
+            p = rng.choice([0.1, 0.3, 0.5, 0.7, 0.9])
+            coloring = Coloring.random(system.n, p, rng)
+            run = algorithm.run_on(coloring, rng=rng, validate=True)
+            assert 1 <= run.probes <= system.n
+            assert run.witness.is_green == system.has_live_quorum(coloring)
+
+    def test_valid_witness_on_extreme_colorings(self, algorithm, rng):
+        system = algorithm.system
+        for coloring in (Coloring.all_green(system.n), Coloring.all_red(system.n)):
+            run = algorithm.run_on(coloring, rng=rng, validate=True)
+            assert run.witness.is_green == system.has_live_quorum(coloring)
+
+    def test_probe_count_matches_oracle(self, algorithm, rng):
+        system = algorithm.system
+        coloring = Coloring.random(system.n, 0.5, rng)
+        oracle = ColoringOracle(coloring)
+        algorithm.run(oracle, rng=rng)
+        run = algorithm.run_on(coloring, rng=random.Random(rng.random()))
+        assert run.probes <= system.n
+        assert oracle.probe_count <= system.n
+
+
+class TestExhaustiveSmallSystems:
+    """Exhaustive correctness over *all* colorings of small systems."""
+
+    @pytest.mark.parametrize(
+        "algorithm_small",
+        [
+            ProbeMaj(MajoritySystem(5)),
+            RProbeMaj(MajoritySystem(5)),
+            ProbeCW(TriangSystem(3)),
+            RProbeCW(TriangSystem(3)),
+            ProbeTree(TreeSystem(2)),
+            RProbeTree(TreeSystem(2)),
+            ProbeHQS(HQS(2)),
+            RProbeHQS(HQS(2)),
+            IRProbeHQS(HQS(2)),
+            SequentialScan(WheelSystem(5)),
+            CandidateQuorumProbe(TriangSystem(3)),
+        ],
+        ids=lambda a: f"{a.name}-{a.system.name}",
+    )
+    def test_every_coloring(self, algorithm_small):
+        rng = random.Random(0)
+        system = algorithm_small.system
+        for coloring in enumerate_colorings(system.n):
+            run = algorithm_small.run_on(coloring, rng=rng, validate=True)
+            assert run.witness.is_green == system.has_live_quorum(coloring)
+
+
+class TestDeterminism:
+    def test_deterministic_algorithms_are_reproducible(self):
+        cases = [
+            ProbeMaj(MajoritySystem(9)),
+            ProbeCW(TriangSystem(5)),
+            ProbeTree(TreeSystem(3)),
+            ProbeHQS(HQS(2)),
+            SequentialScan(WheelSystem(6)),
+        ]
+        for algorithm in cases:
+            coloring = Coloring.random(algorithm.system.n, 0.5, random.Random(3))
+            first = algorithm.run_on(coloring)
+            second = algorithm.run_on(coloring)
+            assert first.sequence == second.sequence
+            assert first.probes == second.probes
+
+    def test_randomized_algorithms_are_seed_reproducible(self):
+        algorithm = RProbeTree(TreeSystem(3))
+        coloring = Coloring.random(algorithm.system.n, 0.5, random.Random(5))
+        first = algorithm.run_on(coloring, rng=random.Random(99))
+        second = algorithm.run_on(coloring, rng=random.Random(99))
+        assert first.sequence == second.sequence
+
+    def test_randomized_flag(self):
+        assert RProbeMaj(MajoritySystem(3)).randomized
+        assert not ProbeMaj(MajoritySystem(3)).randomized
+        assert ProbeCW(TriangSystem(3), within_row_order="random").randomized
+
+
+class TestDefaults:
+    def test_default_deterministic_algorithm_selection(self):
+        assert isinstance(default_deterministic_algorithm(MajoritySystem(3)), ProbeMaj)
+        assert isinstance(default_deterministic_algorithm(TriangSystem(3)), ProbeCW)
+        assert isinstance(default_deterministic_algorithm(TreeSystem(2)), ProbeTree)
+        assert isinstance(default_deterministic_algorithm(HQS(1)), ProbeHQS)
+        assert isinstance(default_deterministic_algorithm(GridSystem(2)), SequentialScan)
+
+    def test_default_randomized_algorithm_selection(self):
+        assert isinstance(default_randomized_algorithm(MajoritySystem(3)), RProbeMaj)
+        assert isinstance(default_randomized_algorithm(TriangSystem(3)), RProbeCW)
+        assert isinstance(default_randomized_algorithm(TreeSystem(2)), RProbeTree)
+        assert isinstance(default_randomized_algorithm(HQS(1)), IRProbeHQS)
+        assert isinstance(default_randomized_algorithm(GridSystem(2)), RandomScan)
+
+    def test_wrong_system_type_rejected(self):
+        with pytest.raises(TypeError):
+            ProbeCW(MajoritySystem(3))
+        with pytest.raises(TypeError):
+            ProbeTree(MajoritySystem(3))
+        with pytest.raises(TypeError):
+            ProbeHQS(MajoritySystem(3))
+        with pytest.raises(TypeError):
+            ProbeMaj(TriangSystem(3))
+
+    def test_coloring_size_mismatch_rejected(self):
+        algorithm = ProbeMaj(MajoritySystem(5))
+        with pytest.raises(ValueError):
+            algorithm.run_on(Coloring(4))
+
+
+class TestHypothesisSweep:
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 2**20),
+        algo_index=st.integers(0, 6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_paper_algorithms_always_return_valid_witnesses(self, p, seed, algo_index):
+        algorithms = [
+            ProbeMaj(MajoritySystem(7)),
+            RProbeMaj(MajoritySystem(7)),
+            ProbeCW(CrumblingWall([1, 2, 3])),
+            RProbeCW(CrumblingWall([1, 2, 3])),
+            ProbeTree(TreeSystem(2)),
+            ProbeHQS(HQS(2)),
+            IRProbeHQS(HQS(2)),
+        ]
+        algorithm = algorithms[algo_index]
+        rng = random.Random(seed)
+        coloring = Coloring.random(algorithm.system.n, p, rng)
+        run = algorithm.run_on(coloring, rng=rng, validate=True)
+        assert run.witness.is_green == algorithm.system.has_live_quorum(coloring)

@@ -1,0 +1,116 @@
+"""Tests for the availability recursions and Fact 2.3."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.availability import (
+    crumbling_wall_availability,
+    hqs_availability,
+    hqs_availability_bound,
+    majority_availability,
+    satisfies_fact_2_3,
+    tree_availability,
+    tree_availability_bound,
+)
+from repro.core.metrics import availability_exact
+from repro.systems import HQS, CrumblingWall, MajoritySystem, TreeSystem, WheelSystem
+
+
+class TestClosedFormsAgainstEnumeration:
+    @pytest.mark.parametrize("p", [0.05, 0.25, 0.5, 0.75, 0.95])
+    def test_majority(self, p):
+        assert math.isclose(
+            majority_availability(7, p), availability_exact(MajoritySystem(7), p)
+        )
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_crumbling_wall(self, p):
+        widths = [1, 3, 2, 4]
+        assert math.isclose(
+            crumbling_wall_availability(widths, p),
+            availability_exact(CrumblingWall(widths), p),
+            abs_tol=1e-12,
+        )
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_wheel_as_wall(self, p):
+        assert math.isclose(
+            crumbling_wall_availability([1, 5], p),
+            availability_exact(WheelSystem(6), p),
+            abs_tol=1e-12,
+        )
+
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_tree(self, p):
+        assert math.isclose(
+            tree_availability(2, p), availability_exact(TreeSystem(2), p), abs_tol=1e-12
+        )
+
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_hqs(self, p):
+        assert math.isclose(
+            hqs_availability(2, p), availability_exact(HQS(2), p), abs_tol=1e-12
+        )
+
+
+class TestFact23:
+    @given(p=st.floats(0.0, 1.0), height=st.integers(0, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_tree_self_duality_identity(self, p, height):
+        fp = tree_availability(height, p)
+        f1mp = tree_availability(height, 1.0 - p)
+        assert satisfies_fact_2_3(fp, f1mp, p)
+
+    @given(p=st.floats(0.0, 1.0), height=st.integers(0, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_hqs_self_duality_identity(self, p, height):
+        fp = hqs_availability(height, p)
+        f1mp = hqs_availability(height, 1.0 - p)
+        assert satisfies_fact_2_3(fp, f1mp, p)
+
+    def test_half_is_a_fixed_point(self):
+        for height in range(6):
+            assert math.isclose(tree_availability(height, 0.5), 0.5)
+            assert math.isclose(hqs_availability(height, 0.5), 0.5)
+
+    @given(
+        widths=st.lists(st.integers(2, 6), min_size=1, max_size=6),
+        p=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cw_availability_bounded_by_p(self, widths, p):
+        # Fact 2.3(1): F_p <= p for p <= 1/2 for any ND coterie.
+        assert crumbling_wall_availability([1] + widths, p) <= p + 1e-9
+
+
+class TestPaperProofBounds:
+    @given(p=st.floats(0.0, 0.5), height=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_bound_of_prop_3_6(self, p, height):
+        assert tree_availability(height, p) <= tree_availability_bound(height, p) + 1e-9
+
+    @given(p=st.floats(0.0, 0.49), height=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_hqs_bound_of_thm_3_8(self, p, height):
+        assert hqs_availability(height, p) <= hqs_availability_bound(height, p) + 1e-9
+
+    def test_availability_improves_with_height_for_small_p(self):
+        # Amplification: for p < 1/2 deeper trees are more available.
+        for builder in (tree_availability, hqs_availability):
+            values = [builder(h, 0.2) for h in range(6)]
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            tree_availability(-1, 0.5)
+        with pytest.raises(ValueError):
+            hqs_availability(2, 1.5)
+        with pytest.raises(ValueError):
+            crumbling_wall_availability([], 0.5)
+        with pytest.raises(ValueError):
+            majority_availability(4, 0.5)

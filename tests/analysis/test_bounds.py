@@ -1,0 +1,158 @@
+"""Tests for the closed-form bound registry (Table 1 formulas)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    Direction,
+    Model,
+    bounds_for,
+    generic_lower_bound_pcr,
+    generic_lower_bound_ppc,
+    hqs_bounds,
+    hqs_height,
+    majority_bounds,
+    tree_bounds,
+    tree_height,
+    tree_ppc_exponent,
+    triang_bounds,
+    triang_rows,
+    wheel_bounds,
+    HQS_PCR_BOPPANA_EXPONENT,
+    HQS_PCR_IMPROVED_EXPONENT,
+    HQS_PPC_EXPONENT,
+    TREE_PPC_EXPONENT,
+)
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+class TestParameterHelpers:
+    def test_triang_rows(self):
+        assert triang_rows(10) == 4
+        assert triang_rows(78) == 12
+        with pytest.raises(ValueError):
+            triang_rows(11)
+
+    def test_hqs_height(self):
+        assert hqs_height(27) == 3
+        with pytest.raises(ValueError):
+            hqs_height(30)
+
+    def test_tree_height(self):
+        assert tree_height(15) == 3
+        with pytest.raises(ValueError):
+            tree_height(14)
+
+    def test_exponent_constants_match_paper(self):
+        assert math.isclose(HQS_PPC_EXPONENT, 0.834, abs_tol=1e-3)
+        assert math.isclose(HQS_PCR_BOPPANA_EXPONENT, 0.893, abs_tol=1e-3)
+        assert math.isclose(HQS_PCR_IMPROVED_EXPONENT, 0.887, abs_tol=1e-3)
+        assert math.isclose(TREE_PPC_EXPONENT, 0.585, abs_tol=1e-3)
+
+    def test_tree_exponent_is_symmetric_and_maximal_at_half(self):
+        assert math.isclose(tree_ppc_exponent(0.3), tree_ppc_exponent(0.7))
+        assert tree_ppc_exponent(0.5) >= tree_ppc_exponent(0.2)
+        assert math.isclose(tree_ppc_exponent(0.5), math.log2(1.5))
+
+
+class TestBoundTables:
+    def test_majority_formulas(self):
+        table = majority_bounds()
+        ppc = table.get(Model.PROBABILISTIC, Direction.EXACT)
+        assert math.isclose(ppc.value(101, 0.5), 101 - math.sqrt(101))
+        assert math.isclose(ppc.value(101, 0.25), 101 / 1.5)
+        pcr = table.get(Model.RANDOMIZED, Direction.EXACT)
+        assert math.isclose(pcr.value(9, 0.5), 9 - 8 / 12)
+
+    def test_triang_formulas(self):
+        table = triang_bounds()
+        n = 78  # 12 rows
+        assert math.isclose(
+            table.get(Model.PROBABILISTIC, Direction.UPPER).value(n, 0.5), 23.0
+        )
+        assert math.isclose(
+            table.get(Model.RANDOMIZED, Direction.LOWER).value(n, 0.5), 45.0
+        )
+        upper = table.get(Model.RANDOMIZED, Direction.UPPER).value(n, 0.5)
+        assert math.isclose(upper, 45.0 + math.log2(12))
+
+    def test_wheel_formulas(self):
+        table = wheel_bounds()
+        assert table.get(Model.PROBABILISTIC, Direction.UPPER).value(50, 0.5) == 3.0
+        assert table.get(Model.RANDOMIZED, Direction.EXACT).value(50, 0.5) == 49.0
+
+    def test_tree_formulas(self):
+        table = tree_bounds()
+        n = 127
+        assert math.isclose(
+            table.get(Model.RANDOMIZED, Direction.UPPER).value(n, 0.5),
+            5 * n / 6 + 1 / 6,
+        )
+        assert math.isclose(
+            table.get(Model.RANDOMIZED, Direction.LOWER).value(n, 0.5),
+            2 * (n + 1) / 3,
+        )
+        assert math.isclose(
+            table.get(Model.PROBABILISTIC, Direction.UPPER).value(n, 0.5),
+            n**math.log2(1.5),
+        )
+
+    def test_hqs_formulas(self):
+        table = hqs_bounds()
+        n = 243  # height 5
+        ppc = table.get(Model.PROBABILISTIC, Direction.EXACT)
+        assert math.isclose(ppc.value(n, 0.5), 2.5**5)
+        assert ppc.value(n, 0.25) < ppc.value(n, 0.5)
+        lower = table.get(Model.RANDOMIZED, Direction.LOWER)
+        assert math.isclose(lower.value(n, 0.5), 2.5**5)
+
+    def test_every_bound_reports_direction_and_source(self):
+        for table in (majority_bounds(), triang_bounds(), wheel_bounds(), tree_bounds(), hqs_bounds()):
+            for (model, direction), bound in table.bounds.items():
+                assert bound.direction is direction
+                assert bound.source
+                assert bound.formula
+                assert bound.value(27 if table.family == "HQS" else 15, 0.5) >= 0
+
+
+class TestGenericBounds:
+    def test_lemma_3_1(self):
+        assert math.isclose(generic_lower_bound_ppc(16, 0.5), 32 - 8)
+        assert math.isclose(generic_lower_bound_ppc(16, 0.2), 20)
+        assert math.isclose(generic_lower_bound_ppc(16, 0.8), 20)
+
+    def test_theorem_4_1(self):
+        assert generic_lower_bound_pcr(12) == 12.0
+
+
+class TestLookup:
+    def test_bounds_for_dispatch(self):
+        assert bounds_for(MajoritySystem(5)).family == "Maj"
+        assert bounds_for(TriangSystem(3)).family == "Triang"
+        assert bounds_for(WheelSystem(4)).family == "Wheel"
+        assert bounds_for(CrumblingWall([1, 2, 3])).family == "CW"
+        assert bounds_for(TreeSystem(2)).family == "Tree"
+        assert bounds_for(HQS(2)).family == "HQS"
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(KeyError):
+            bounds_for(GridSystem(3))
+
+    def test_crumbling_wall_bound_uses_widths(self):
+        wall = CrumblingWall([1, 4, 4])
+        table = bounds_for(wall)
+        upper = table.get(Model.PROBABILISTIC, Direction.UPPER)
+        assert math.isclose(upper.value(wall.n, 0.5), 5.0)
+        randomized = table.get(Model.RANDOMIZED, Direction.UPPER)
+        assert randomized.value(wall.n, 0.5) > 0

@@ -1,0 +1,151 @@
+"""Tests for the technical lemmas (Section 2.4 / Appendix A)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lemmas import (
+    expected_trials_both_colors,
+    expected_trials_both_colors_exact,
+    expected_trials_first_red,
+    expected_trials_jth_red,
+    expected_trials_jth_red_exact,
+    grid_walk_exit_time_bound,
+    grid_walk_exit_time_exact,
+    product_bound,
+    product_value,
+    solve_constant_recursion,
+    solve_recursion,
+)
+
+
+class TestLemma24RandomWalk:
+    def test_exact_expectation_small_case_by_hand(self):
+        # N = 1: the walk exits after exactly one step.
+        assert grid_walk_exit_time_exact(1, 0.5) == 1.0
+
+    def test_exact_expectation_n2_by_hand(self):
+        # N = 2, p = 1/2: E[T] = sum_t P(T > t) = 1 + 1 + 1/2 = 2.5.
+        assert math.isclose(grid_walk_exit_time_exact(2, 0.5), 2.5)
+
+    def test_symmetric_case_close_to_2n_minus_sqrt(self):
+        for n in (25, 100, 400):
+            exact = grid_walk_exit_time_exact(n, 0.5)
+            assert 2 * n - 2.5 * math.sqrt(n) <= exact <= 2 * n - 0.5 * math.sqrt(n)
+
+    def test_closed_form_tracks_exact_for_symmetric_walk(self):
+        # The closed form instantiates the Θ(√N) correction with the
+        # one-dimensional-walk constant, so it agrees with the exact value
+        # up to a (smaller) O(√N) term.
+        for n in (50, 200):
+            exact = grid_walk_exit_time_exact(n, 0.5)
+            bound = grid_walk_exit_time_bound(n, 0.5)
+            assert abs(exact - bound) < 0.5 * math.sqrt(n) + 1.0
+
+    def test_biased_case_close_to_n_over_q(self):
+        for n, p in ((100, 0.3), (200, 0.1)):
+            exact = grid_walk_exit_time_exact(n, p)
+            assert abs(exact - n / (1 - p)) < 2.0
+
+    def test_biased_case_symmetric_in_p(self):
+        assert math.isclose(
+            grid_walk_exit_time_exact(50, 0.2), grid_walk_exit_time_exact(50, 0.8)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            grid_walk_exit_time_exact(0, 0.5)
+        with pytest.raises(ValueError):
+            grid_walk_exit_time_bound(5, 1.5)
+
+
+class TestLemma25Product:
+    def test_bound_dominates_product(self):
+        for a, b, c, h in ((2.0, 0.5, 1.0, 10), (1.5, 0.9, 0.1, 20), (3.0, 0.3, 2.0, 5)):
+            assert product_value(a, b, c, h) <= product_bound(a, b, c, h) * (1 + 1e-9)
+
+    def test_product_reduces_to_power_when_c_zero(self):
+        assert math.isclose(product_value(2.0, 0.5, 0.0, 7), 2.0**7)
+
+    @given(
+        a=st.floats(min_value=1.0, max_value=4.0),
+        b=st.floats(min_value=0.05, max_value=0.95),
+        c=st.floats(min_value=0.0, max_value=3.0),
+        h=st.integers(min_value=0, max_value=25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_holds_for_random_parameters(self, a, b, c, h):
+        assert product_value(a, b, c, h) <= product_bound(a, b, c, h) * (1 + 1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            product_value(2.0, 1.5, 1.0, 3)
+        with pytest.raises(ValueError):
+            product_bound(-1.0, 0.5, 1.0, 3)
+
+
+class TestFact26Recursion:
+    def test_constant_coefficients_closed_form(self):
+        # f(h) = b + a f(h-1), f(0) = f0.
+        assert math.isclose(solve_constant_recursion(1.0, 2.0, 3.0, 4),
+                            solve_recursion(1.0, lambda i: 2.0, lambda i: 3.0, 4))
+
+    def test_a_equal_one_degenerates_to_arithmetic(self):
+        assert math.isclose(solve_constant_recursion(5.0, 1.0, 2.0, 10), 25.0)
+
+    def test_sequence_coefficients(self):
+        value = solve_recursion(0.0, [2.0, 3.0], [1.0, 1.0], 2)
+        # f(1) = 1 + 2*0 = 1; f(2) = 1 + 3*1 = 4.
+        assert math.isclose(value, 4.0)
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            solve_recursion(0.0, lambda i: 1.0, lambda i: 1.0, -1)
+
+
+class TestUrnLemmas:
+    def test_fact_2_7_first_red(self):
+        assert expected_trials_first_red(1, 1) == Fraction(3, 2)
+        assert expected_trials_first_red(2, 4) == Fraction(7, 3)
+
+    def test_lemma_2_8_formula_matches_direct_expectation(self):
+        for r, g, j in ((3, 4, 2), (5, 5, 5), (1, 9, 1), (4, 0, 2)):
+            assert expected_trials_jth_red(r, g, j) == expected_trials_jth_red_exact(r, g, j)
+
+    def test_lemma_2_8_reduces_to_fact_2_7_at_j_one(self):
+        for r, g in ((3, 4), (1, 6), (5, 2)):
+            assert expected_trials_jth_red(r, g, 1) == expected_trials_first_red(r, g)
+
+    def test_lemma_2_8_last_red_is_near_the_end(self):
+        # Finding all r reds requires on average r(n+1)/(r+1) draws.
+        assert expected_trials_jth_red(3, 3, 3) == Fraction(3 * 7, 4)
+
+    def test_lemma_2_9_formula_matches_direct_expectation(self):
+        for r, g in ((1, 1), (3, 5), (10, 2), (7, 7)):
+            assert expected_trials_both_colors(r, g) == expected_trials_both_colors_exact(r, g)
+
+    def test_lemma_2_9_symmetry(self):
+        assert expected_trials_both_colors(3, 8) == expected_trials_both_colors(8, 3)
+
+    @given(r=st.integers(1, 12), g=st.integers(1, 12), j=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_urn_formulas_agree_with_enumeration(self, r, g, j):
+        if j > r:
+            return
+        assert expected_trials_jth_red(r, g, j) == expected_trials_jth_red_exact(r, g, j)
+        assert expected_trials_both_colors(r, g) == expected_trials_both_colors_exact(r, g)
+
+    def test_invalid_urn_arguments(self):
+        with pytest.raises(ValueError):
+            expected_trials_first_red(0, 5)
+        with pytest.raises(ValueError):
+            expected_trials_jth_red(3, 2, 4)
+        with pytest.raises(ValueError):
+            expected_trials_both_colors(0, 3)
+        with pytest.raises(ValueError):
+            expected_trials_jth_red(-1, 2, 1)

@@ -1,0 +1,122 @@
+"""Tests for the random-walk processes and the finite-size scaling fits."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_linear, fit_power_law, fit_sqrt_correction
+from repro.analysis.walks import (
+    GridRandomWalk,
+    majority_expected_probes_bound,
+    majority_expected_probes_exact,
+)
+
+
+class TestGridRandomWalk:
+    def test_simulated_walk_matches_exact_expectation(self):
+        walk = GridRandomWalk(30, 0.5)
+        estimate = walk.simulate_expected_exit_time(trials=4000, seed=1)
+        assert abs(estimate.mean - walk.expected_exit_time_exact()) < 4 * estimate.stderr + 0.1
+
+    def test_biased_walk_exits_through_top(self):
+        walk = GridRandomWalk(40, 0.2)
+        rng = random.Random(3)
+        outcomes = [walk.run(rng) for _ in range(200)]
+        top_exits = sum(1 for o in outcomes if o.exited_top)
+        assert top_exits > 190  # with p = 0.2 the up-steps dominate
+
+    def test_exit_time_bounds_steps(self):
+        walk = GridRandomWalk(10, 0.5)
+        rng = random.Random(5)
+        for _ in range(100):
+            outcome = walk.run(rng)
+            assert 10 <= outcome.steps <= 19
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GridRandomWalk(0, 0.5)
+        with pytest.raises(ValueError):
+            GridRandomWalk(5, -0.1)
+
+
+class TestMajorityWalkFormulas:
+    def test_exact_is_bounded_by_universe(self):
+        for n in (11, 51, 101):
+            for p in (0.5, 0.3):
+                assert majority_expected_probes_exact(n, p) <= n
+
+    def test_exact_close_to_closed_form_at_half(self):
+        for n in (101, 401):
+            exact = majority_expected_probes_exact(n, 0.5)
+            approx = majority_expected_probes_bound(n, 0.5)
+            assert abs(exact - approx) < 0.6 * math.sqrt(n)
+
+    def test_biased_form(self):
+        assert math.isclose(majority_expected_probes_bound(101, 0.2), 101 / 1.6)
+        exact = majority_expected_probes_exact(201, 0.2)
+        assert abs(exact - 201 / 1.6) < 2.0
+
+    def test_even_n_rejected(self):
+        with pytest.raises(ValueError):
+            majority_expected_probes_exact(10, 0.5)
+        with pytest.raises(ValueError):
+            majority_expected_probes_bound(10, 0.5)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        sizes = [10, 30, 100, 300, 1000]
+        costs = [3.0 * n**0.83 for n in sizes]
+        fit = fit_power_law(sizes, costs)
+        assert math.isclose(fit.exponent, 0.83, abs_tol=1e-6)
+        assert math.isclose(fit.prefactor, 3.0, rel_tol=1e-6)
+        assert fit.r_squared > 0.999999
+
+    def test_predict_roundtrip(self):
+        fit = fit_power_law([10, 100, 1000], [5.0, 50.0, 500.0])
+        assert math.isclose(fit.predict(200), 100.0, rel_tol=1e-6)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        sizes = np.geomspace(10, 10000, 12)
+        costs = 2.0 * sizes**0.6 * np.exp(rng.normal(0, 0.02, sizes.size))
+        fit = fit_power_law(sizes, costs)
+        assert abs(fit.exponent - 0.6) < 0.05
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5.0])
+
+
+class TestSqrtCorrectionFit:
+    def test_recovers_known_coefficient(self):
+        sizes = [25, 100, 400, 900, 2500]
+        costs = [n - 1.3 * math.sqrt(n) + 0.7 for n in sizes]
+        fit = fit_sqrt_correction(sizes, costs)
+        assert math.isclose(fit.sqrt_coefficient, 1.3, abs_tol=1e-6)
+        assert math.isclose(fit.offset, 0.7, abs_tol=1e-6)
+        assert fit.r_squared > 0.999999
+
+    def test_predict(self):
+        fit = fit_sqrt_correction([100, 400], [100 - 10, 400 - 20])
+        assert math.isclose(fit.predict(900), 900 - 30, rel_tol=1e-6)
+
+
+class TestLinearFit:
+    def test_recovers_slope_and_intercept(self):
+        slope, intercept, r2 = fit_linear([1, 2, 3, 4], [5.0, 7.0, 9.0, 11.0])
+        assert math.isclose(slope, 2.0)
+        assert math.isclose(intercept, 3.0)
+        assert r2 > 0.999999
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1.0])

@@ -1,0 +1,131 @@
+"""Tests for the Yao-principle hard distributions and lower bounds."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.yao import (
+    cw_hard_distribution,
+    cw_hard_sampler,
+    cw_lower_bound,
+    majority_hard_distribution,
+    majority_hard_sampler,
+    majority_lower_bound,
+    tree_hard_distribution,
+    tree_hard_sampler,
+    tree_lower_bound,
+    tree_subtree_expected_probes,
+    yao_bound_via_exact,
+)
+from repro.core.exact import ExactSolver
+from repro.systems import CrumblingWall, MajoritySystem, TreeSystem, TriangSystem
+
+
+class TestMajorityHardDistribution:
+    def test_sampler_produces_exactly_k_plus_one_reds(self, rng):
+        system = MajoritySystem(9)
+        sampler = majority_hard_sampler(system)
+        for _ in range(30):
+            coloring = sampler(rng)
+            assert len(coloring.red_elements) == 5
+
+    def test_distribution_support(self):
+        system = MajoritySystem(5)
+        dist = majority_hard_distribution(system)
+        assert len(dist.support) == math.comb(5, 3)
+
+    def test_closed_form(self):
+        assert math.isclose(majority_lower_bound(9), 9 - 8 / 12)
+        with pytest.raises(ValueError):
+            majority_lower_bound(10)
+
+    def test_exact_yao_value_matches_closed_form(self):
+        for n in (3, 5, 7, 9):
+            system = MajoritySystem(n)
+            value = yao_bound_via_exact(system, majority_hard_distribution(system))
+            assert math.isclose(value, majority_lower_bound(n), rel_tol=1e-9)
+
+
+class TestCWHardDistribution:
+    def test_sampler_leaves_one_green_per_row(self, rng):
+        wall = TriangSystem(4)
+        sampler = cw_hard_sampler(wall)
+        for _ in range(30):
+            coloring = sampler(rng)
+            for row in wall.rows:
+                assert len(row & coloring.green_elements) == 1
+
+    def test_distribution_size_is_product_of_widths(self):
+        wall = CrumblingWall([1, 2, 3])
+        dist = cw_hard_distribution(wall)
+        assert len(dist.support) == 1 * 2 * 3
+
+    def test_closed_form(self):
+        wall = TriangSystem(5)
+        assert math.isclose(cw_lower_bound(wall), (15 + 5) / 2)
+
+    def test_exact_yao_value_at_least_closed_form(self):
+        # Theorem 4.6 computes the expected probes of *any* deterministic
+        # algorithm on this distribution as exactly (n + k)/2; the exact
+        # optimum therefore matches it.
+        wall = CrumblingWall([1, 2, 3])
+        value = yao_bound_via_exact(wall, cw_hard_distribution(wall))
+        assert value >= cw_lower_bound(wall) - 1e-9
+
+
+class TestTreeHardDistribution:
+    def test_sampler_reds_come_in_bottom_subtree_pairs(self, rng):
+        tree = TreeSystem(3)
+        sampler = tree_hard_sampler(tree)
+        subtree_roots = [v for v in range(1, tree.n + 1) if tree.depth_of(v) == 2]
+        for _ in range(20):
+            coloring = sampler(rng)
+            assert len(coloring.red_elements) == 2 * len(subtree_roots)
+            for root in subtree_roots:
+                trio = {root, *tree.children(root)}
+                assert len(trio & coloring.red_elements) == 2
+
+    def test_distribution_size(self):
+        tree = TreeSystem(2)
+        dist = tree_hard_distribution(tree)
+        assert len(dist.support) == 3 ** 2  # 3 choices per height-1 subtree
+
+    def test_height_zero_rejected(self):
+        with pytest.raises(ValueError):
+            tree_hard_sampler(TreeSystem(0))
+
+    def test_closed_form_and_subtree_cost(self):
+        assert math.isclose(tree_lower_bound(15), 32 / 3)
+        assert math.isclose(tree_subtree_expected_probes(), 8 / 3)
+
+    def test_exact_yao_value_close_to_closed_form(self):
+        tree = TreeSystem(2)
+        value = yao_bound_via_exact(tree, tree_hard_distribution(tree))
+        # The paper's count (2(n+1)/3 = 16/3) charges 8/3 probes per bottom
+        # subtree; on this 7-node tree the exact optimum must be at least
+        # that (the optimum may not need to probe the all-green root).
+        assert value >= 2 * (tree.n + 1) / 3 - 1e-9
+        assert value <= tree.n
+
+
+class TestHardDistributionsAreActuallyHard:
+    def test_majority_hard_distribution_is_worst_among_exact_red_counts(self):
+        system = MajoritySystem(7)
+        solver = ExactSolver(system)
+        values = {}
+        for reds in range(0, 8):
+            from repro.core.coloring import ColoringDistribution
+
+            dist = ColoringDistribution.exact_reds(7, reds)
+            values[reds] = solver.best_deterministic_under(dist)
+        assert max(values, key=values.get) in (3, 4)
+
+    def test_random_sampling_matches_distribution_support(self, rng):
+        wall = CrumblingWall([1, 2, 2])
+        sampler = cw_hard_sampler(wall)
+        support = {w.coloring for w in cw_hard_distribution(wall).support}
+        for _ in range(30):
+            assert sampler(rng) in support

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    SingletonSystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random source for reproducible tests."""
+    return random.Random(12345)
+
+
+def small_nd_systems() -> list:
+    """Small instances of every ND coterie family studied in the paper.
+
+    Kept small enough for exhaustive checks (quorum enumeration, exact
+    solvers, self-duality).
+    """
+    return [
+        MajoritySystem(3),
+        MajoritySystem(5),
+        MajoritySystem(7),
+        WheelSystem(4),
+        WheelSystem(6),
+        TriangSystem(2),
+        TriangSystem(3),
+        TriangSystem(4),
+        CrumblingWall([1, 2, 2]),
+        CrumblingWall([1, 3, 2]),
+        TreeSystem(1),
+        TreeSystem(2),
+        HQS(1),
+        HQS(2),
+        SingletonSystem(3, center=2),
+    ]
+
+
+def medium_systems() -> list:
+    """Mid-size systems used for algorithm correctness sweeps."""
+    return [
+        MajoritySystem(15),
+        WheelSystem(12),
+        TriangSystem(6),
+        CrumblingWall([1, 4, 3, 5]),
+        TreeSystem(4),
+        HQS(3),
+        GridSystem(4, 4),
+    ]
+
+
+@pytest.fixture(params=small_nd_systems(), ids=lambda s: s.name)
+def small_nd_system(request):
+    return request.param
+
+
+@pytest.fixture(params=medium_systems(), ids=lambda s: s.name)
+def medium_system(request):
+    return request.param

@@ -1,0 +1,122 @@
+"""Tests for the Monte-Carlo estimators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.majority import ProbeMaj, RProbeMaj
+from repro.algorithms.crumbling_walls import ProbeCW
+from repro.core.coloring import Coloring, enumerate_colorings
+from repro.core.estimator import (
+    Estimate,
+    estimate_average_probes,
+    estimate_average_under,
+    estimate_expected_probes_on,
+    estimate_worst_case_expected,
+)
+from repro.core.exact import probabilistic_probe_complexity
+from repro.systems import MajoritySystem, TriangSystem
+
+
+class TestEstimate:
+    def test_from_samples_basic_statistics(self):
+        estimate = Estimate.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert math.isclose(estimate.mean, 2.5)
+        assert estimate.trials == 4
+        assert estimate.low < estimate.mean < estimate.high
+
+    def test_single_sample_has_zero_std(self):
+        estimate = Estimate.from_samples([5.0])
+        assert estimate.std == 0.0
+        assert estimate.stderr == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Estimate.from_samples([])
+
+    def test_ci_shrinks_with_more_samples(self):
+        narrow = Estimate(mean=10.0, std=2.0, trials=1000)
+        wide = Estimate(mean=10.0, std=2.0, trials=10)
+        assert narrow.ci95 < wide.ci95
+
+    def test_str_contains_mean(self):
+        assert "2.000" in str(Estimate.from_samples([2.0, 2.0]))
+
+
+class TestAverageProbes:
+    def test_seeded_runs_are_reproducible(self):
+        algorithm = ProbeMaj(MajoritySystem(9))
+        a = estimate_average_probes(algorithm, 0.5, trials=50, seed=3)
+        b = estimate_average_probes(algorithm, 0.5, trials=50, seed=3)
+        assert a.mean == b.mean
+
+    def test_matches_exact_optimum_for_symmetric_majority(self):
+        # For Majority any fixed order is optimal, so the estimate must agree
+        # with the exact probabilistic probe complexity.
+        system = MajoritySystem(7)
+        algorithm = ProbeMaj(system)
+        estimate = estimate_average_probes(algorithm, 0.5, trials=4000, seed=1)
+        exact = probabilistic_probe_complexity(system, 0.5)
+        assert abs(estimate.mean - exact) < 3 * estimate.stderr + 0.05
+
+    def test_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            estimate_average_probes(ProbeMaj(MajoritySystem(3)), 0.5, trials=0)
+
+
+class TestExpectedProbesOnFixedInput:
+    def test_deterministic_algorithm_needs_one_trial(self):
+        system = TriangSystem(3)
+        algorithm = ProbeCW(system)
+        coloring = Coloring(system.n, red=[3])
+        estimate = estimate_expected_probes_on(algorithm, coloring, trials=100)
+        assert estimate.trials == 1
+        assert estimate.std == 0.0
+
+    def test_randomized_algorithm_matches_closed_form(self):
+        # R_Probe_Maj on an input with exactly k+1 reds: expected probes are
+        # n - (n-1)/(n+3) (Theorem 4.2).
+        n = 7
+        system = MajoritySystem(n)
+        algorithm = RProbeMaj(system)
+        worst = Coloring(n, red=[1, 2, 3, 4])
+        estimate = estimate_expected_probes_on(algorithm, worst, trials=6000, seed=2)
+        expected = n - (n - 1) / (n + 3)
+        assert abs(estimate.mean - expected) < 4 * estimate.stderr + 0.05
+
+
+class TestWorstCaseEstimate:
+    def test_identifies_hard_input_for_randomized_majority(self):
+        system = MajoritySystem(5)
+        algorithm = RProbeMaj(system)
+        result = estimate_worst_case_expected(
+            algorithm,
+            enumerate_colorings(system.n),
+            trials_per_input=300,
+            seed=5,
+        )
+        # Worst inputs have exactly k+1 = 3 red elements (or 3 green by symmetry).
+        reds = len(result.worst_coloring.red_elements)
+        assert reds in (2, 3)
+        assert result.estimate.mean <= system.n
+        assert len(result.per_input) == 2**system.n
+
+    def test_empty_input_family_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_worst_case_expected(RProbeMaj(MajoritySystem(3)), [])
+
+
+class TestAverageUnder:
+    def test_sampler_driven_average(self):
+        system = MajoritySystem(5)
+        algorithm = ProbeMaj(system)
+
+        def sampler(rng):
+            return Coloring.with_exact_reds(system.n, 3, rng)
+
+        estimate = estimate_average_under(algorithm, sampler, trials=2000, seed=11)
+        # Deterministic scan on 3-red inputs needs at least quorum size probes
+        # and at most n.
+        assert 3.0 <= estimate.mean <= 5.0

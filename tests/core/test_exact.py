@@ -1,0 +1,176 @@
+"""Tests for the exact (optimal) probe-complexity solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.yao import majority_hard_distribution, majority_lower_bound
+from repro.core.coloring import ColoringDistribution
+from repro.core.exact import (
+    ExactSolver,
+    permutation_algorithm_worst_expected,
+    probabilistic_probe_complexity,
+    probe_complexity,
+    yao_lower_bound,
+)
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    MajoritySystem,
+    SingletonSystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+class TestMaj3WorkedExample:
+    """The Section 2.3 example: PC = 3, PPC = 5/2, PCR = 8/3."""
+
+    def setup_method(self):
+        self.system = MajoritySystem(3)
+        self.solver = ExactSolver(self.system)
+
+    def test_deterministic_probe_complexity(self):
+        assert self.solver.probe_complexity() == 3
+
+    def test_probabilistic_probe_complexity(self):
+        assert math.isclose(self.solver.probabilistic_probe_complexity(0.5), 2.5)
+
+    def test_randomized_upper_via_permutations(self):
+        assert math.isclose(permutation_algorithm_worst_expected(self.system), 8 / 3)
+
+    def test_randomized_lower_via_yao(self):
+        value = self.solver.best_deterministic_under(
+            majority_hard_distribution(self.system)
+        )
+        assert math.isclose(value, 8 / 3)
+
+
+class TestEvasiveness:
+    """Lemma 2.2: Maj, Wheel, CW and Tree are evasive (PC = n)."""
+
+    @pytest.mark.parametrize(
+        "system",
+        [
+            MajoritySystem(5),
+            WheelSystem(5),
+            TriangSystem(3),
+            CrumblingWall([1, 2, 3]),
+            TreeSystem(2),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_paper_systems_are_evasive(self, system):
+        assert ExactSolver(system).is_evasive()
+
+    def test_singleton_is_not_evasive(self):
+        assert probe_complexity(SingletonSystem(3, center=2)) == 1
+
+
+class TestProbabilisticOptimum:
+    def test_ppc_monotone_in_universe_for_majority(self):
+        assert probabilistic_probe_complexity(MajoritySystem(3), 0.5) < (
+            probabilistic_probe_complexity(MajoritySystem(5), 0.5)
+        )
+
+    def test_ppc_at_extreme_probabilities(self):
+        # With p = 0 every element is green: the optimum probes a smallest
+        # quorum; with p = 1 a smallest transversal (same size for Maj).
+        system = MajoritySystem(5)
+        assert math.isclose(probabilistic_probe_complexity(system, 0.0), 3.0)
+        assert math.isclose(probabilistic_probe_complexity(system, 1.0), 3.0)
+
+    def test_ppc_symmetry_in_p_for_self_dual_systems(self):
+        system = TriangSystem(3)
+        assert math.isclose(
+            probabilistic_probe_complexity(system, 0.3),
+            probabilistic_probe_complexity(system, 0.7),
+            rel_tol=1e-9,
+        )
+
+    def test_wheel_ppc_is_at_most_three(self):
+        # Corollary 3.4: Probe_CW achieves <= 3, so the optimum is <= 3.
+        for n in (4, 6, 8):
+            assert probabilistic_probe_complexity(WheelSystem(n), 0.5) <= 3.0
+
+    def test_hqs_height1_matches_recursion(self):
+        assert math.isclose(probabilistic_probe_complexity(HQS(1), 0.5), 2.5)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            probabilistic_probe_complexity(MajoritySystem(3), -0.1)
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(ValueError):
+            ExactSolver(MajoritySystem(21))
+
+
+class TestOptimalTrees:
+    def test_optimal_probabilistic_tree_achieves_value(self):
+        system = TriangSystem(3)
+        solver = ExactSolver(system)
+        tree = solver.optimal_strategy_tree(0.5)
+        tree.validate()
+        assert math.isclose(
+            tree.expected_depth(0.5), solver.probabilistic_probe_complexity(0.5)
+        )
+
+    def test_optimal_worst_case_tree_achieves_value(self):
+        system = WheelSystem(5)
+        solver = ExactSolver(system)
+        tree = solver.optimal_worst_case_tree()
+        tree.validate()
+        assert tree.depth() == solver.probe_complexity()
+
+    def test_optimal_tree_never_beats_lower_bound(self):
+        system = MajoritySystem(5)
+        solver = ExactSolver(system)
+        tree = solver.optimal_strategy_tree(0.5)
+        # No strategy can beat the optimum it was derived from.
+        assert tree.expected_depth(0.5) >= solver.probabilistic_probe_complexity(0.5) - 1e-9
+
+
+class TestYaoBounds:
+    def test_yao_bound_matches_closed_form_for_majority(self):
+        for n in (3, 5, 7):
+            system = MajoritySystem(n)
+            value = yao_lower_bound(system, majority_hard_distribution(system))
+            assert math.isclose(value, majority_lower_bound(n), rel_tol=1e-9)
+
+    def test_yao_bound_never_exceeds_universe(self):
+        system = WheelSystem(5)
+        dist = ColoringDistribution.product(system.n, 0.5)
+        assert yao_lower_bound(system, dist) <= system.n
+
+    def test_yao_with_product_distribution_equals_ppc(self):
+        # Under the i.i.d. distribution the best deterministic expected cost
+        # *is* the probabilistic probe complexity.
+        system = TriangSystem(3)
+        dist = ColoringDistribution.product(system.n, 0.5)
+        assert math.isclose(
+            yao_lower_bound(system, dist),
+            probabilistic_probe_complexity(system, 0.5),
+            rel_tol=1e-9,
+        )
+
+    def test_mismatched_distribution_rejected(self):
+        system = MajoritySystem(3)
+        dist = ColoringDistribution.product(5, 0.5)
+        with pytest.raises(ValueError):
+            yao_lower_bound(system, dist)
+
+
+class TestPermutationAnalysis:
+    def test_limited_to_small_systems(self):
+        with pytest.raises(ValueError):
+            permutation_algorithm_worst_expected(MajoritySystem(9))
+
+    def test_singleton_needs_constant_probes(self):
+        # For the singleton coterie the random-permutation algorithm stops as
+        # soon as it probes the center, after (n+1)/2 probes on average in
+        # the worst case; for n = 3 that is 2.
+        value = permutation_algorithm_worst_expected(SingletonSystem(3, center=1))
+        assert math.isclose(value, 2.0)

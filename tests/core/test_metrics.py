@@ -1,0 +1,118 @@
+"""Tests for availability, load and quorum-size metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.availability import majority_availability
+from repro.core.metrics import (
+    availability_exact,
+    availability_monte_carlo,
+    check_availability_identity,
+    is_uniform,
+    minimal_quorum_size_lower_bound,
+    optimal_load,
+    quorum_size_statistics,
+    system_summary,
+    uniform_strategy_load,
+)
+from repro.systems import (
+    HQS,
+    MajoritySystem,
+    SingletonSystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+class TestAvailability:
+    def test_exact_matches_binomial_formula_for_majority(self):
+        for p in (0.1, 0.4, 0.5, 0.8):
+            assert math.isclose(
+                availability_exact(MajoritySystem(7), p),
+                majority_availability(7, p),
+                rel_tol=1e-12,
+            )
+
+    def test_availability_at_extremes(self):
+        system = TriangSystem(3)
+        assert availability_exact(system, 0.0) == 0.0
+        assert availability_exact(system, 1.0) == 1.0
+
+    def test_fact_2_3_identity_for_nd_coteries(self, small_nd_system):
+        if small_nd_system.n > 12:
+            pytest.skip("enumeration too large for this check")
+        assert check_availability_identity(small_nd_system, 0.3)
+
+    def test_fact_2_3_part1_bound(self, small_nd_system):
+        if small_nd_system.n > 12:
+            pytest.skip("enumeration too large for this check")
+        for p in (0.1, 0.3, 0.5):
+            assert availability_exact(small_nd_system, p) <= p + 1e-9
+
+    def test_monte_carlo_tracks_exact(self):
+        system = WheelSystem(6)
+        exact = availability_exact(system, 0.5)
+        estimate = availability_monte_carlo(system, 0.5, trials=4000, seed=9)
+        assert abs(estimate.mean - exact) < 4 * estimate.stderr + 0.01
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            availability_exact(MajoritySystem(3), 1.5)
+
+
+class TestQuorumStatistics:
+    def test_majority_statistics(self):
+        stats = quorum_size_statistics(MajoritySystem(5))
+        assert stats["count"] == 10
+        assert stats["min"] == stats["max"] == 3
+
+    def test_uniformity(self):
+        assert is_uniform(MajoritySystem(5))
+        assert is_uniform(TriangSystem(3))
+        assert is_uniform(HQS(1))
+        assert not is_uniform(WheelSystem(5))
+        assert not is_uniform(TreeSystem(2))
+
+    def test_system_summary_keys(self):
+        summary = system_summary(TriangSystem(3), p=0.5)
+        assert {"count", "min", "max", "mean", "availability_Fp", "load", "n"} <= set(summary)
+
+
+class TestLoad:
+    def test_singleton_load_is_one(self):
+        assert math.isclose(optimal_load(SingletonSystem(3, center=1)), 1.0)
+
+    def test_majority_load_is_quorum_fraction(self):
+        # For Maj(n) the optimal load is (n+1)/(2n) by symmetry.
+        system = MajoritySystem(5)
+        assert math.isclose(optimal_load(system), 3 / 5, rel_tol=1e-6)
+
+    def test_uniform_strategy_upper_bounds_optimal(self):
+        for system in (WheelSystem(5), TriangSystem(3), TreeSystem(2)):
+            assert optimal_load(system) <= uniform_strategy_load(system) + 1e-9
+
+    def test_load_at_least_inverse_max_quorum(self):
+        # Any strategy puts mass 1 on quorums of size >= c, so some element
+        # carries at least c/n... more simply, load >= 1/n always.
+        for system in (WheelSystem(6), HQS(2)):
+            assert optimal_load(system) >= 1.0 / system.n
+
+
+class TestLemma31Bound:
+    def test_half_probability_form(self):
+        system = TriangSystem(4)
+        bound = minimal_quorum_size_lower_bound(system, 0.5)
+        assert math.isclose(bound, 2 * 4 - 2 * math.sqrt(4))
+
+    def test_biased_form(self):
+        system = TriangSystem(4)
+        assert math.isclose(minimal_quorum_size_lower_bound(system, 0.2), 4 / 0.8)
+        assert math.isclose(minimal_quorum_size_lower_bound(system, 0.8), 4 / 0.8)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            minimal_quorum_size_lower_bound(TriangSystem(3), -0.2)

@@ -1,0 +1,80 @@
+"""Tests for probe oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coloring import Color, Coloring
+from repro.core.oracle import (
+    ColoringOracle,
+    ProbeBudgetExceeded,
+    ProbeOracle,
+    RecordingOracle,
+)
+
+
+class TestColoringOracle:
+    def test_probe_reveals_true_color(self):
+        oracle = ColoringOracle(Coloring(4, red=[2]))
+        assert oracle.probe(2) is Color.RED
+        assert oracle.probe(1) is Color.GREEN
+
+    def test_probe_count_counts_distinct_elements(self):
+        oracle = ColoringOracle(Coloring(4, red=[2]))
+        oracle.probe(1)
+        oracle.probe(1)
+        oracle.probe(2)
+        assert oracle.probe_count == 2
+
+    def test_sequence_preserves_first_probe_order(self):
+        oracle = ColoringOracle(Coloring(4))
+        for e in (3, 1, 3, 2):
+            oracle.probe(e)
+        assert oracle.sequence == [3, 1, 2]
+
+    def test_known_green_and_red_sets(self):
+        oracle = ColoringOracle(Coloring(4, red=[2, 3]))
+        for e in (1, 2, 3):
+            oracle.probe(e)
+        assert oracle.known_green == {1}
+        assert oracle.known_red == {2, 3}
+
+    def test_out_of_range_probe_rejected(self):
+        oracle = ColoringOracle(Coloring(3))
+        with pytest.raises(ValueError):
+            oracle.probe(4)
+
+    def test_budget_enforced(self):
+        oracle = ColoringOracle(Coloring(5), budget=2)
+        oracle.probe(1)
+        oracle.probe(2)
+        oracle.probe(1)  # cached, not counted
+        with pytest.raises(ProbeBudgetExceeded):
+            oracle.probe(3)
+
+    def test_known_mapping_is_a_copy(self):
+        oracle = ColoringOracle(Coloring(3, red=[1]))
+        oracle.probe(1)
+        snapshot = oracle.known
+        snapshot[2] = Color.GREEN
+        assert 2 not in oracle.known
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ColoringOracle(Coloring(2)), ProbeOracle)
+
+
+class TestRecordingOracle:
+    def test_forwards_and_records(self):
+        inner = ColoringOracle(Coloring(4, red=[4]))
+        recorder = RecordingOracle(inner)
+        assert recorder.probe(4) is Color.RED
+        recorder.probe(1)
+        recorder.probe(4)
+        assert recorder.sequence == [4, 1]
+        assert recorder.probe_count == 2
+        assert recorder.n == 4
+        assert recorder.known == inner.known
+
+    def test_satisfies_protocol(self):
+        inner = ColoringOracle(Coloring(2))
+        assert isinstance(RecordingOracle(inner), ProbeOracle)

@@ -1,0 +1,129 @@
+"""Tests for explicit probe strategy trees."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.generic import SequentialScan
+from repro.algorithms.majority import ProbeMaj
+from repro.core.coloring import Color, Coloring, ColoringDistribution, enumerate_colorings
+from repro.core.strategy_tree import (
+    Leaf,
+    ProbeNode,
+    StrategyTree,
+    strategy_tree_from_algorithm,
+)
+from repro.systems import MajoritySystem, SingletonSystem, TriangSystem, WheelSystem
+
+
+def maj3_tree() -> StrategyTree:
+    """The Fig. 4 decision tree for Maj3: probe 1, then 2, then 3 if needed."""
+    system = MajoritySystem(3)
+    third = lambda out_green, out_red: ProbeNode(  # noqa: E731 - local builder
+        3, on_green=Leaf(out_green), on_red=Leaf(out_red)
+    )
+    root = ProbeNode(
+        1,
+        on_green=ProbeNode(2, on_green=Leaf(Color.GREEN), on_red=third(Color.GREEN, Color.RED)),
+        on_red=ProbeNode(2, on_green=third(Color.GREEN, Color.RED), on_red=Leaf(Color.RED)),
+    )
+    return StrategyTree(system, root)
+
+
+class TestCostMeasures:
+    def test_depth_of_fig4_tree(self):
+        assert maj3_tree().depth() == 3
+
+    def test_expected_depth_at_half(self):
+        assert math.isclose(maj3_tree().expected_depth(0.5), 2.5)
+
+    def test_expected_depth_biased(self):
+        # With p = 0 every element is green: probes 1, 2 and stops -> 2 probes.
+        assert math.isclose(maj3_tree().expected_depth(0.0), 2.0)
+        assert math.isclose(maj3_tree().expected_depth(1.0), 2.0)
+
+    def test_expected_depth_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            maj3_tree().expected_depth(1.5)
+
+    def test_probes_and_output_on_specific_colorings(self):
+        tree = maj3_tree()
+        assert tree.probes_on(Coloring(3, red=[])) == 2
+        assert tree.output_on(Coloring(3, red=[])) is Color.GREEN
+        assert tree.probes_on(Coloring(3, red=[1])) == 3
+        assert tree.output_on(Coloring(3, red=[1, 2])) is Color.RED
+
+    def test_expected_depth_under_distribution(self):
+        tree = maj3_tree()
+        dist = ColoringDistribution.exact_reds(3, 2)
+        assert math.isclose(tree.expected_depth_under(dist), (3 + 3 + 2) / 3)
+
+    def test_structure_counts(self):
+        tree = maj3_tree()
+        assert tree.leaf_count() == tree.node_count() + 1
+        assert tree.node_count() == 5
+
+
+class TestValidation:
+    def test_fig4_tree_is_valid(self):
+        maj3_tree().validate()
+        assert maj3_tree().is_valid()
+
+    def test_inconclusive_leaf_rejected(self):
+        system = MajoritySystem(3)
+        tree = StrategyTree(system, ProbeNode(1, Leaf(Color.GREEN), Leaf(Color.RED)))
+        with pytest.raises(ValueError):
+            tree.validate()
+        assert not tree.is_valid()
+
+    def test_wrong_leaf_label_rejected(self):
+        system = SingletonSystem(1)
+        tree = StrategyTree(system, ProbeNode(1, Leaf(Color.RED), Leaf(Color.GREEN)))
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_double_probe_on_path_rejected(self):
+        system = SingletonSystem(2, center=1)
+        root = ProbeNode(
+            2,
+            on_green=ProbeNode(2, Leaf(Color.GREEN), Leaf(Color.RED)),
+            on_red=ProbeNode(1, Leaf(Color.GREEN), Leaf(Color.RED)),
+        )
+        with pytest.raises(ValueError):
+            StrategyTree(system, root).validate()
+
+
+class TestExtractionFromAlgorithms:
+    def test_probe_maj_tree_matches_expected_costs(self):
+        system = MajoritySystem(3)
+        algorithm = ProbeMaj(system)
+        tree = strategy_tree_from_algorithm(lambda o: algorithm.run(o).witness, system)
+        tree.validate()
+        assert tree.depth() == 3
+        assert math.isclose(tree.expected_depth(0.5), 2.5)
+
+    def test_sequential_scan_tree_on_wheel(self):
+        system = WheelSystem(4)
+        algorithm = SequentialScan(system)
+        tree = strategy_tree_from_algorithm(lambda o: algorithm.run(o).witness, system)
+        tree.validate()
+        assert tree.depth() <= system.n
+
+    def test_extracted_tree_agrees_with_algorithm_on_every_input(self):
+        system = TriangSystem(3)
+        algorithm = SequentialScan(system)
+        tree = strategy_tree_from_algorithm(lambda o: algorithm.run(o).witness, system)
+        for coloring in enumerate_colorings(system.n):
+            run = algorithm.run_on(coloring)
+            assert tree.probes_on(coloring) == run.probes
+            assert tree.output_on(coloring) is run.witness.color
+
+    def test_extraction_node_limit(self):
+        system = MajoritySystem(5)
+        algorithm = ProbeMaj(system)
+        with pytest.raises(RuntimeError):
+            strategy_tree_from_algorithm(
+                lambda o: algorithm.run(o).witness, system, max_nodes=3
+            )

@@ -1,0 +1,91 @@
+"""Tests for witnesses and witness validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coloring import Color, Coloring
+from repro.core.witness import InvalidWitnessError, Witness, reference_witness
+from repro.systems import MajoritySystem, TriangSystem, WheelSystem
+
+
+class TestWitnessBasics:
+    def test_green_witness_properties(self):
+        witness = Witness(Color.GREEN, frozenset({1, 2}))
+        assert witness.is_green and not witness.is_red
+        assert len(witness) == 2
+
+    def test_red_witness_properties(self):
+        witness = Witness(Color.RED, frozenset({3}))
+        assert witness.is_red and not witness.is_green
+
+
+class TestWitnessValidation:
+    def setup_method(self):
+        self.system = MajoritySystem(5)
+
+    def test_valid_green_witness(self):
+        coloring = Coloring(5, red=[4, 5])
+        witness = Witness(Color.GREEN, frozenset({1, 2, 3}))
+        witness.validate(self.system, coloring)
+
+    def test_valid_red_witness(self):
+        coloring = Coloring(5, red=[1, 2, 3])
+        witness = Witness(Color.RED, frozenset({1, 2, 3}))
+        witness.validate(self.system, coloring)
+
+    def test_wrong_color_claim_rejected(self):
+        coloring = Coloring(5, red=[1])
+        witness = Witness(Color.GREEN, frozenset({1, 2, 3}))
+        with pytest.raises(InvalidWitnessError):
+            witness.validate(self.system, coloring)
+
+    def test_green_witness_without_quorum_rejected(self):
+        coloring = Coloring(5)
+        witness = Witness(Color.GREEN, frozenset({1, 2}))
+        with pytest.raises(InvalidWitnessError):
+            witness.validate(self.system, coloring)
+
+    def test_red_witness_that_is_not_transversal_rejected(self):
+        coloring = Coloring(5, red=[1, 2])
+        witness = Witness(Color.RED, frozenset({1, 2}))
+        with pytest.raises(InvalidWitnessError):
+            witness.validate(self.system, coloring)
+
+    def test_is_valid_boolean_form(self):
+        coloring = Coloring(5, red=[4, 5])
+        good = Witness(Color.GREEN, frozenset({1, 2, 3}))
+        bad = Witness(Color.GREEN, frozenset({4, 5, 1}))
+        assert good.is_valid(self.system, coloring)
+        assert not bad.is_valid(self.system, coloring)
+
+    def test_red_transversal_witness_on_wheel(self):
+        # On the Wheel, the hub alone is not a transversal, but hub plus any
+        # rim element is (it hits every spoke and the rim).
+        wheel = WheelSystem(5)
+        coloring = Coloring(5, red=[1, 2])
+        assert Witness(Color.RED, frozenset({1, 2})).is_valid(wheel, coloring)
+        assert not Witness(Color.RED, frozenset({1})).is_valid(wheel, coloring)
+
+
+class TestReferenceWitness:
+    def test_green_when_live_quorum_exists(self):
+        system = TriangSystem(3)
+        coloring = Coloring(system.n, red=[2])
+        witness = reference_witness(system, coloring)
+        assert witness.is_green
+        witness.validate(system, coloring)
+
+    def test_red_when_no_live_quorum(self):
+        system = MajoritySystem(5)
+        coloring = Coloring(5, red=[1, 2, 3, 4])
+        witness = reference_witness(system, coloring)
+        assert witness.is_red
+        witness.validate(system, coloring)
+
+    def test_reference_witness_always_valid(self, small_nd_system, rng):
+        for _ in range(20):
+            coloring = Coloring.random(small_nd_system.n, 0.5, rng)
+            reference_witness(small_nd_system, coloring).validate(
+                small_nd_system, coloring
+            )

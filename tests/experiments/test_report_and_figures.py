@@ -1,0 +1,96 @@
+"""Tests for the reporting helpers and figure renderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    render_all_figures,
+    render_crumbling_wall,
+    render_hqs,
+    render_tree,
+)
+from repro.experiments.report import Row, render_table, violations
+from repro.systems import HQS, TreeSystem, TriangSystem
+
+
+class TestRow:
+    def test_relation_satisfaction(self):
+        assert Row("e", "s", "q", measured=5.0, paper=6.0, relation="<=").satisfied
+        assert not Row("e", "s", "q", measured=7.0, paper=6.0, relation="<=").satisfied
+        assert Row("e", "s", "q", measured=7.0, paper=6.0, relation=">=").satisfied
+        assert Row("e", "s", "q", measured=6.05, paper=6.0, relation="==").satisfied
+        assert Row("e", "s", "q", measured=9.0, paper=6.0, relation="~").satisfied is None
+        assert Row("e", "s", "q", measured=9.0, paper=None).satisfied is None
+
+    def test_tolerance_is_relative(self):
+        # 2% slack on the paper value.
+        assert Row("e", "s", "q", measured=102.0, paper=101.0, relation="<=").satisfied
+        assert not Row("e", "s", "q", measured=110.0, paper=101.0, relation="<=").satisfied
+
+    def test_explicit_statistical_tolerance(self):
+        # Monte-Carlo drivers may add their CI half-width as extra slack.
+        tight = Row("e", "s", "q", measured=20.0, paper=19.0, relation="<=")
+        slack = Row("e", "s", "q", measured=20.0, paper=19.0, relation="<=", tolerance=1.0)
+        assert not tight.satisfied
+        assert slack.satisfied
+
+    def test_params_formatting(self):
+        row = Row("e", "s", "q", measured=1.0, params={"n": 9, "p": 0.5})
+        assert row.formatted_params() == "n=9, p=0.5"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        rows = [
+            Row("exp", "Maj", "probes", measured=3.14159, paper=3.0, relation="<=",
+                params={"n": 9}),
+        ]
+        text = render_table(rows, title="My Table")
+        assert "My Table" in text
+        assert "exp" in text and "Maj" in text and "n=9" in text
+        assert "3.142" in text and "NO" in text
+
+    def test_violations_filter(self):
+        rows = [
+            Row("e", "s", "ok", measured=1.0, paper=2.0, relation="<="),
+            Row("e", "s", "bad", measured=3.0, paper=2.0, relation="<="),
+            Row("e", "s", "shape", measured=3.0, paper=2.0, relation="~"),
+        ]
+        assert [r.quantity for r in violations(rows)] == ["bad"]
+
+    def test_empty_rows_render(self):
+        assert "experiment" in render_table([])
+
+
+class TestFigureRendering:
+    def test_triang_figure_marks_a_quorum(self):
+        triang = TriangSystem(4)
+        text = render_crumbling_wall(triang)
+        assert "row  1" in text and "row  4" in text
+        assert text.count("[") >= 4  # at least the quorum elements bracketed
+
+    def test_tree_figure_levels(self):
+        text = render_tree(TreeSystem(2))
+        assert "level 0" in text and "level 2" in text
+
+    def test_hqs_figure_gate_rows(self):
+        text = render_hqs(HQS(2))
+        assert "gates at depth 1" in text
+        assert "[*]" in text
+
+    def test_explicit_quorum_is_respected(self):
+        triang = TriangSystem(3)
+        quorum = next(iter(triang.quorums()))
+        text = render_crumbling_wall(triang, quorum)
+        for element in quorum:
+            assert f"[{element:>2}]" in text
+
+    def test_foreign_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            render_tree(TreeSystem(1), frozenset({99}))
+
+    def test_render_all_figures_mentions_each_system(self):
+        text = render_all_figures()
+        assert "Figure 1" in text and "Figure 2" in text and "Figure 3" in text
+        assert "Triang" in text and "Tree" in text and "HQS" in text

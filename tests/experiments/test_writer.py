@@ -1,0 +1,54 @@
+"""Tests for the Markdown report writer."""
+
+from __future__ import annotations
+
+from repro.experiments.report import Row
+from repro.experiments.writer import (
+    build_markdown_report,
+    rows_to_markdown,
+    write_markdown_report,
+)
+
+
+class TestRowsToMarkdown:
+    def test_table_structure(self):
+        rows = [
+            Row("table1", "Maj", "avg probes", measured=9.5, paper=10.0, relation="<=",
+                params={"n": 11}),
+            Row("table1", "Maj", "shape only", measured=3.0, paper=None),
+        ]
+        text = rows_to_markdown(rows, "My section")
+        assert text.startswith("## My section")
+        assert "| experiment | system |" in text
+        assert "| table1 | Maj | n=11 | avg probes | 9.5 | <= | 10 | yes |" in text
+        assert "All 1 checked relations hold (2 rows total)." in text
+
+    def test_violations_are_flagged(self):
+        rows = [
+            Row("e", "s", "bad", measured=12.0, paper=10.0, relation="<="),
+        ]
+        text = rows_to_markdown(rows, "Broken")
+        assert "**NO**" in text
+        assert "1 of 1 checked relations violated" in text
+
+    def test_pipe_characters_escaped_in_quantity(self):
+        rows = [Row("e", "s", "a|b", measured=1.0)]
+        assert "a/b" in rows_to_markdown(rows, "t")
+
+
+class TestFullReport:
+    def test_quick_report_contains_key_sections(self):
+        text = build_markdown_report(trials=120, include_slow=False)
+        assert "# Probe-complexity reproduction report" in text
+        assert "Maj3 worked example" in text
+        assert "Theorem 3.3" in text
+        assert "Technical lemmas" in text
+        assert "**NO**" not in text  # no violated relations in the quick run
+
+    def test_write_to_disk(self, tmp_path):
+        destination = write_markdown_report(
+            tmp_path / "report.md", trials=120, include_slow=False
+        )
+        content = destination.read_text()
+        assert destination.exists()
+        assert content.startswith("# Probe-complexity reproduction report")

@@ -1,0 +1,115 @@
+"""Tests for the simulated cluster and its probe-oracle adapter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import ProbeCW, ProbeMaj
+from repro.core.coloring import Color, Coloring
+from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
+from repro.simulation.failures import AdversarialFailures, BernoulliFailures, CrashRecoveryProcess
+from repro.simulation.latency import ConstantLatency, UniformLatency
+from repro.simulation.montecarlo import run_cluster_trials
+from repro.systems import MajoritySystem, TriangSystem
+
+
+class TestSimulatedCluster:
+    def test_initial_failures_applied(self):
+        cluster = SimulatedCluster(5, failure_model=AdversarialFailures({2, 4}), seed=1)
+        assert not cluster.is_up(2)
+        assert cluster.is_up(1)
+        assert cluster.live_elements() == {1, 3, 5}
+        assert cluster.snapshot_coloring() == Coloring(5, red=[2, 4])
+
+    def test_probe_reports_status_and_advances_clock(self):
+        cluster = SimulatedCluster(
+            3, failure_model=AdversarialFailures({3}), latency=ConstantLatency(2.0), seed=2
+        )
+        assert cluster.probe(1) is Color.GREEN
+        assert cluster.probe(3) is Color.RED
+        assert cluster.now == 4.0
+        assert cluster.total_probes == 2
+        assert cluster.node(1).probes_served == 1
+
+    def test_fail_recover_and_apply_coloring(self):
+        cluster = SimulatedCluster(4, seed=3)
+        cluster.fail(2)
+        assert not cluster.is_up(2)
+        cluster.recover(2)
+        assert cluster.is_up(2)
+        cluster.apply_coloring(Coloring(4, red=[1, 4]))
+        assert cluster.live_elements() == {2, 3}
+        with pytest.raises(ValueError):
+            cluster.apply_coloring(Coloring(3))
+
+    def test_bounds_checked(self):
+        cluster = SimulatedCluster(3, seed=4)
+        with pytest.raises(ValueError):
+            cluster.probe(7)
+        with pytest.raises(ValueError):
+            SimulatedCluster(0)
+
+    def test_crash_recovery_dynamics_change_state_over_time(self):
+        dynamics = CrashRecoveryProcess(crash_rate=5.0, recovery_rate=5.0)
+        cluster = SimulatedCluster(10, dynamics=dynamics, latency=ConstantLatency(1.0), seed=5)
+        transitions_before = sum(
+            cluster.node(e).crashes + cluster.node(e).recoveries for e in range(1, 11)
+        )
+        for _ in range(30):
+            cluster.probe(1)
+        transitions_after = sum(
+            cluster.node(e).crashes + cluster.node(e).recoveries for e in range(1, 11)
+        )
+        assert transitions_after > transitions_before
+
+
+class TestClusterProbeOracle:
+    def test_caching_and_elapsed_time(self):
+        cluster = SimulatedCluster(
+            5, failure_model=AdversarialFailures({5}), latency=ConstantLatency(1.5), seed=6
+        )
+        oracle = ClusterProbeOracle(cluster)
+        oracle.probe(5)
+        oracle.probe(5)
+        oracle.probe(1)
+        assert oracle.probe_count == 2
+        assert oracle.sequence == [5, 1]
+        assert oracle.elapsed == 3.0
+        assert oracle.known[5] is Color.RED
+
+    def test_algorithms_run_against_the_cluster(self):
+        system = TriangSystem(4)
+        cluster = SimulatedCluster(
+            system.n,
+            failure_model=BernoulliFailures(0.4),
+            latency=UniformLatency(0.5, 1.5),
+            seed=7,
+        )
+        oracle = ClusterProbeOracle(cluster)
+        run = ProbeCW(system).run(oracle, rng=random.Random(8))
+        run.witness.validate(system, cluster.snapshot_coloring())
+        assert oracle.probe_count <= system.n
+        assert oracle.elapsed > 0
+
+
+class TestMonteCarloBatches:
+    def test_batch_statistics_and_availability(self):
+        system = MajoritySystem(9)
+        result = run_cluster_trials(
+            ProbeMaj(system),
+            BernoulliFailures(0.5),
+            trials=300,
+            seed=9,
+            validate=True,
+        )
+        assert result.trials == 300
+        assert 5 <= result.probes.mean <= 9
+        # For Maj at p = 1/2 availability failure is exactly 1/2.
+        assert abs(result.availability_failure_rate - 0.5) < 0.1
+        assert result.elapsed.mean >= result.probes.mean  # unit latency per probe
+
+    def test_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            run_cluster_trials(ProbeMaj(MajoritySystem(3)), BernoulliFailures(0.5), trials=0)

@@ -1,0 +1,117 @@
+"""Tests for the discrete-event simulator and latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.events import EventSimulator
+from repro.simulation.latency import ConstantLatency, ExponentialLatency, UniformLatency
+
+
+class TestEventSimulator:
+    def test_events_run_in_time_order(self):
+        simulator = EventSimulator()
+        order: list[str] = []
+        simulator.schedule(5.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.schedule(3.0, lambda: order.append("middle"))
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+        assert simulator.now == 5.0
+        assert simulator.processed_events == 3
+
+    def test_ties_break_by_scheduling_order(self):
+        simulator = EventSimulator()
+        order: list[int] = []
+        simulator.schedule(1.0, lambda: order.append(1))
+        simulator.schedule(1.0, lambda: order.append(2))
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_run_until_leaves_future_events(self):
+        simulator = EventSimulator()
+        fired: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            simulator.schedule(t, lambda t=t: fired.append(t))
+        executed = simulator.run_until(2.0)
+        assert executed == 2
+        assert fired == [1.0, 2.0]
+        assert simulator.now == 2.0
+        assert simulator.pending_events == 1
+
+    def test_cancellation(self):
+        simulator = EventSimulator()
+        fired: list[str] = []
+        event = simulator.schedule(1.0, lambda: fired.append("cancelled"))
+        simulator.schedule(2.0, lambda: fired.append("kept"))
+        simulator.cancel(event)
+        simulator.run()
+        assert fired == ["kept"]
+
+    def test_events_can_schedule_events(self):
+        simulator = EventSimulator()
+        fired: list[float] = []
+
+        def chain():
+            fired.append(simulator.now)
+            if len(fired) < 3:
+                simulator.schedule(1.0, chain)
+
+        simulator.schedule(1.0, chain)
+        simulator.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_and_advance(self):
+        simulator = EventSimulator()
+        simulator.advance(4.0)
+        assert simulator.now == 4.0
+        fired: list[float] = []
+        simulator.schedule_at(6.0, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [6.0]
+
+    def test_past_scheduling_rejected(self):
+        simulator = EventSimulator()
+        simulator.advance(5.0)
+        with pytest.raises(ValueError):
+            simulator.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            simulator.advance(-1.0)
+
+    def test_run_with_max_events(self):
+        simulator = EventSimulator()
+        for t in range(5):
+            simulator.schedule(float(t + 1), lambda: None)
+        assert simulator.run(max_events=2) == 2
+        assert simulator.pending_events == 3
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0)) == 2.5
+        assert model.mean() == 2.5
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform(self):
+        model = UniformLatency(1.0, 3.0)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert abs(sum(samples) / len(samples) - model.mean()) < 0.2
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+
+    def test_exponential(self):
+        model = ExponentialLatency(2.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(3000)]
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.2
+        assert all(s >= 0 for s in samples)
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0)

@@ -1,0 +1,109 @@
+"""Tests for the failure models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.failures import (
+    AdversarialFailures,
+    BernoulliFailures,
+    CorrelatedGroupFailures,
+    CrashRecoveryProcess,
+    FixedCountFailures,
+)
+
+
+class TestBernoulliFailures:
+    def test_extremes(self, rng):
+        assert BernoulliFailures(0.0).sample_failed(10, rng) == frozenset()
+        assert BernoulliFailures(1.0).sample_failed(10, rng) == frozenset(range(1, 11))
+
+    def test_average_failure_rate(self):
+        rng = random.Random(3)
+        model = BernoulliFailures(0.25)
+        total = sum(len(model.sample_failed(40, rng)) for _ in range(500))
+        assert abs(total / (40 * 500) - 0.25) < 0.03
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliFailures(1.2)
+
+    def test_sample_coloring(self, rng):
+        coloring = BernoulliFailures(0.5).sample_coloring(8, rng)
+        assert coloring.n == 8
+
+
+class TestFixedCountFailures:
+    def test_exact_count(self, rng):
+        model = FixedCountFailures(3)
+        for _ in range(20):
+            assert len(model.sample_failed(10, rng)) == 3
+
+    def test_count_larger_than_universe_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FixedCountFailures(5).sample_failed(3, rng)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FixedCountFailures(-1)
+
+
+class TestAdversarialFailures:
+    def test_fixed_set_returned(self, rng):
+        model = AdversarialFailures({2, 5})
+        assert model.sample_failed(6, rng) == {2, 5}
+
+    def test_set_outside_universe_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AdversarialFailures({9}).sample_failed(5, rng)
+
+
+class TestCorrelatedGroupFailures:
+    def test_groups_fail_atomically(self, rng):
+        model = CorrelatedGroupFailures([{1, 2, 3}, {4, 5}], group_p=0.5)
+        for _ in range(50):
+            failed = model.sample_failed(6, rng)
+            assert failed & {1, 2, 3} in (frozenset(), frozenset({1, 2, 3}))
+            assert failed & {4, 5} in (frozenset(), frozenset({4, 5}))
+            assert 6 not in failed
+
+    def test_extreme_probabilities(self, rng):
+        never = CorrelatedGroupFailures([{1, 2}], group_p=0.0)
+        always = CorrelatedGroupFailures([{1, 2}], group_p=1.0)
+        assert never.sample_failed(3, rng) == frozenset()
+        assert always.sample_failed(3, rng) == {1, 2}
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            CorrelatedGroupFailures([{1}], group_p=2.0)
+        with pytest.raises(ValueError):
+            CorrelatedGroupFailures([{9}], group_p=1.0).sample_failed(3, rng)
+
+
+class TestCrashRecoveryProcess:
+    def test_stationary_probability(self):
+        process = CrashRecoveryProcess(crash_rate=1.0, recovery_rate=3.0)
+        assert process.stationary_failure_probability == 0.25
+
+    def test_initial_state_matches_stationary_distribution(self):
+        process = CrashRecoveryProcess(crash_rate=1.0, recovery_rate=1.0)
+        rng = random.Random(5)
+        total = sum(len(process.initial_failed(20, rng)) for _ in range(500))
+        assert abs(total / (20 * 500) - 0.5) < 0.05
+
+    def test_transition_times_positive(self, rng):
+        process = CrashRecoveryProcess(crash_rate=0.5, recovery_rate=2.0)
+        for up in (True, False):
+            assert process.next_transition(up, rng) > 0
+
+    def test_zero_crash_rate_never_crashes(self, rng):
+        process = CrashRecoveryProcess(crash_rate=0.0, recovery_rate=1.0)
+        assert process.next_transition(True, rng) == float("inf")
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            CrashRecoveryProcess(crash_rate=-1.0, recovery_rate=1.0)
+        with pytest.raises(ValueError):
+            CrashRecoveryProcess(crash_rate=1.0, recovery_rate=0.0)

@@ -1,0 +1,136 @@
+"""Tests for the QuorumSystem base class and explicit systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coloring import Color, Coloring
+from repro.systems import (
+    ExplicitQuorumSystem,
+    MajoritySystem,
+    StarSystem,
+    WheelSystem,
+    intersection_property,
+    is_antichain,
+)
+
+
+class TestExplicitQuorumSystem:
+    def test_minimal_reduction(self):
+        # {1,2} makes {1,2,3} redundant.
+        system = ExplicitQuorumSystem(3, [{1, 2}, {1, 2, 3}])
+        assert list(system.quorums()) == [frozenset({1, 2})]
+        assert system.quorum_count() == 1
+
+    def test_contains_and_find(self):
+        system = ExplicitQuorumSystem(4, [{1, 2}, {3, 4}])
+        assert system.contains_quorum({1, 2, 3})
+        assert system.find_quorum_within({3, 4}) == {3, 4}
+        assert system.find_quorum_within({1, 3}) is None
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(ValueError):
+            ExplicitQuorumSystem(3, [])
+
+    def test_rejects_empty_quorum(self):
+        with pytest.raises(ValueError):
+            ExplicitQuorumSystem(3, [set()])
+
+    def test_rejects_out_of_universe_quorum(self):
+        with pytest.raises(ValueError):
+            ExplicitQuorumSystem(3, [{1, 4}])
+
+    def test_is_quorum_checks_minimality(self):
+        system = ExplicitQuorumSystem(3, [{1, 2}])
+        assert system.is_quorum({1, 2})
+        assert not system.is_quorum({1, 2, 3})
+        assert not system.is_quorum({1})
+
+
+class TestStructuralChecks:
+    def test_intersection_property_helpers(self):
+        assert intersection_property([{1, 2}, {2, 3}, {1, 3}])
+        assert not intersection_property([{1}, {2}])
+        assert is_antichain([{1, 2}, {2, 3}])
+        assert not is_antichain([{1}, {1, 2}])
+
+    def test_coterie_and_nd_checks(self, small_nd_system):
+        assert small_nd_system.has_intersection_property()
+        assert small_nd_system.is_coterie()
+        assert small_nd_system.is_nondominated()
+
+    def test_star_is_dominated_coterie(self):
+        star = StarSystem(4)
+        assert star.is_coterie()
+        assert not star.is_nondominated()
+
+    def test_wheel_dominates_star(self):
+        star = StarSystem(4)
+        wheel = WheelSystem(4)
+        assert wheel.dominates(star)
+        assert not star.dominates(wheel)
+
+    def test_domination_requires_same_universe(self):
+        with pytest.raises(ValueError):
+            WheelSystem(4).dominates(WheelSystem(5))
+
+    def test_self_domination_is_false(self):
+        wheel = WheelSystem(4)
+        assert not wheel.dominates(WheelSystem(4))
+
+
+class TestTransversalsAndWitnesses:
+    def test_transversal_detection(self):
+        maj = MajoritySystem(5)
+        assert maj.is_transversal({1, 2, 3})
+        assert not maj.is_transversal({1, 2})
+
+    def test_find_green_and_red_quorum(self):
+        maj = MajoritySystem(5)
+        coloring = Coloring(5, red=[1, 2, 3])
+        assert maj.find_green_quorum(coloring) is None
+        red_quorum = maj.find_red_quorum(coloring)
+        assert red_quorum is not None and red_quorum <= {1, 2, 3}
+
+    def test_witness_color(self):
+        maj = MajoritySystem(5)
+        assert maj.witness_color(Coloring(5, red=[1])) is Color.GREEN
+        assert maj.witness_color(Coloring(5, red=[1, 2, 3])) is Color.RED
+
+    def test_coloring_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MajoritySystem(5).has_live_quorum(Coloring(4))
+
+    def test_nd_coterie_red_transversal_contains_red_quorum(self, small_nd_system, rng):
+        """Lemma 2.1: for an ND coterie, every transversal contains a quorum."""
+        system = small_nd_system
+        for _ in range(15):
+            coloring = Coloring.random(system.n, 0.5, rng)
+            if not system.has_live_quorum(coloring):
+                reds = coloring.red_elements
+                assert system.is_transversal(reds)
+                assert system.find_quorum_within(reds) is not None
+
+
+class TestEnumerationFallback:
+    def test_default_enumeration_matches_specialised(self):
+        # Compare the brute-force enumeration (via an explicit wrapper around
+        # contains_quorum) against the specialised enumerator.
+        wheel = WheelSystem(5)
+        explicit = wheel.to_explicit()
+        assert set(explicit.quorums()) == set(wheel.quorums())
+
+    def test_quorum_sizes_sorted(self):
+        assert WheelSystem(5).quorum_sizes() == [2, 2, 2, 2, 4]
+
+    def test_min_max_quorum_size(self):
+        wheel = WheelSystem(6)
+        assert wheel.min_quorum_size() == 2
+        assert wheel.max_quorum_size() == 5
+
+    def test_universe_property(self):
+        assert MajoritySystem(3).universe == {1, 2, 3}
+
+    def test_invalid_universe_size(self):
+        with pytest.raises(ValueError):
+            MajoritySystem(-3)

@@ -1,0 +1,100 @@
+"""Tests for the monotone boolean-function view of quorum systems."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import Color
+from repro.systems import (
+    CharacteristicFunction,
+    ExplicitQuorumSystem,
+    MajoritySystem,
+    Ternary,
+    TriangSystem,
+    WheelSystem,
+    dual_system,
+    systems_equal,
+)
+from repro.systems.tree import TreeSystem
+
+
+class TestEvaluation:
+    def test_total_evaluation_from_set_and_mapping(self):
+        f = CharacteristicFunction(MajoritySystem(3))
+        assert f.evaluate({1, 2})
+        assert not f.evaluate({2})
+        assert f.evaluate({1: True, 2: False, 3: True})
+
+    def test_partial_evaluation_three_values(self):
+        f = CharacteristicFunction(MajoritySystem(3))
+        assert f.evaluate_partial({1, 2}, set()) is Ternary.TRUE
+        assert f.evaluate_partial(set(), {1, 2}) is Ternary.FALSE
+        assert f.evaluate_partial({1}, {2}) is Ternary.UNKNOWN
+
+    def test_partial_evaluation_rejects_overlap(self):
+        f = CharacteristicFunction(MajoritySystem(3))
+        with pytest.raises(ValueError):
+            f.evaluate_partial({1}, {1})
+
+    def test_witness_settled(self):
+        f = CharacteristicFunction(WheelSystem(4))
+        assert f.witness_settled({1, 2}, set()) is Color.GREEN
+        assert f.witness_settled(set(), {1, 2}) is Color.RED
+        assert f.witness_settled({2}, {3}) is None
+
+
+class TestStructuralProperties:
+    def test_monotonicity_of_paper_systems(self, small_nd_system):
+        if small_nd_system.n > 10:
+            pytest.skip("monotonicity check enumeration too large")
+        assert CharacteristicFunction(small_nd_system).is_monotone()
+
+    def test_self_duality_characterizes_nd(self, small_nd_system):
+        assert CharacteristicFunction(small_nd_system).is_self_dual()
+
+    def test_dominated_coterie_is_not_self_dual(self):
+        star = ExplicitQuorumSystem(4, [{1, 2}, {1, 3}, {1, 4}])
+        assert not CharacteristicFunction(star).is_self_dual()
+
+    def test_minterms_are_quorums(self):
+        system = TriangSystem(3)
+        f = CharacteristicFunction(system)
+        assert set(f.minterms()) == set(system.quorums())
+
+    def test_maxterms_are_minimal_transversals(self):
+        system = MajoritySystem(3)
+        f = CharacteristicFunction(system)
+        # For Maj3 the minimal transversals are again the pairs.
+        assert set(f.maxterms()) == set(system.quorums())
+
+
+class TestDuality:
+    def test_dual_of_nd_coterie_is_itself(self, small_nd_system):
+        if small_nd_system.n > 9:
+            pytest.skip("dual enumeration too large")
+        dual = dual_system(small_nd_system)
+        assert systems_equal(dual, small_nd_system)
+
+    def test_dual_of_dominated_star_adds_the_rim(self):
+        star = ExplicitQuorumSystem(4, [{1, 2}, {1, 3}, {1, 4}])
+        dual = dual_system(star)
+        assert frozenset({1}) in set(dual.quorums())
+        assert frozenset({2, 3, 4}) in set(dual.quorums())
+
+    def test_systems_equal_requires_same_universe(self):
+        assert not systems_equal(MajoritySystem(3), MajoritySystem(5))
+
+
+class TestAgreementWithContainsQuorum:
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_characteristic_function_agrees_with_system(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        system = TreeSystem(2)
+        f = CharacteristicFunction(system)
+        subset = frozenset(e for e in system.universe if rng.random() < 0.5)
+        assert f.evaluate(subset) == system.contains_quorum(subset)

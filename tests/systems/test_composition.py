@@ -1,0 +1,87 @@
+"""Tests for coterie composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import (
+    CompositeSystem,
+    MajoritySystem,
+    SingletonSystem,
+    TriangSystem,
+    systems_equal,
+)
+from repro.systems.hqs import HQS
+
+
+class TestCompositeStructure:
+    def test_universe_size_is_sum_of_inner_sizes(self):
+        composite = CompositeSystem(
+            MajoritySystem(3), [MajoritySystem(3), SingletonSystem(1), TriangSystem(2)]
+        )
+        assert composite.n == 3 + 1 + 3
+
+    def test_block_and_coordinate_translation(self):
+        composite = CompositeSystem(MajoritySystem(3), [MajoritySystem(3)] * 3)
+        assert composite.block(2) == {4, 5, 6}
+        assert composite.to_inner(2, 5) == 2
+        assert composite.from_inner(3, 1) == 7
+
+    def test_translation_bounds(self):
+        composite = CompositeSystem(MajoritySystem(3), [MajoritySystem(3)] * 3)
+        with pytest.raises(ValueError):
+            composite.to_inner(1, 5)
+        with pytest.raises(ValueError):
+            composite.from_inner(4, 1)
+        with pytest.raises(ValueError):
+            composite.block(0)
+
+    def test_inner_count_must_match_outer_universe(self):
+        with pytest.raises(ValueError):
+            CompositeSystem(MajoritySystem(3), [MajoritySystem(3)] * 2)
+
+
+class TestCompositeQuorums:
+    def test_composition_of_maj3_is_hqs_height2(self):
+        composite = CompositeSystem(MajoritySystem(3), [MajoritySystem(3)] * 3)
+        assert systems_equal(composite, HQS(2))
+
+    def test_composition_with_singletons_is_outer_system(self):
+        outer = TriangSystem(2)
+        composite = CompositeSystem(outer, [SingletonSystem(1)] * outer.n)
+        assert systems_equal(composite, outer)
+
+    def test_contains_and_find(self):
+        composite = CompositeSystem(MajoritySystem(3), [MajoritySystem(3)] * 3)
+        # Majorities of blocks 1 and 2.
+        assert composite.contains_quorum({1, 2, 4, 5})
+        quorum = composite.find_quorum_within({1, 2, 3, 4, 5})
+        assert quorum is not None and composite.is_quorum(quorum)
+        assert composite.find_quorum_within({1, 4, 7}) is None
+
+    def test_composition_preserves_nondomination(self):
+        composite = CompositeSystem(
+            MajoritySystem(3), [MajoritySystem(3), SingletonSystem(1), MajoritySystem(3)]
+        )
+        assert composite.is_coterie()
+        assert composite.is_nondominated()
+
+
+class TestSelfComposition:
+    def test_zero_levels_returns_base(self):
+        from repro.systems.composition import self_composition
+
+        base = MajoritySystem(3)
+        assert self_composition(base, 0) is base
+
+    def test_one_level_matches_hqs(self):
+        from repro.systems.composition import self_composition
+
+        composed = self_composition(MajoritySystem(3), 1)
+        assert systems_equal(composed, HQS(2))
+
+    def test_negative_levels_rejected(self):
+        from repro.systems.composition import self_composition
+
+        with pytest.raises(ValueError):
+            self_composition(MajoritySystem(3), -1)

@@ -1,0 +1,118 @@
+"""Tests for the Crumbling Walls family (including Triang)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.crumbling_walls import (
+    CrumblingWall,
+    TriangSystem,
+    uniform_wall,
+    wheel_as_crumbling_wall,
+)
+
+
+class TestConstruction:
+    def test_rows_partition_universe(self):
+        wall = CrumblingWall([1, 3, 2])
+        assert wall.n == 6
+        assert wall.rows == [frozenset({1}), frozenset({2, 3, 4}), frozenset({5, 6})]
+        assert wall.row(2) == {2, 3, 4}
+        assert wall.row_of(4) == 2
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            CrumblingWall([])
+        with pytest.raises(ValueError):
+            CrumblingWall([1, 0, 2])
+
+    def test_row_index_bounds(self):
+        wall = CrumblingWall([1, 2])
+        with pytest.raises(IndexError):
+            wall.row(3)
+        with pytest.raises(ValueError):
+            wall.row_of(9)
+
+    def test_nd_shape_criterion(self):
+        assert CrumblingWall([1, 2, 3]).is_nd_shape()
+        assert not CrumblingWall([2, 2]).is_nd_shape()
+        assert not CrumblingWall([1, 1, 2]).is_nd_shape()
+
+    def test_max_row_width(self):
+        assert CrumblingWall([1, 4, 2]).max_row_width() == 4
+
+
+class TestQuorumStructure:
+    def test_quorum_count_formula_matches_enumeration(self):
+        wall = CrumblingWall([1, 2, 3, 2])
+        assert wall.quorum_count() == sum(1 for _ in wall.quorums())
+
+    def test_quorum_shape(self):
+        wall = CrumblingWall([1, 2, 2])
+        # A quorum from row 1 is {1} plus one element from each lower row.
+        assert wall.contains_quorum({1, 2, 4})
+        # A quorum from the last row is the full row alone.
+        assert wall.contains_quorum({4, 5})
+        # Full middle row plus one from the bottom row.
+        assert wall.contains_quorum({2, 3, 5})
+        # Full row without representatives below is not enough.
+        assert not wall.contains_quorum({2, 3})
+        assert not wall.contains_quorum({1, 2})
+
+    def test_every_enumerated_quorum_is_minimal(self):
+        wall = CrumblingWall([1, 2, 3])
+        assert all(wall.is_quorum(q) for q in wall.quorums())
+
+    def test_find_quorum_within_returns_valid_quorum(self):
+        wall = CrumblingWall([1, 3, 2])
+        subset = {1, 2, 5, 6}
+        quorum = wall.find_quorum_within(subset)
+        assert quorum is not None and quorum <= subset
+        assert wall.is_quorum(quorum)
+
+    def test_find_quorum_within_none_when_absent(self):
+        wall = CrumblingWall([1, 2, 2])
+        assert wall.find_quorum_within({2, 4}) is None
+
+    def test_min_max_quorum_sizes(self):
+        wall = CrumblingWall([1, 4, 3])
+        # From row 1: 1 + 2 reps = 3; row 2: 4 + 1 = 5; row 3: 3.
+        assert wall.min_quorum_size() == 3
+        assert wall.max_quorum_size() == 5
+
+    def test_contains_quorum_rejects_foreign_elements(self):
+        with pytest.raises(ValueError):
+            CrumblingWall([1, 2]).contains_quorum({7})
+
+
+class TestTriang:
+    def test_dimensions(self):
+        triang = TriangSystem(4)
+        assert triang.n == 10
+        assert triang.depth == 4
+        assert triang.widths == [1, 2, 3, 4]
+
+    def test_uniform_quorum_size(self):
+        triang = TriangSystem(4)
+        assert triang.min_quorum_size() == triang.max_quorum_size() == 4
+        assert all(len(q) == 4 for q in triang.quorums())
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TriangSystem(0)
+
+
+class TestFactories:
+    def test_wheel_as_crumbling_wall(self):
+        wall = wheel_as_crumbling_wall(5)
+        assert wall.widths == [1, 4]
+        assert wall.is_nd_shape()
+
+    def test_uniform_wall(self):
+        wall = uniform_wall(rows=4, width=3)
+        assert wall.widths == [1, 3, 3, 3]
+        assert wall.num_rows == 4
+        with pytest.raises(ValueError):
+            uniform_wall(rows=0, width=3)
+        with pytest.raises(ValueError):
+            uniform_wall(rows=3, width=1)

@@ -1,0 +1,101 @@
+"""Tests for the finite-projective-plane quorum system."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms.generic import CandidateQuorumProbe, SequentialScan
+from repro.core.coloring import Coloring
+from repro.core.metrics import is_uniform, optimal_load, uniform_strategy_load
+from repro.systems.fpp import ProjectivePlaneSystem
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("order", [2, 3, 5])
+    def test_point_and_line_counts(self, order):
+        plane = ProjectivePlaneSystem(order)
+        expected = order * order + order + 1
+        assert plane.n == expected
+        assert plane.quorum_count() == expected
+        assert all(len(line) == order + 1 for line in plane.quorums())
+
+    def test_non_prime_order_rejected(self):
+        for bad in (0, 1, 4, 6, 9):
+            with pytest.raises(ValueError):
+                ProjectivePlaneSystem(bad)
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_every_point_lies_on_q_plus_one_lines(self, order):
+        plane = ProjectivePlaneSystem(order)
+        for element in plane.universe:
+            assert len(plane.lines_through(element)) == order + 1
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_any_two_lines_meet_in_exactly_one_point(self, order):
+        plane = ProjectivePlaneSystem(order)
+        for a, b in itertools.combinations(plane.quorums(), 2):
+            assert len(a & b) == 1
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_any_two_points_lie_on_exactly_one_common_line(self, order):
+        plane = ProjectivePlaneSystem(order)
+        for x, y in itertools.combinations(sorted(plane.universe), 2):
+            common = [line for line in plane.quorums() if x in line and y in line]
+            assert len(common) == 1
+
+
+class TestQuorumSemantics:
+    def test_fano_plane_structure(self):
+        # Order 2 gives the Fano plane: 7 points, 7 lines of size 3.
+        fano = ProjectivePlaneSystem(2)
+        assert fano.n == 7
+        assert fano.quorum_size == 3
+        assert fano.is_coterie()
+        assert is_uniform(fano)
+
+    def test_nondomination_depends_on_the_order(self):
+        # The Fano plane (order 2) is a nondominated coterie; larger planes
+        # are dominated — there are colorings of PG(2, 3) with neither a
+        # green nor a red line.
+        assert ProjectivePlaneSystem(2).is_nondominated()
+        assert not ProjectivePlaneSystem(3).is_nondominated()
+
+    def test_contains_and_find(self):
+        fano = ProjectivePlaneSystem(2)
+        some_line = next(iter(fano.quorums()))
+        assert fano.contains_quorum(some_line)
+        assert fano.find_quorum_within(some_line) == some_line
+        assert fano.find_quorum_within(set(itertools.islice(some_line, 2))) is None
+
+    def test_load_is_quorum_size_over_n(self):
+        # The perfectly balanced strategy gives load (q+1)/n ~ 1/sqrt(n),
+        # which is why Maekawa's construction is load-optimal.
+        fano = ProjectivePlaneSystem(2)
+        assert abs(uniform_strategy_load(fano) - 3 / 7) < 1e-9
+        assert optimal_load(fano) <= 3 / 7 + 1e-6
+
+
+class TestProbing:
+    def test_generic_algorithms_find_valid_witnesses(self):
+        plane = ProjectivePlaneSystem(3)  # n = 13
+        rng = random.Random(1)
+        for algorithm in (SequentialScan(plane), CandidateQuorumProbe(plane)):
+            for _ in range(40):
+                coloring = Coloring.random(plane.n, rng.choice([0.2, 0.5, 0.8]), rng)
+                run = algorithm.run_on(coloring, rng=rng, validate=True)
+                assert run.witness.is_green == plane.has_live_quorum(coloring)
+
+    def test_red_witness_is_transversal_not_necessarily_a_line(self):
+        plane = ProjectivePlaneSystem(2)
+        # Fail one point of every line: no live line remains, but the red set
+        # need not contain a full line.
+        red = set()
+        for line in plane.quorums():
+            red.add(min(line - red) if line - red else min(line))
+        coloring = Coloring(plane.n, red)
+        if not plane.has_live_quorum(coloring):
+            run = SequentialScan(plane).run_on(coloring, validate=True)
+            assert run.witness.is_red

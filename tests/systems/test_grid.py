@@ -1,0 +1,61 @@
+"""Tests for the Maekawa-style grid system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.grid import GridSystem
+
+
+class TestGridGeometry:
+    def test_square_by_default(self):
+        grid = GridSystem(3)
+        assert grid.rows == grid.cols == 3
+        assert grid.n == 9
+
+    def test_position_and_element_roundtrip(self):
+        grid = GridSystem(3, 4)
+        for element in range(1, grid.n + 1):
+            row, col = grid.position(element)
+            assert grid.element_at(row, col) == element
+
+    def test_row_and_column_sets(self):
+        grid = GridSystem(3)
+        assert grid.row_elements(2) == {4, 5, 6}
+        assert grid.col_elements(1) == {1, 4, 7}
+
+    def test_bounds_checked(self):
+        grid = GridSystem(2)
+        with pytest.raises(ValueError):
+            grid.position(9)
+        with pytest.raises(ValueError):
+            grid.element_at(3, 1)
+        with pytest.raises(ValueError):
+            GridSystem(0)
+
+
+class TestGridQuorums:
+    def test_quorum_is_row_plus_column(self):
+        grid = GridSystem(3)
+        assert grid.contains_quorum({4, 5, 6, 2, 8})  # row 2 + column 2
+        assert not grid.contains_quorum({4, 5, 6})  # row only
+        assert not grid.contains_quorum({1, 4, 7})  # column only
+
+    def test_quorum_count_and_size(self):
+        grid = GridSystem(3)
+        assert grid.quorum_count() == 9
+        assert grid.min_quorum_size() == grid.max_quorum_size() == 5
+        assert sum(1 for _ in grid.quorums()) == 9
+
+    def test_intersection_property(self):
+        assert GridSystem(3).has_intersection_property()
+
+    def test_find_quorum_within(self):
+        grid = GridSystem(2)
+        quorum = grid.find_quorum_within({1, 2, 3})
+        assert quorum == {1, 2, 3}
+        assert grid.find_quorum_within({1, 4}) is None
+
+    def test_foreign_elements_rejected(self):
+        with pytest.raises(ValueError):
+            GridSystem(2).contains_quorum({9})

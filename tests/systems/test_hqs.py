@@ -1,0 +1,101 @@
+"""Tests for the Hierarchical Quorum System."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.hqs import HQS
+
+
+class TestStructure:
+    def test_size_is_power_of_three(self):
+        assert HQS(0).n == 1
+        assert HQS(3).n == 27
+
+    def test_from_size(self):
+        assert HQS.from_size(9).height == 2
+        with pytest.raises(ValueError):
+            HQS.from_size(10)
+
+    def test_children_of_internal_nodes(self):
+        hqs = HQS(2)
+        assert hqs.children(0) == (1, 2, 3)
+        assert hqs.children(1) == (4, 5, 6)
+        assert hqs.children(4) == ()
+
+    def test_leaf_element_mapping_roundtrip(self):
+        hqs = HQS(2)
+        for element in range(1, hqs.n + 1):
+            leaf = hqs.element_to_leaf(element)
+            assert hqs.is_leaf_node(leaf)
+            assert hqs.leaf_to_element(leaf) == element
+
+    def test_leaves_under(self):
+        hqs = HQS(2)
+        assert hqs.leaves_under(1) == {1, 2, 3}
+        assert hqs.leaves_under(0) == set(range(1, 10))
+
+    def test_node_depth(self):
+        hqs = HQS(2)
+        assert hqs.node_depth(0) == 0
+        assert hqs.node_depth(2) == 1
+        assert hqs.node_depth(7) == 2
+
+    def test_invalid_nodes_rejected(self):
+        hqs = HQS(1)
+        with pytest.raises(ValueError):
+            hqs.children(99)
+        with pytest.raises(ValueError):
+            hqs.leaf_to_element(0)
+        with pytest.raises(ValueError):
+            HQS(-1)
+
+
+class TestQuorums:
+    def test_uniform_quorum_size(self):
+        for height in (0, 1, 2, 3):
+            hqs = HQS(height)
+            assert hqs.quorum_size == 2**height
+            assert hqs.min_quorum_size() == hqs.max_quorum_size() == 2**height
+
+    def test_quorum_count_recursion_matches_enumeration(self):
+        for height in (0, 1, 2):
+            hqs = HQS(height)
+            assert hqs.quorum_count() == sum(1 for _ in hqs.quorums())
+
+    def test_height_one_is_maj3(self):
+        hqs = HQS(1)
+        assert set(hqs.quorums()) == {
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        }
+
+    def test_paper_example_quorum(self):
+        # Fig. 3 of the paper shades the quorum {1, 2, 5, 6} in HQS(h=2):
+        # leaves 1,2 win the first gate and leaves 5,6 win the second.
+        hqs = HQS(2)
+        assert hqs.contains_quorum({1, 2, 5, 6})
+        assert hqs.is_quorum({1, 2, 5, 6})
+
+    def test_two_of_three_gate_semantics(self):
+        hqs = HQS(2)
+        # Winning only one first-level gate is not enough.
+        assert not hqs.contains_quorum({1, 2, 4})
+        # Winning gates 1 and 3 works too.
+        assert hqs.contains_quorum({2, 3, 7, 8})
+
+    def test_every_enumerated_quorum_is_minimal(self):
+        hqs = HQS(2)
+        assert all(hqs.is_quorum(q) for q in hqs.quorums())
+
+    def test_find_quorum_within(self):
+        hqs = HQS(2)
+        quorum = hqs.find_quorum_within({1, 2, 3, 5, 6})
+        assert quorum is not None and hqs.is_quorum(quorum)
+        assert quorum <= {1, 2, 3, 5, 6}
+        assert hqs.find_quorum_within({1, 4, 7}) is None
+
+    def test_foreign_elements_rejected(self):
+        with pytest.raises(ValueError):
+            HQS(1).contains_quorum({5})

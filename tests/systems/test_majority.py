@@ -1,0 +1,84 @@
+"""Tests for the Majority and weighted-voting systems."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.systems.majority import MajoritySystem, WeightedMajoritySystem
+
+
+class TestMajoritySystem:
+    def test_even_universe_rejected(self):
+        with pytest.raises(ValueError):
+            MajoritySystem(4)
+
+    def test_quorum_size(self):
+        assert MajoritySystem(7).quorum_size == 4
+
+    def test_quorum_count_formula(self):
+        system = MajoritySystem(7)
+        assert system.quorum_count() == math.comb(7, 4)
+        assert system.quorum_count() == sum(1 for _ in system.quorums())
+
+    def test_contains_quorum_is_threshold(self):
+        system = MajoritySystem(5)
+        assert system.contains_quorum({1, 2, 3})
+        assert not system.contains_quorum({1, 2})
+
+    def test_contains_quorum_rejects_foreign_elements(self):
+        with pytest.raises(ValueError):
+            MajoritySystem(5).contains_quorum({6})
+
+    def test_find_quorum_within_returns_exact_size(self):
+        system = MajoritySystem(7)
+        quorum = system.find_quorum_within({1, 2, 3, 4, 5, 6})
+        assert quorum is not None and len(quorum) == 4
+        assert system.find_quorum_within({1, 2}) is None
+
+    def test_min_max_quorum_size_without_enumeration(self):
+        system = MajoritySystem(101)
+        assert system.min_quorum_size() == system.max_quorum_size() == 51
+
+    def test_every_enumerated_quorum_is_minimal(self):
+        system = MajoritySystem(5)
+        assert all(system.is_quorum(q) for q in system.quorums())
+
+
+class TestWeightedMajority:
+    def test_unit_weights_match_plain_majority(self):
+        weighted = WeightedMajoritySystem([1, 1, 1, 1, 1])
+        plain = MajoritySystem(5)
+        assert set(weighted.quorums()) == set(plain.quorums())
+
+    def test_weighted_quorum_detection(self):
+        # Element 1 has half the total weight; any quorum must include it.
+        weighted = WeightedMajoritySystem([3, 1, 1, 1])
+        assert weighted.contains_quorum({1, 2})
+        assert not weighted.contains_quorum({2, 3, 4})
+
+    def test_find_quorum_drops_light_elements(self):
+        weighted = WeightedMajoritySystem([3, 1, 1, 1])
+        quorum = weighted.find_quorum_within({1, 2, 3, 4})
+        assert quorum is not None
+        assert weighted.weight_of(quorum) > 3
+        assert all(
+            weighted.weight_of(quorum - {e}) <= 3 for e in quorum
+        ), "returned quorum should be minimal"
+
+    def test_mapping_constructor(self):
+        weighted = WeightedMajoritySystem({1: 2, 2: 1, 3: 1})
+        assert weighted.weights == {1: 2, 2: 1, 3: 1}
+
+    def test_rejects_nonpositive_total_weight(self):
+        with pytest.raises(ValueError):
+            WeightedMajoritySystem([0, 0, 0])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedMajoritySystem([2, -1, 1])
+
+    def test_rejects_partial_mapping(self):
+        with pytest.raises(ValueError):
+            WeightedMajoritySystem({1: 1, 3: 1})

@@ -1,0 +1,137 @@
+"""Property-based tests of quorum-system invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import Coloring
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    TreeSystem,
+    WheelSystem,
+)
+
+
+def _system_strategy():
+    """Strategy producing a varied small-to-medium quorum system."""
+    return st.one_of(
+        st.integers(min_value=1, max_value=10).map(lambda k: MajoritySystem(2 * k + 1)),
+        st.integers(min_value=3, max_value=20).map(WheelSystem),
+        st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=5).map(
+            lambda widths: CrumblingWall([1] + widths)
+        ),
+        st.integers(min_value=0, max_value=5).map(TreeSystem),
+        st.integers(min_value=0, max_value=3).map(HQS),
+        st.tuples(
+            st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4)
+        ).map(lambda rc: GridSystem(*rc)),
+    )
+
+
+def _random_subset(system, seed: int, density: float) -> frozenset[int]:
+    rng = random.Random(seed)
+    return frozenset(e for e in system.universe if rng.random() < density)
+
+
+class TestMonotonicityProperty:
+    @given(
+        system=_system_strategy(),
+        seed=st.integers(0, 2**20),
+        density=st.floats(0.0, 1.0),
+        extra_seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adding_elements_never_destroys_a_quorum(
+        self, system, seed, density, extra_seed
+    ):
+        subset = _random_subset(system, seed, density)
+        if not system.contains_quorum(subset):
+            return
+        extra = _random_subset(system, extra_seed, 0.5)
+        assert system.contains_quorum(subset | extra)
+
+    @given(system=_system_strategy(), seed=st.integers(0, 2**20), density=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_find_quorum_within_consistent_with_predicate(self, system, seed, density):
+        subset = _random_subset(system, seed, density)
+        quorum = system.find_quorum_within(subset)
+        if system.contains_quorum(subset):
+            assert quorum is not None
+            assert quorum <= subset
+            assert system.contains_quorum(quorum)
+        else:
+            assert quorum is None
+
+    @given(system=_system_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_full_universe_contains_quorum_and_empty_does_not(self, system):
+        assert system.contains_quorum(system.universe)
+        assert not system.contains_quorum(frozenset())
+
+
+class TestSelfDualityProperty:
+    @given(system=_system_strategy(), seed=st.integers(0, 2**20), density=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_nd_coteries_settle_every_partition(self, system, seed, density):
+        """For an ND coterie, every 2-coloring has exactly one monochromatic
+        quorum color: either the greens contain a quorum or the reds do,
+        never both (intersection) and never neither (nondomination)."""
+        if isinstance(system, GridSystem):
+            return  # the grid is a quorum system but not an ND coterie
+        subset = _random_subset(system, seed, density)
+        complement = system.universe - subset
+        assert system.contains_quorum(subset) != system.contains_quorum(complement)
+
+
+class TestWitnessDichotomyProperty:
+    @given(
+        system=_system_strategy(),
+        p=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_red_set_is_transversal_iff_no_live_quorum(self, system, p, seed):
+        coloring = Coloring.random(system.n, p, random.Random(seed))
+        has_live = system.has_live_quorum(coloring)
+        assert system.is_transversal(coloring.red_elements) == (not has_live)
+
+    @given(system=_system_strategy(), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_transversal_complement_has_no_quorum(self, system, seed):
+        subset = _random_subset(system, seed, 0.6)
+        if system.is_transversal(subset):
+            assert not system.contains_quorum(system.universe - subset)
+
+
+class TestQuorumEnumerationProperties:
+    @given(
+        widths=st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cw_quorums_pairwise_intersect(self, widths):
+        wall = CrumblingWall([1] + widths)
+        quorums = list(wall.quorums())
+        for a in quorums:
+            for b in quorums:
+                assert a & b
+
+    @given(height=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=4, deadline=None)
+    def test_tree_quorums_pairwise_intersect(self, height):
+        tree = TreeSystem(height)
+        quorums = list(tree.quorums())
+        for a in quorums:
+            for b in quorums:
+                assert a & b
+
+    @given(height=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=3, deadline=None)
+    def test_hqs_quorum_sizes_uniform(self, height):
+        hqs = HQS(height)
+        assert {len(q) for q in hqs.quorums()} == {2**height}

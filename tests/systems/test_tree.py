@@ -1,0 +1,95 @@
+"""Tests for the binary Tree quorum system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.tree import TreeSystem
+
+
+class TestStructure:
+    def test_size_formula(self):
+        assert TreeSystem(0).n == 1
+        assert TreeSystem(3).n == 15
+
+    def test_from_size(self):
+        assert TreeSystem.from_size(7).height == 2
+        with pytest.raises(ValueError):
+            TreeSystem.from_size(6)
+
+    def test_children_and_parent(self):
+        tree = TreeSystem(2)
+        assert tree.children(1) == (2, 3)
+        assert tree.children(4) == ()
+        assert tree.parent(1) is None
+        assert tree.parent(5) == 2
+
+    def test_leaves_and_depth(self):
+        tree = TreeSystem(2)
+        assert tree.leaves() == [4, 5, 6, 7]
+        assert tree.depth_of(1) == 0
+        assert tree.depth_of(6) == 2
+
+    def test_subtree_elements(self):
+        tree = TreeSystem(2)
+        assert tree.subtree_elements(2) == {2, 4, 5}
+        assert tree.subtree_elements(1) == set(range(1, 8))
+
+    def test_node_bounds_checked(self):
+        tree = TreeSystem(1)
+        with pytest.raises(ValueError):
+            tree.children(9)
+        with pytest.raises(ValueError):
+            TreeSystem(-1)
+
+
+class TestQuorums:
+    def test_height_zero_single_quorum(self):
+        tree = TreeSystem(0)
+        assert list(tree.quorums()) == [frozenset({1})]
+
+    def test_height_one_quorums(self):
+        tree = TreeSystem(1)
+        assert set(tree.quorums()) == {
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        }
+
+    def test_quorum_count_recursion_matches_enumeration(self):
+        for height in (0, 1, 2, 3):
+            tree = TreeSystem(height)
+            assert tree.quorum_count() == sum(1 for _ in tree.quorums())
+
+    def test_recursive_quorum_forms(self):
+        tree = TreeSystem(2)
+        # Root with a quorum of the left subtree (2 with a leaf under it).
+        assert tree.contains_quorum({1, 2, 4})
+        # Quorums of both subtrees, no root.
+        assert tree.contains_quorum({2, 4, 3, 6})
+        # All leaves form a quorum.
+        assert tree.contains_quorum({4, 5, 6, 7})
+        # A path that skips a level is not a quorum.
+        assert not tree.contains_quorum({1, 4})
+        assert not tree.contains_quorum({1, 2, 3})
+
+    def test_min_max_quorum_sizes(self):
+        tree = TreeSystem(3)
+        assert tree.min_quorum_size() == 4  # root-to-leaf path
+        assert tree.max_quorum_size() == 8  # all leaves
+
+    def test_every_enumerated_quorum_is_minimal(self):
+        tree = TreeSystem(2)
+        assert all(tree.is_quorum(q) for q in tree.quorums())
+
+    def test_find_quorum_within(self):
+        tree = TreeSystem(2)
+        quorum = tree.find_quorum_within({1, 3, 6, 7})
+        assert quorum is not None
+        assert tree.is_quorum(quorum)
+        assert quorum <= {1, 3, 6, 7}
+        assert tree.find_quorum_within({1, 4, 6}) is None
+
+    def test_foreign_elements_rejected(self):
+        with pytest.raises(ValueError):
+            TreeSystem(1).contains_quorum({10})

@@ -1,0 +1,84 @@
+"""Tests for the Wheel, Singleton and Star systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import (
+    SingletonSystem,
+    StarSystem,
+    WheelSystem,
+    systems_equal,
+    wheel_as_crumbling_wall,
+)
+
+
+class TestWheel:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            WheelSystem(2)
+
+    def test_quorum_structure(self):
+        wheel = WheelSystem(5)
+        quorums = set(wheel.quorums())
+        assert frozenset({1, 3}) in quorums
+        assert frozenset({2, 3, 4, 5}) in quorums
+        assert len(quorums) == wheel.quorum_count() == 5
+
+    def test_contains_quorum_cases(self):
+        wheel = WheelSystem(5)
+        assert wheel.contains_quorum({1, 4})
+        assert wheel.contains_quorum({2, 3, 4, 5})
+        assert not wheel.contains_quorum({2, 3})
+        assert not wheel.contains_quorum({1})
+
+    def test_find_quorum_prefers_spokes(self):
+        wheel = WheelSystem(5)
+        assert wheel.find_quorum_within({1, 2, 3}) == {1, 2}
+        assert wheel.find_quorum_within({2, 3, 4, 5}) == {2, 3, 4, 5}
+        assert wheel.find_quorum_within({2, 3}) is None
+
+    def test_min_max_sizes(self):
+        wheel = WheelSystem(7)
+        assert wheel.min_quorum_size() == 2
+        assert wheel.max_quorum_size() == 6
+
+    def test_matches_crumbling_wall_representation(self):
+        assert systems_equal(WheelSystem(6), wheel_as_crumbling_wall(6))
+
+
+class TestSingleton:
+    def test_single_quorum(self):
+        system = SingletonSystem(4, center=3)
+        assert list(system.quorums()) == [frozenset({3})]
+        assert system.contains_quorum({3, 4})
+        assert not system.contains_quorum({1, 2, 4})
+
+    def test_center_validation(self):
+        with pytest.raises(ValueError):
+            SingletonSystem(3, center=5)
+
+    def test_nondominated(self):
+        assert SingletonSystem(4, center=2).is_nondominated()
+
+
+class TestStar:
+    def test_quorums_all_contain_hub(self):
+        star = StarSystem(5, hub=2)
+        assert all(2 in q for q in star.quorums())
+        assert sum(1 for _ in star.quorums()) == 4
+
+    def test_contains_and_find(self):
+        star = StarSystem(5)
+        assert star.contains_quorum({1, 4})
+        assert not star.contains_quorum({2, 3, 4, 5})
+        assert star.find_quorum_within({1, 3, 4}) == {1, 3}
+        assert star.find_quorum_within({2, 3}) is None
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            StarSystem(2)
+
+    def test_is_dominated(self):
+        assert StarSystem(4).is_coterie()
+        assert not StarSystem(4).is_nondominated()

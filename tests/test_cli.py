@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_IDS, build_parser, build_system, main
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    GridSystem,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+    WheelSystem,
+)
+
+
+class TestBuildSystem:
+    def test_known_names(self):
+        assert isinstance(build_system("maj", 9), MajoritySystem)
+        assert isinstance(build_system("majority", 9), MajoritySystem)
+        assert isinstance(build_system("wheel", 6), WheelSystem)
+        assert isinstance(build_system("triang", 5), TriangSystem)
+        assert isinstance(build_system("cw", 4), CrumblingWall)
+        assert isinstance(build_system("tree", 3), TreeSystem)
+        assert isinstance(build_system("hqs", 2), HQS)
+        assert isinstance(build_system("grid", 3), GridSystem)
+
+    def test_majority_size_rounded_to_odd(self):
+        assert build_system("maj", 10).n == 11
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_system("fpp", 7)
+
+    def test_size_knob_semantics(self):
+        assert build_system("triang", 5).num_rows == 5
+        assert build_system("tree", 3).height == 3
+        assert build_system("hqs", 2).height == 2
+        assert build_system("grid", 4).n == 16
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_probe_defaults(self):
+        args = build_parser().parse_args(["probe"])
+        args_dict = vars(args)
+        assert args_dict["system"] == "triang"
+        assert args_dict["p"] == 0.5
+        assert not args_dict["randomized"]
+
+    def test_experiment_choices(self):
+        parser = build_parser()
+        for experiment_id in EXPERIMENT_IDS:
+            args = parser.parse_args(["experiment", experiment_id])
+            assert args.id == experiment_id
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "nonexistent"])
+
+
+class TestCommands:
+    def test_systems_listing(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "Maj(9)" in out and "HQS(h=2)" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 3" in out
+
+    def test_maj3(self, capsys):
+        assert main(["maj3"]) == 0
+        out = capsys.readouterr().out
+        assert "PC (deterministic worst case)" in out
+        assert "2.667" in out
+
+    def test_probe_deterministic(self, capsys):
+        assert main(["probe", "--system", "triang", "--size", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Triang(5)" in out and "witness" in out
+
+    def test_probe_randomized(self, capsys):
+        assert main(
+            ["probe", "--system", "hqs", "--size", "2", "--seed", "4", "--randomized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IRProbeHQS" in out
+
+    def test_estimate_with_bounds(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--system", "triang",
+                "--size", "6",
+                "--p", "0.5",
+                "--trials", "200",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg probes" in out
+        assert "Theorem 3.3" in out or "Corollary 3.5" in out
+
+    def test_estimate_without_paper_bounds(self, capsys):
+        code = main(
+            ["estimate", "--system", "grid", "--size", "3", "--trials", "100", "--seed", "6"]
+        )
+        assert code == 0
+        assert "none stated" in capsys.readouterr().out
+
+    def test_table1_small(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--maj-n", "21",
+                "--triang-depth", "5",
+                "--tree-height", "4",
+                "--hqs-height", "2",
+                "--trials", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Triang" in out
+
+    def test_experiment_maj3(self, capsys):
+        assert main(["experiment", "maj3"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent with the paper" in out
+
+    def test_experiment_lemmas(self, capsys):
+        assert main(["experiment", "lemmas", "--trials", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "lemma2.4-walk" in out
