@@ -104,3 +104,52 @@ def test_in_memory_oracle_overhead(benchmark):
         return oracle.probe_count
 
     assert benchmark(probe_all) == 2001
+
+
+def test_coloring_random_large(benchmark):
+    # n = 2000 uses the binomial-count fast path of Coloring.random.
+    rng = random.Random(11)
+    coloring = benchmark(lambda: Coloring.random(2000, 0.5, rng))
+    assert coloring.n == 2000
+
+
+def test_batched_montecarlo_probe_maj(benchmark):
+    from repro.core.batched import estimate_average_probes_batched
+
+    algorithm = ProbeMaj(MajoritySystem(1001))
+    estimate = benchmark(
+        lambda: estimate_average_probes_batched(algorithm, 0.5, trials=1000, seed=12)
+    )
+    assert estimate.trials == 1000
+
+
+def test_batched_montecarlo_probe_cw(benchmark):
+    from repro.core.batched import estimate_average_probes_batched
+
+    algorithm = ProbeCW(TriangSystem(45))
+    estimate = benchmark(
+        lambda: estimate_average_probes_batched(algorithm, 0.5, trials=1000, seed=13)
+    )
+    assert estimate.trials == 1000
+
+
+def test_mask_characteristic_function_evaluation(benchmark):
+    from repro.core.bitmask import mask_of
+
+    system = TriangSystem(45)
+    mask = mask_of(e for e in system.universe if e % 3 != 0)
+    value = benchmark(lambda: system.contains_quorum_mask(mask))
+    assert isinstance(value, bool)
+
+
+def test_exact_solver_ppc_n12(benchmark):
+    from repro.core.exact import ExactSolver
+    from repro.systems import CrumblingWall
+
+    system = CrumblingWall([1, 2, 3, 3, 3])
+
+    def solve():
+        return ExactSolver(system).probabilistic_probe_complexity(0.5)
+
+    value = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert 0.0 < value <= system.n

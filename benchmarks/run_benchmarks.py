@@ -1,0 +1,201 @@
+"""Perf-snapshot entry point: time the hot paths and write ``BENCH_<date>.json``.
+
+Unlike the pytest-benchmark files in this directory (which regenerate the
+paper's tables), this script measures wall-clock throughput of the probing
+machinery itself and records the numbers in a dated JSON snapshot, so
+future PRs have a trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+
+Sections:
+
+* ``exact_solver`` — mask-DP :class:`ExactSolver` versus the seed's
+  frozenset ``lru_cache`` DP (replicated below as ``legacy_ppc``) on an
+  ``n = 14`` crumbling wall, plus the warm-cache re-query cost;
+* ``batched_montecarlo`` — vectorized versus per-trial Monte-Carlo
+  estimation (1000 trials) for Probe_Maj on ``Maj(1001)`` and Probe_CW on
+  ``Triang(45)`` (n = 1035);
+* ``coloring_sampling`` — ``Coloring.random`` at ``n = 2000`` and the
+  ``random_batch`` matrix sampler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import random
+import sys
+import time
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import ProbeCW, ProbeMaj  # noqa: E402
+from repro.core.batched import estimate_average_probes_batched  # noqa: E402
+from repro.core.coloring import Coloring  # noqa: E402
+from repro.core.estimator import estimate_average_probes  # noqa: E402
+from repro.core.exact import ExactSolver  # noqa: E402
+from repro.systems import CrumblingWall, MajoritySystem, TriangSystem  # noqa: E402
+from repro.systems.boolean import CharacteristicFunction  # noqa: E402
+
+
+def legacy_ppc(system, p: float) -> float:
+    """The seed implementation of ``probabilistic_probe_complexity``:
+    frozenset knowledge states, per-call ``lru_cache``, frozenset witness
+    test.  Kept verbatim as the speedup baseline."""
+    f = CharacteristicFunction(system)
+    universe = tuple(sorted(system.universe))
+    q = 1.0 - p
+
+    def witness_settled(green: frozenset[int], red: frozenset[int]):
+        if system.contains_quorum(green):
+            return "green"
+        if not system.contains_quorum(system.universe - red):
+            return "red"
+        return None
+
+    @lru_cache(maxsize=None)
+    def value(green: frozenset[int], red: frozenset[int]) -> float:
+        if witness_settled(green, red) is not None:
+            return 0.0
+        remaining = [e for e in universe if e not in green and e not in red]
+        return 1.0 + min(
+            q * value(green | {e}, red) + p * value(green, red | {e})
+            for e in remaining
+        )
+
+    return value(frozenset(), frozenset())
+
+
+def timed(fn, repeat: int = 1):
+    """Best-of-``repeat`` wall-clock seconds plus the last return value."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_exact_solver(quick: bool) -> dict:
+    widths = [1, 2, 3, 3, 3] if quick else [1, 2, 2, 3, 3, 3]
+    system = CrumblingWall(widths)
+    p = 0.5
+    solver = ExactSolver(system)
+    mask_seconds, mask_value = timed(lambda: solver.probabilistic_probe_complexity(p))
+    warm_seconds, _ = timed(lambda: solver.probabilistic_probe_complexity(0.3))
+    legacy_seconds, legacy_value = timed(lambda: legacy_ppc(system, p))
+    assert abs(mask_value - legacy_value) < 1e-9, (mask_value, legacy_value)
+    return {
+        "system": system.name,
+        "n": system.n,
+        "p": p,
+        "ppc_value": mask_value,
+        "mask_dp_seconds": mask_seconds,
+        "mask_dp_second_p_seconds": warm_seconds,
+        "legacy_frozenset_dp_seconds": legacy_seconds,
+        "speedup": legacy_seconds / mask_seconds,
+    }
+
+
+def bench_batched_montecarlo(quick: bool) -> list[dict]:
+    trials = 200 if quick else 1000
+    cases = [
+        ("ProbeMaj", ProbeMaj(MajoritySystem(1001))),
+        ("ProbeCW", ProbeCW(TriangSystem(45))),  # n = 1035
+    ]
+    results = []
+    for name, algorithm in cases:
+        p = 0.5
+        batched_seconds, batched_estimate = timed(
+            lambda: estimate_average_probes_batched(algorithm, p, trials=trials, seed=1),
+            repeat=3,
+        )
+        loop_seconds, loop_estimate = timed(
+            lambda: estimate_average_probes(algorithm, p, trials=trials, seed=1)
+        )
+        results.append(
+            {
+                "algorithm": name,
+                "system": algorithm.system.name,
+                "n": algorithm.system.n,
+                "trials": trials,
+                "batched_seconds": batched_seconds,
+                "per_trial_loop_seconds": loop_seconds,
+                "speedup": loop_seconds / batched_seconds,
+                "batched_mean_probes": batched_estimate.mean,
+                "loop_mean_probes": loop_estimate.mean,
+            }
+        )
+    return results
+
+
+def bench_coloring_sampling(quick: bool) -> dict:
+    n = 2000
+    count = 200 if quick else 1000
+    rng = random.Random(5)
+    single_seconds, _ = timed(
+        lambda: [Coloring.random(n, 0.5, rng) for _ in range(count)]
+    )
+    batch_seconds, _ = timed(lambda: Coloring.random_batch(n, 0.5, count, rng=7))
+    return {
+        "n": n,
+        "colorings": count,
+        "random_seconds": single_seconds,
+        "random_batch_seconds": batch_seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = {
+        "date": datetime.date.today().isoformat(),
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "exact_solver": bench_exact_solver(args.quick),
+        "batched_montecarlo": bench_batched_montecarlo(args.quick),
+        "coloring_sampling": bench_coloring_sampling(args.quick),
+    }
+    output = args.output
+    if output is None:
+        output = (
+            Path(__file__).resolve().parent.parent
+            / f"BENCH_{snapshot['date']}.json"
+        )
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {output}")
+    exact = snapshot["exact_solver"]
+    print(
+        f"exact PPC n={exact['n']}: mask DP {exact['mask_dp_seconds']:.2f}s "
+        f"vs legacy {exact['legacy_frozenset_dp_seconds']:.2f}s "
+        f"({exact['speedup']:.1f}x)"
+    )
+    for case in snapshot["batched_montecarlo"]:
+        print(
+            f"{case['algorithm']} n={case['n']} x{case['trials']}: batched "
+            f"{case['batched_seconds']*1e3:.1f}ms vs loop "
+            f"{case['per_trial_loop_seconds']*1e3:.1f}ms ({case['speedup']:.0f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

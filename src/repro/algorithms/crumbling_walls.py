@@ -50,6 +50,11 @@ class ProbeCW(ProbingAlgorithm):
         self._within_row_order = within_row_order
         self.randomized = within_row_order == "random"
 
+    @property
+    def within_row_order(self) -> str:
+        """In-row probe order: ``"lexicographic"`` or ``"random"``."""
+        return self._within_row_order
+
     def _row_elements(self, row: frozenset[int], rng: random.Random | None) -> list[int]:
         elements = sorted(row)
         if self._within_row_order == "random":

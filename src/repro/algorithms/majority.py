@@ -37,6 +37,11 @@ class ProbeMaj(ProbingAlgorithm):
             raise ValueError("order must be a permutation of the universe")
         self._order = list(order)
 
+    @property
+    def order(self) -> list[int]:
+        """The fixed probe order (used by the vectorized estimator)."""
+        return list(self._order)
+
     def run(self, oracle: ProbeOracle, rng: random.Random | None = None) -> ProbeRun:
         return _majority_scan(self._system, self._order, oracle)
 

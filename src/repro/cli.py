@@ -144,11 +144,16 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         else default_deterministic_algorithm(system)
     )
     estimate = estimate_average_probes(
-        algorithm, args.p, trials=args.trials, seed=args.seed
+        algorithm, args.p, trials=args.trials, seed=args.seed, batched=args.batched
     )
     print(f"system    : {system.name} (n={system.n})")
     print(f"algorithm : {algorithm.name}")
     print(f"p         : {args.p}")
+    if args.batched:
+        from repro.core.batched import supports_batched
+
+        kind = "vectorized kernel" if supports_batched(algorithm) else "per-trial fallback"
+        print(f"estimator : batched ({kind})")
     print(f"avg probes: {estimate.mean:.3f} ± {estimate.ci95:.3f} ({estimate.trials} trials)")
     try:
         from repro.analysis.bounds import Direction, Model, bounds_for
@@ -264,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--trials", type=int, default=1000)
     estimate.add_argument("--seed", type=int, default=None)
     estimate.add_argument("--randomized", action="store_true")
+    estimate.add_argument(
+        "--batched",
+        action="store_true",
+        help="use the vectorized (numpy) Monte-Carlo estimator",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")

@@ -6,6 +6,12 @@ colors to the universe ``{1, ..., n}``.  The probabilistic model of the paper
 colors each element red independently with probability ``p``; this module
 provides that distribution as well as several structured distributions used
 as "hard" inputs in the lower-bound arguments of Section 4.
+
+Internally a coloring is a single integer bitmask (bit ``i`` set iff element
+``i + 1`` is red; see :mod:`repro.core.bitmask`), which makes the hot
+operations — membership, flips, monochromaticity — constant-factor word
+operations.  The frozenset views remain available and are materialized
+lazily.
 """
 
 from __future__ import annotations
@@ -15,6 +21,13 @@ import itertools
 import random
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
+
+from repro.core.bitmask import elements_of, full_mask, mask_of, validate_mask
+
+#: Universe size above which :meth:`Coloring.random` switches from the
+#: element-by-element draw to the binomial-count draw.  Kept modest so every
+#: seeded small-``n`` experiment reproduces the exact historical stream.
+_RANDOM_FAST_PATH_N = 512
 
 
 class Color(enum.Enum):
@@ -46,19 +59,49 @@ class Coloring(Mapping[int, Color]):
         The set of elements colored red; everything else is green.
     """
 
-    __slots__ = ("_n", "_red")
+    __slots__ = ("_n", "_red_mask", "_red")
 
     def __init__(self, n: int, red: Iterable[int] = ()) -> None:
         if n < 0:
             raise ValueError(f"universe size must be nonnegative, got {n}")
-        red_set = frozenset(red)
-        for e in red_set:
+        mask = 0
+        for e in red:
             if not 1 <= e <= n:
                 raise ValueError(f"element {e} outside universe 1..{n}")
+            mask |= 1 << (e - 1)
         self._n = n
-        self._red = red_set
+        self._red_mask = mask
+        self._red: frozenset[int] | None = None
 
     # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_red_mask(cls, n: int, red_mask: int) -> "Coloring":
+        """Build a coloring directly from an integer red mask.
+
+        Bit ``i`` of ``red_mask`` corresponds to element ``i + 1``.
+        """
+        validate_mask(red_mask, n)
+        coloring = cls.__new__(cls)
+        coloring._n = n
+        coloring._red_mask = red_mask
+        coloring._red = None
+        return coloring
+
+    @classmethod
+    def from_red_row(cls, row) -> "Coloring":
+        """Build a coloring from a boolean numpy row (True = red).
+
+        This is the bridge from :meth:`random_batch` samples back to
+        individual colorings.
+        """
+        import numpy as np
+
+        bits = np.asarray(row, dtype=bool)
+        if bits.ndim != 1:
+            raise ValueError("from_red_row expects a one-dimensional row")
+        packed = np.packbits(bits, bitorder="little").tobytes()
+        return cls.from_red_mask(bits.size, int.from_bytes(packed, "little"))
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[int, Color]) -> "Coloring":
@@ -79,18 +122,49 @@ class Coloring(Mapping[int, Color]):
     @classmethod
     def all_red(cls, n: int) -> "Coloring":
         """The coloring in which every processor has failed."""
-        return cls(n, range(1, n + 1))
+        return cls.from_red_mask(n, full_mask(n))
 
     @classmethod
     def random(cls, n: int, p: float, rng: random.Random | None = None) -> "Coloring":
         """Sample the paper's probabilistic model: each element is red with
         probability ``p``, independently.
+
+        For small universes the sample is drawn element by element (keeping
+        historical seeded streams intact); for large universes the red
+        *count* is drawn from the exact binomial and a uniform ``r``-subset
+        is sampled, which is ``O(r)`` instead of ``O(n)`` RNG calls.
         """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"failure probability must be in [0, 1], got {p}")
         rng = rng or random.Random()
-        red = [e for e in range(1, n + 1) if rng.random() < p]
+        if n <= _RANDOM_FAST_PATH_N:
+            mask = 0
+            for e in range(n):
+                if rng.random() < p:
+                    mask |= 1 << e
+            return cls.from_red_mask(n, mask)
+        import numpy as np
+
+        r = int(np.random.default_rng(rng.getrandbits(64)).binomial(n, p))
+        red = rng.sample(range(1, n + 1), r)
         return cls(n, red)
+
+    @classmethod
+    def random_batch(cls, n: int, p: float, size: int, rng=None):
+        """Sample ``size`` i.i.d. colorings as a boolean matrix.
+
+        Returns a ``(size, n)`` numpy bool array whose entry ``[t, i]`` is
+        True when element ``i + 1`` is red in trial ``t``.  This is the
+        native input format of the vectorized estimators in
+        :mod:`repro.core.batched`.  ``rng`` may be ``None``, an int seed, a
+        ``random.Random`` or a ``numpy.random.Generator``.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        if size < 0:
+            raise ValueError("batch size must be nonnegative")
+        generator = as_numpy_generator(rng)
+        return generator.random((size, n)) < p
 
     @classmethod
     def with_exact_reds(
@@ -108,7 +182,7 @@ class Coloring(Mapping[int, Color]):
     def __getitem__(self, element: int) -> Color:
         if not 1 <= element <= self._n:
             raise KeyError(element)
-        return Color.RED if element in self._red else Color.GREEN
+        return Color.RED if (self._red_mask >> (element - 1)) & 1 else Color.GREEN
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(1, self._n + 1))
@@ -124,14 +198,26 @@ class Coloring(Mapping[int, Color]):
         return self._n
 
     @property
+    def red_mask(self) -> int:
+        """Integer mask of failed processors (bit ``i`` ⇔ element ``i + 1``)."""
+        return self._red_mask
+
+    @property
+    def green_mask(self) -> int:
+        """Integer mask of live processors."""
+        return full_mask(self._n) & ~self._red_mask
+
+    @property
     def red_elements(self) -> frozenset[int]:
         """The set of failed processors."""
+        if self._red is None:
+            self._red = elements_of(self._red_mask)
         return self._red
 
     @property
     def green_elements(self) -> frozenset[int]:
         """The set of live processors."""
-        return frozenset(range(1, self._n + 1)) - self._red
+        return elements_of(self.green_mask)
 
     def color_of(self, element: int) -> Color:
         """Color of a single element (same as ``coloring[element]``)."""
@@ -148,28 +234,34 @@ class Coloring(Mapping[int, Color]):
 
         An empty collection is vacuously monochromatic and reported as green.
         """
-        colors = {self[e] for e in elements}
-        if len(colors) > 1:
-            return None
-        if not colors:
+        mask = mask_of(elements)
+        validate_mask(mask, self._n)
+        return self.monochromatic_mask(mask)
+
+    def monochromatic_mask(self, mask: int) -> Color | None:
+        """Mask-native :meth:`monochromatic`."""
+        red_part = mask & self._red_mask
+        if red_part == 0:
             return Color.GREEN
-        return colors.pop()
+        if red_part == mask:
+            return Color.RED
+        return None
 
     def flip(self, element: int) -> "Coloring":
         """Return a new coloring with the color of ``element`` toggled."""
-        if element in self._red:
-            return Coloring(self._n, self._red - {element})
-        return Coloring(self._n, self._red | {element})
+        if not 1 <= element <= self._n:
+            raise ValueError(f"element {element} outside universe 1..{self._n}")
+        return Coloring.from_red_mask(self._n, self._red_mask ^ (1 << (element - 1)))
 
     def inverted(self) -> "Coloring":
         """Return the coloring with every color flipped."""
-        return Coloring(self._n, self.green_elements)
+        return Coloring.from_red_mask(self._n, self.green_mask)
 
     def probability(self, p: float) -> float:
         """Probability of this coloring under the i.i.d. model with failure
         probability ``p``.
         """
-        r = len(self._red)
+        r = self._red_mask.bit_count()
         return (p**r) * ((1.0 - p) ** (self._n - r))
 
     # -- dunder ----------------------------------------------------------------
@@ -177,14 +269,30 @@ class Coloring(Mapping[int, Color]):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Coloring):
             return NotImplemented
-        return self._n == other._n and self._red == other._red
+        return self._n == other._n and self._red_mask == other._red_mask
 
     def __hash__(self) -> int:
-        return hash((self._n, self._red))
+        return hash((self._n, self._red_mask))
 
     def __repr__(self) -> str:
-        reds = ",".join(str(e) for e in sorted(self._red))
+        reds = ",".join(str(e) for e in sorted(self.red_elements))
         return f"Coloring(n={self._n}, red={{{reds}}})"
+
+
+def as_numpy_generator(rng):
+    """Coerce ``None`` / int seed / ``random.Random`` / numpy Generator to a
+    numpy Generator, deterministically when seeded.
+
+    Shared by the batch samplers here and the vectorized estimators in
+    :mod:`repro.core.batched`.
+    """
+    import numpy as np
+
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(64))
+    return np.random.default_rng(rng)
 
 
 def enumerate_colorings(n: int) -> Iterator[Coloring]:

@@ -79,15 +79,28 @@ def estimate_average_probes(
     trials: int = 1000,
     seed: int | None = None,
     validate: bool = False,
+    batched: bool = False,
 ) -> Estimate:
     """Estimate the expected probe count in the i.i.d. failure model.
 
     Each trial draws a fresh coloring (every element red with probability
     ``p``) and a fresh stream of algorithm randomness, then runs the
     algorithm and records the number of probes.
+
+    With ``batched=True`` the whole batch is evaluated through the
+    vectorized kernels of :mod:`repro.core.batched` (falling back to the
+    loop for unsupported algorithms).  The batched path draws the same
+    distribution from a different RNG stream, so per-seed values differ
+    from the sequential path; ``validate`` is not supported there.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
+    if batched:
+        if validate:
+            raise ValueError("validate=True requires the sequential path")
+        from repro.core.batched import estimate_average_probes_batched
+
+        return estimate_average_probes_batched(algorithm, p, trials=trials, seed=seed)
     rng = random.Random(seed)
     samples = []
     n = algorithm.system.n

@@ -19,22 +19,41 @@ These exact optima back the paper's ``Maj3`` worked example (PC = 3,
 PPC_{1/2} = 5/2, PCR = 8/3) and the optimality claim for Probe_HQS
 (Theorem 3.9), and serve as ground truth in the test-suite.
 
-The state space has size ``3^n`` so the computations are intended for
-``n`` up to roughly 14.
+Knowledge states are represented as ``(green_mask, red_mask)`` integer
+pairs (see :mod:`repro.core.bitmask`), so the settled test and the child
+transitions are single word operations, and the DP caches live on the
+solver *instance*: repeated queries on one solver — ``probe_complexity()``
+followed by ``optimal_worst_case_tree()``, or
+``probabilistic_probe_complexity`` at several values of ``p`` — reuse every
+previously settled witness state instead of re-solving from scratch.
+
+The state space has size ``3^n`` so the computations are intended for ``n``
+up to roughly :data:`EXACT_LIMIT`.
 """
 
 from __future__ import annotations
 
 import itertools
-from functools import lru_cache
 
-from repro.core.coloring import Color, Coloring, ColoringDistribution
+from repro.core.coloring import Color, ColoringDistribution
 from repro.core.strategy_tree import Leaf, ProbeNode, StrategyNode, StrategyTree
 from repro.systems.base import QuorumSystem
 from repro.systems.boolean import CharacteristicFunction
 
-#: Hard cap on the universe size accepted by the exact solvers.
-EXACT_LIMIT = 16
+#: Hard cap on the universe size accepted by the exact solvers.  Up to
+#: :data:`_TABLE_DP_LIMIT` the vectorized table sweep keeps queries in the
+#: seconds range; for larger ``n`` the recursive dict DP is used and both
+#: time and memory grow as ``3^n`` — n close to 20 is hours/tens of GB, so
+#: treat the upper end as headroom for structured Yao distributions and
+#: partial queries, not routine full solves.
+EXACT_LIMIT = 20
+
+#: Universe-size cap for the vectorized full-table DP (memory-bound: the
+#: table holds all ``3^n`` knowledge states as numpy arrays).
+_TABLE_DP_LIMIT = 15
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` (unsettled).
+_MISSING = object()
 
 
 def _check_size(system: QuorumSystem) -> None:
@@ -48,32 +67,184 @@ def _check_size(system: QuorumSystem) -> None:
 class ExactSolver:
     """Dynamic-programming solver for optimal probe strategies.
 
-    One solver instance caches knowledge-state values per (system, model)
-    combination; create a fresh instance per query.
+    One solver instance holds per-(measure, parameter) DP caches plus a
+    shared settled-witness cache, all keyed by ``(green_mask, red_mask)``
+    knowledge states.  The caches persist across queries, so a solver is
+    cheap to reuse and a fresh instance is only needed for a different
+    system.
     """
 
     def __init__(self, system: QuorumSystem) -> None:
         _check_size(system)
         self._system = system
-        self._f = CharacteristicFunction(system)
-        self._universe = tuple(sorted(system.universe))
+        self._full = (1 << system.n) - 1
+        # Knowledge states are keyed by the single integer
+        # ``(green_mask << n) | red_mask`` — int keys hash markedly faster
+        # than tuples in the multi-million-state DP sweeps.
+        # Settled-witness colors, shared by every measure below.
+        self._settled: dict[int, Color | None] = {}
+        # Deterministic worst-case values (PC).
+        self._pc_values: dict[int, int] = {}
+        # Expectimax values per failure probability p (PPC_p).
+        self._ppc_values: dict[float, dict[int, float]] = {}
+        # Per-distribution Yao DP caches; distributions are compared by
+        # identity, and kept referenced so ids stay unique.
+        self._yao_caches: list[tuple[ColoringDistribution, dict[int, float]]] = []
+        # Lazy state tables for the vectorized full-table DP (n <= 15):
+        # trit-coded knowledge states, their green/red masks and the settled
+        # predicate.  Built once per solver and shared by PC and every PPC_p.
+        self._state_tables = None
+        self._pc_table_result: int | None = None
+        self._ppc_table_results: dict[float, float] = {}
+
+    # -- vectorized full-table DP ---------------------------------------------
+
+    def _tables(self):
+        """Build (or fetch) the trit-coded knowledge-state tables.
+
+        State ``s`` encodes element ``i`` in base-3 digit ``i``: 0 unknown,
+        1 known green, 2 known red.  The settled predicate factors through
+        the two ``2^n`` mask tables — ``contains_quorum_mask`` of the green
+        mask and of the complement of the red mask — so it costs ``2^n``
+        characteristic-function calls, not ``3^n``.
+        """
+        if self._state_tables is not None:
+            return self._state_tables
+        import numpy as np
+
+        n = self._system.n
+        n3 = 3**n
+        codes = np.arange(n3, dtype=np.int64)
+        green_idx = np.zeros(n3, dtype=np.int32)
+        red_idx = np.zeros(n3, dtype=np.int32)
+        unknown_count = np.zeros(n3, dtype=np.int8)
+        tmp = codes.copy()
+        for i in range(n):
+            digit = tmp % 3
+            tmp //= 3
+            green_idx |= (digit == 1).astype(np.int32) << i
+            red_idx |= (digit == 2).astype(np.int32) << i
+            unknown_count += digit == 0
+        del tmp
+        contains = self._system.contains_quorum_mask
+        contains_table = np.fromiter(
+            (contains(mask) for mask in range(1 << n)), dtype=bool, count=1 << n
+        )
+        settled = contains_table[green_idx] | ~contains_table[self._full - red_idx]
+        # Group codes by unknown count so each DP level is one fancy-index.
+        levels = [codes[unknown_count == u] for u in range(n + 1)]
+        self._state_tables = (levels, settled)
+        return self._state_tables
+
+    def _table_dp(self, combine):
+        """Run the level-by-level DP over the full state table.
+
+        ``combine(value_on_green, value_on_red)`` merges the two child-value
+        arrays of the probed element (``max`` for PC, the expectimax blend
+        for PPC).  Returns the root value (the no-knowledge state).
+        """
+        import numpy as np
+
+        n = self._system.n
+        levels, settled = self._tables()
+        pow3 = [3**i for i in range(n)]
+        value = np.zeros(3**n, dtype=np.float64)
+        for u in range(1, n + 1):
+            states = levels[u]
+            active = states[~settled[states]]
+            if active.size == 0:
+                continue
+            best = np.full(active.size, np.inf)
+            for i in range(n):
+                p3 = pow3[i]
+                is_unknown = (active // p3) % 3 == 0
+                idx = active[is_unknown]
+                if idx.size == 0:
+                    continue
+                candidate = combine(value[idx + p3], value[idx + 2 * p3])
+                best[is_unknown] = np.minimum(best[is_unknown], candidate)
+            value[active] = 1.0 + best
+        return float(value[0])
+
+    # The settled predicate (green contains a quorum / red is a transversal)
+    # is deliberately inlined again inside the _pc_value and _ppc_value_fn
+    # hot loops: a method call per DP state costs ~25% there.  Any change to
+    # the witness rule must touch those two copies as well.
+    def _settled_at(self, green: int, red: int) -> Color | None:
+        key = (green << self._system.n) | red
+        try:
+            return self._settled[key]
+        except KeyError:
+            pass
+        system = self._system
+        if system.contains_quorum_mask(green):
+            value: Color | None = Color.GREEN
+        elif not system.contains_quorum_mask(self._full & ~red):
+            value = Color.RED
+        else:
+            value = None
+        self._settled[key] = value
+        return value
 
     # -- deterministic worst case (PC) -------------------------------------------
 
+    def _pc_value(self, green: int, red: int) -> int:
+        memo = self._pc_values
+        memo_get = memo.get
+        settled_memo = self._settled
+        contains = self._system.contains_quorum_mask
+        full = self._full
+        n = self._system.n
+        _missing = _MISSING
+
+        def value(green: int, red: int) -> int:
+            key = (green << n) | red
+            cached = memo_get(key)
+            if cached is not None:
+                return cached
+            settled = settled_memo.get(key, _missing)
+            if settled is _missing:
+                if contains(green):
+                    settled = Color.GREEN
+                elif not contains(full & ~red):
+                    settled = Color.RED
+                else:
+                    settled = None
+                settled_memo[key] = settled
+            if settled is not None:
+                memo[key] = 0
+                return 0
+            best = n + 1
+            m = full & ~(green | red)
+            while m:
+                bit = m & -m
+                m ^= bit
+                g2 = green | bit
+                a = memo_get((g2 << n) | red)
+                if a is None:
+                    a = value(g2, red)
+                r2 = red | bit
+                b = memo_get((green << n) | r2)
+                if b is None:
+                    b = value(green, r2)
+                outcome = a if a >= b else b
+                if outcome < best:
+                    best = outcome
+            result = 1 + best
+            memo[key] = result
+            return result
+
+        return value(green, red)
+
     def probe_complexity(self) -> int:
         """The deterministic worst-case probe complexity ``PC(S)``."""
+        if self._system.n <= _TABLE_DP_LIMIT:
+            if self._pc_table_result is None:
+                import numpy as np
 
-        @lru_cache(maxsize=None)
-        def value(green: frozenset[int], red: frozenset[int]) -> int:
-            if self._f.witness_settled(green, red) is not None:
-                return 0
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            return 1 + min(
-                max(value(green | {e}, red), value(green, red | {e}))
-                for e in remaining
-            )
-
-        return value(frozenset(), frozenset())
+                self._pc_table_result = round(self._table_dp(np.maximum))
+            return self._pc_table_result
+        return self._pc_value(0, 0)
 
     def is_evasive(self) -> bool:
         """True when ``PC(S) = n``, i.e. the system is evasive.
@@ -85,86 +256,124 @@ class ExactSolver:
 
     # -- probabilistic model (PPC_p) ------------------------------------------------
 
+    def _ppc_value_fn(self, p: float):
+        """The memoized expectimax value function at failure probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        memo = self._ppc_values.setdefault(p, {})
+        memo_get = memo.get
+        q = 1.0 - p
+        settled_memo = self._settled
+        contains = self._system.contains_quorum_mask
+        full = self._full
+        n = self._system.n
+        inf = float("inf")
+        _missing = _MISSING
+
+        def value(green: int, red: int) -> float:
+            key = (green << n) | red
+            cached = memo_get(key)
+            if cached is not None:
+                return cached
+            settled = settled_memo.get(key, _missing)
+            if settled is _missing:
+                if contains(green):
+                    settled = Color.GREEN
+                elif not contains(full & ~red):
+                    settled = Color.RED
+                else:
+                    settled = None
+                settled_memo[key] = settled
+            if settled is not None:
+                memo[key] = 0.0
+                return 0.0
+            best = inf
+            m = full & ~(green | red)
+            while m:
+                bit = m & -m
+                m ^= bit
+                g2 = green | bit
+                a = memo_get((g2 << n) | red)
+                if a is None:
+                    a = value(g2, red)
+                r2 = red | bit
+                b = memo_get((green << n) | r2)
+                if b is None:
+                    b = value(green, r2)
+                outcome = q * a + p * b
+                if outcome < best:
+                    best = outcome
+            result = 1.0 + best
+            memo[key] = result
+            return result
+
+        return value
+
     def probabilistic_probe_complexity(self, p: float) -> float:
         """The optimal expected probe count ``PPC_p(S)`` in the i.i.d. model."""
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"failure probability must be in [0, 1], got {p}")
-        q = 1.0 - p
-
-        @lru_cache(maxsize=None)
-        def value(green: frozenset[int], red: frozenset[int]) -> float:
-            if self._f.witness_settled(green, red) is not None:
-                return 0.0
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            return 1.0 + min(
-                q * value(green | {e}, red) + p * value(green, red | {e})
-                for e in remaining
-            )
-
-        return value(frozenset(), frozenset())
+        if self._system.n <= _TABLE_DP_LIMIT:
+            cached = self._ppc_table_results.get(p)
+            if cached is None:
+                q = 1.0 - p
+                cached = self._table_dp(lambda on_green, on_red: q * on_green + p * on_red)
+                self._ppc_table_results[p] = cached
+            return cached
+        return self._ppc_value_fn(p)(0, 0)
 
     def optimal_strategy_tree(self, p: float) -> StrategyTree:
         """An optimal strategy tree for the probabilistic model at ``p``."""
-        if not 0.0 <= p <= 1.0:
-            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        value = self._ppc_value_fn(p)
         q = 1.0 - p
 
-        @lru_cache(maxsize=None)
-        def value(green: frozenset[int], red: frozenset[int]) -> float:
-            if self._f.witness_settled(green, red) is not None:
-                return 0.0
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            return 1.0 + min(
-                q * value(green | {e}, red) + p * value(green, red | {e})
-                for e in remaining
-            )
-
-        def build(green: frozenset[int], red: frozenset[int]) -> StrategyNode:
-            settled = self._f.witness_settled(green, red)
+        def build(green: int, red: int) -> StrategyNode:
+            settled = self._settled_at(green, red)
             if settled is not None:
                 return Leaf(settled)
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            best = min(
-                remaining,
-                key=lambda e: q * value(green | {e}, red) + p * value(green, red | {e}),
-            )
+            remaining = green | red
+            best_bit = 0
+            best_cost = float("inf")
+            m = self._full & ~remaining
+            while m:
+                bit = m & -m
+                m ^= bit
+                cost = q * value(green | bit, red) + p * value(green, red | bit)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_bit = bit
             return ProbeNode(
-                element=best,
-                on_green=build(green | {best}, red),
-                on_red=build(green, red | {best}),
+                element=best_bit.bit_length(),
+                on_green=build(green | best_bit, red),
+                on_red=build(green, red | best_bit),
             )
 
-        return StrategyTree(self._system, build(frozenset(), frozenset()))
+        return StrategyTree(self._system, build(0, 0))
 
     def optimal_worst_case_tree(self) -> StrategyTree:
         """A strategy tree achieving the deterministic worst-case optimum."""
 
-        @lru_cache(maxsize=None)
-        def value(green: frozenset[int], red: frozenset[int]) -> int:
-            if self._f.witness_settled(green, red) is not None:
-                return 0
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            return 1 + min(
-                max(value(green | {e}, red), value(green, red | {e}))
-                for e in remaining
-            )
-
-        def build(green: frozenset[int], red: frozenset[int]) -> StrategyNode:
-            settled = self._f.witness_settled(green, red)
+        def build(green: int, red: int) -> StrategyNode:
+            settled = self._settled_at(green, red)
             if settled is not None:
                 return Leaf(settled)
-            remaining = [e for e in self._universe if e not in green and e not in red]
-            best = min(
-                remaining,
-                key=lambda e: max(value(green | {e}, red), value(green, red | {e})),
-            )
+            best_bit = 0
+            best_cost = self._system.n + 1
+            m = self._full & ~(green | red)
+            while m:
+                bit = m & -m
+                m ^= bit
+                cost = max(self._pc_value(green | bit, red), self._pc_value(green, red | bit))
+                if cost < best_cost:
+                    best_cost = cost
+                    best_bit = bit
             return ProbeNode(
-                element=best,
-                on_green=build(green | {best}, red),
-                on_red=build(green, red | {best}),
+                element=best_bit.bit_length(),
+                on_green=build(green | best_bit, red),
+                on_red=build(green, red | best_bit),
             )
 
-        return StrategyTree(self._system, build(frozenset(), frozenset()))
+        return StrategyTree(self._system, build(0, 0))
 
     # -- best deterministic strategy under an input distribution (Yao) ---------------
 
@@ -179,39 +388,61 @@ class ExactSolver:
         """
         if distribution.n != self._system.n:
             raise ValueError("distribution universe does not match the system")
-        support = distribution.support
+        memo: dict[int, float] | None = None
+        for known, cache in self._yao_caches:
+            if known is distribution:
+                memo = cache
+                break
+        if memo is None:
+            memo = {}
+            self._yao_caches.append((distribution, memo))
+        # (green_mask_of_coloring, red_mask_of_coloring, probability) rows.
+        support = [
+            (w.coloring.green_mask, w.coloring.red_mask, w.probability)
+            for w in distribution.support
+        ]
+        settled = self._settled_at
+        full = self._full
+        n = self._system.n
 
-        @lru_cache(maxsize=None)
-        def value(green: frozenset[int], red: frozenset[int]) -> float:
-            if self._f.witness_settled(green, red) is not None:
+        def value(green: int, red: int) -> float:
+            key = (green << n) | red
+            try:
+                return memo[key]
+            except KeyError:
+                pass
+            if settled(green, red) is not None:
+                memo[key] = 0.0
                 return 0.0
             consistent = [
-                w
-                for w in support
-                if green <= w.coloring.green_elements
-                and red <= w.coloring.red_elements
+                row
+                for row in support
+                if green & ~row[0] == 0 and red & ~row[1] == 0
             ]
-            total = sum(w.probability for w in consistent)
+            total = sum(row[2] for row in consistent)
             if total == 0:
                 # Unreachable knowledge state under this distribution; its
                 # cost never contributes to the expectation.
+                memo[key] = 0.0
                 return 0.0
-            remaining = [e for e in self._universe if e not in green and e not in red]
             best = float("inf")
-            for e in remaining:
-                green_mass = sum(
-                    w.probability for w in consistent if w.coloring.is_green(e)
-                )
+            m = full & ~(green | red)
+            while m:
+                bit = m & -m
+                m ^= bit
+                green_mass = sum(row[2] for row in consistent if row[0] & bit)
                 prob_green = green_mass / total
                 cost = (
                     1.0
-                    + prob_green * value(green | {e}, red)
-                    + (1.0 - prob_green) * value(green, red | {e})
+                    + prob_green * value(green | bit, red)
+                    + (1.0 - prob_green) * value(green, red | bit)
                 )
-                best = min(best, cost)
+                if cost < best:
+                    best = cost
+            memo[key] = best
             return best
 
-        return value(frozenset(), frozenset())
+        return value(0, 0)
 
 
 # -- convenience wrappers --------------------------------------------------------------
@@ -243,37 +474,44 @@ def permutation_algorithm_worst_expected(system: QuorumSystem) -> float:
     paper's ``Maj3`` example, where the value is ``8/3``, and the analysis of
     Algorithm R_Probe_Maj (Theorem 4.2).
 
-    Only feasible for very small systems (``n <= 7`` or so).
+    The inner loop shares one memoized settled-witness cache across all
+    permutations and colorings, so identical probe prefixes (which dominate
+    the ``n! × 2^n`` sweep) cost a dictionary lookup each.
+
+    Only feasible for very small systems (``n <= 8`` or so).
     """
     if system.n > 8:
         raise ValueError("exact permutation analysis is limited to n <= 8")
     f = CharacteristicFunction(system)
-    universe = sorted(system.universe)
+    n = system.n
+    universe = range(1, n + 1)
+    orders = list(itertools.permutations(universe))
     worst = 0.0
-    for red_size in range(system.n + 1):
+    for red_size in range(n + 1):
         for red in itertools.combinations(universe, red_size):
-            coloring = Coloring(system.n, red)
-            total = 0.0
-            count = 0
-            for order in itertools.permutations(universe):
-                probes = _probes_in_order(f, coloring, order)
-                total += probes
-                count += 1
-            expected = total / count
+            red_mask = 0
+            for e in red:
+                red_mask |= 1 << (e - 1)
+            total = 0
+            for order in orders:
+                total += _probes_in_order_mask(f, red_mask, order)
+            expected = total / len(orders)
             worst = max(worst, expected)
     return worst
 
 
-def _probes_in_order(
-    f: CharacteristicFunction, coloring: Coloring, order: tuple[int, ...]
+def _probes_in_order_mask(
+    f: CharacteristicFunction, red_mask: int, order: tuple[int, ...]
 ) -> int:
-    green: set[int] = set()
-    red: set[int] = set()
+    green = 0
+    red = 0
+    settled = f.witness_settled_mask
     for i, element in enumerate(order, start=1):
-        if coloring[element] is Color.GREEN:
-            green.add(element)
+        bit = 1 << (element - 1)
+        if red_mask & bit:
+            red |= bit
         else:
-            red.add(element)
-        if f.witness_settled(frozenset(green), frozenset(red)) is not None:
+            green |= bit
+        if settled(green, red) is not None:
             return i
     return len(order)

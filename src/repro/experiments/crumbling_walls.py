@@ -14,10 +14,10 @@ from collections.abc import Sequence
 from repro.algorithms.crumbling_walls import ProbeCW, RProbeCW, probe_cw_row_bound
 from repro.analysis.bounds import generic_lower_bound_ppc
 from repro.analysis.yao import cw_hard_sampler, cw_lower_bound
+from repro.core.batched import estimate_expected_probes_on_batched
 from repro.core.estimator import (
     estimate_average_probes,
     estimate_average_under,
-    estimate_expected_probes_on,
 )
 from repro.core.coloring import Coloring
 from repro.experiments.report import Row
@@ -29,6 +29,7 @@ def run_probe_cw_bound(
     ps: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     trials: int = 2000,
     seed: int = 11,
+    batched: bool = True,
 ) -> list[Row]:
     """Measured average probes of Probe_CW versus the ``2k − 1`` bound."""
     if walls is None:
@@ -44,7 +45,9 @@ def run_probe_cw_bound(
         algorithm = ProbeCW(wall)
         k = wall.num_rows
         for p in ps:
-            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=seed)
+            estimate = estimate_average_probes(
+                algorithm, p, trials=trials, seed=seed, batched=batched
+            )
             rows.append(
                 Row(
                     experiment="thm3.3-cw",
@@ -62,13 +65,15 @@ def run_probe_cw_bound(
 
 
 def run_wheel_and_triang_corollaries(
-    trials: int = 4000, seed: int = 13
+    trials: int = 4000, seed: int = 13, batched: bool = True
 ) -> list[Row]:
     """Corollary 3.4 (Wheel ≤ 3) and Corollary 3.5 (Triang vs. lower bound)."""
     rows: list[Row] = []
     for n in (10, 50, 200):
         wall = CrumblingWall([1, n - 1], name=f"Wheel({n})")
-        estimate = estimate_average_probes(ProbeCW(wall), 0.5, trials=trials, seed=seed)
+        estimate = estimate_average_probes(
+            ProbeCW(wall), 0.5, trials=trials, seed=seed, batched=batched
+        )
         rows.append(
             Row(
                 experiment="thm3.3-cw",
@@ -79,11 +84,14 @@ def run_wheel_and_triang_corollaries(
                 relation="<=",
                 params={"n": n, "p": 0.5},
                 note="Corollary 3.4",
+                tolerance=estimate.ci95,
             )
         )
     for depth in (8, 15, 25):
         triang = TriangSystem(depth)
-        estimate = estimate_average_probes(ProbeCW(triang), 0.5, trials=trials, seed=seed)
+        estimate = estimate_average_probes(
+            ProbeCW(triang), 0.5, trials=trials, seed=seed, batched=batched
+        )
         rows.append(
             Row(
                 experiment="thm3.3-cw",
@@ -94,6 +102,7 @@ def run_wheel_and_triang_corollaries(
                 relation="<=",
                 params={"n": triang.n, "k": depth, "p": 0.5},
                 note="Corollary 3.5 upper",
+                tolerance=estimate.ci95,
             )
         )
         rows.append(
@@ -116,12 +125,15 @@ def run_cw_independence_of_n(
     rows_count: int = 8,
     trials: int = 1500,
     seed: int = 17,
+    batched: bool = True,
 ) -> list[Row]:
     """Fix the number of rows, grow the row width: average probes stay flat."""
     rows: list[Row] = []
     for width in widths_per_row:
         wall = uniform_wall(rows=rows_count, width=width)
-        estimate = estimate_average_probes(ProbeCW(wall), 0.5, trials=trials, seed=seed)
+        estimate = estimate_average_probes(
+            ProbeCW(wall), 0.5, trials=trials, seed=seed, batched=batched
+        )
         rows.append(
             Row(
                 experiment="thm3.3-cw",
@@ -188,7 +200,7 @@ def run_randomized_cw(
         wheel_wall = CrumblingWall([1, n - 1], name=f"Wheel({n})")
         algorithm = RProbeCW(wheel_wall)
         worst = Coloring(n, red=[1])
-        estimate = estimate_expected_probes_on(
+        estimate = estimate_expected_probes_on_batched(
             algorithm, worst, trials=trials, seed=seed + n
         )
         rows.append(

@@ -38,14 +38,21 @@ def run_probabilistic_majority(
     ps: Sequence[float] = DEFAULT_PS,
     trials: int = 2000,
     seed: int = 2001,
+    batched: bool = True,
 ) -> list[Row]:
-    """Measured PPC of Probe_Maj versus Proposition 3.2."""
+    """Measured PPC of Probe_Maj versus Proposition 3.2.
+
+    Uses the vectorized estimator by default; pass ``batched=False`` to
+    reproduce the historical per-trial sampling streams.
+    """
     rows: list[Row] = []
     for n in sizes:
         system = MajoritySystem(n)
         algorithm = ProbeMaj(system)
         for p in ps:
-            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=seed)
+            estimate = estimate_average_probes(
+                algorithm, p, trials=trials, seed=seed, batched=batched
+            )
             rows.append(
                 Row(
                     experiment="prop3.2-maj",
@@ -65,12 +72,15 @@ def majority_sqrt_deficit_fit(
     sizes: Sequence[int] = (25, 51, 101, 201, 401),
     trials: int = 3000,
     seed: int = 7,
+    batched: bool = True,
 ):
     """Fit the ``n − measured ≈ A√n`` deficit at ``p = 1/2`` (the Θ(√n) term)."""
     costs = []
     for n in sizes:
         algorithm = ProbeMaj(MajoritySystem(n))
-        estimate = estimate_average_probes(algorithm, 0.5, trials=trials, seed=seed)
+        estimate = estimate_average_probes(
+            algorithm, 0.5, trials=trials, seed=seed, batched=batched
+        )
         costs.append(estimate.mean)
     return fit_sqrt_correction([float(n) for n in sizes], costs)
 

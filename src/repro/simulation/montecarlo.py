@@ -93,3 +93,43 @@ def run_cluster_trials(
         availability_failure_rate=failure_rate,
         trials=trials,
     )
+
+
+def run_batched_trials(
+    algorithm: ProbingAlgorithm,
+    p: float,
+    trials: int = 500,
+    latency: LatencyModel | None = None,
+    seed: int | None = None,
+) -> BatchResult:
+    """Vectorized counterpart of :func:`run_cluster_trials` for i.i.d. failures.
+
+    Samples the whole failure batch as one boolean matrix and evaluates the
+    algorithm through the mask-aware kernels of :mod:`repro.core.batched`
+    (falling back to a per-trial loop for algorithms without a kernel).
+    The elapsed-time estimate uses the latency model's *mean* per probe —
+    the batched path trades per-probe latency sampling for throughput; use
+    :func:`run_cluster_trials` when latency jitter matters.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    from repro.core.batched import as_generator, batched_or_sequential_run, sample_red_matrix
+
+    latency = latency or ConstantLatency(1.0)
+    generator = as_generator(seed)
+    red = sample_red_matrix(algorithm.system.n, p, trials, generator)
+    probes, witness_green = batched_or_sequential_run(algorithm, red, generator)
+    probe_estimate = Estimate.from_samples(probes)
+    per_probe = latency.mean()
+    elapsed = Estimate(
+        mean=probe_estimate.mean * per_probe,
+        std=probe_estimate.std * per_probe,
+        trials=trials,
+    )
+    failure_rate = float(1.0 - np.mean(witness_green))
+    return BatchResult(
+        probes=probe_estimate,
+        elapsed=elapsed,
+        availability_failure_rate=failure_rate,
+        trials=trials,
+    )

@@ -20,6 +20,7 @@ import itertools
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator
 
+from repro.core.bitmask import elements_of, mask_of, validate_mask
 from repro.core.coloring import Color, Coloring
 
 #: Default cap on universe size for brute-force quorum enumeration.
@@ -40,6 +41,8 @@ class QuorumSystem(ABC):
             raise ValueError(f"universe must contain at least one element, got n={n}")
         self._n = n
         self._name = name or type(self).__name__
+        self._quorum_masks_cache: tuple[int, ...] | None = None
+        self._transversal_masks_cache: tuple[int, ...] | None = None
 
     # -- basic attributes -------------------------------------------------
 
@@ -78,6 +81,60 @@ class QuorumSystem(ABC):
         The returned quorum need not be minimal, but concrete systems return
         minimal quorums whenever that is natural.
         """
+
+    # -- bitmask fast path ---------------------------------------------------
+
+    @property
+    def universe_mask(self) -> int:
+        """The universe as an integer mask (bit ``i`` ⇔ element ``i + 1``)."""
+        return (1 << self._n) - 1
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        """Mask-native :meth:`contains_quorum`.
+
+        The default implementation round-trips through a frozenset so every
+        system supports the mask protocol; concrete systems override it with
+        structure-aware word operations (popcount thresholds, precomputed
+        row/quorum masks, recursive gate evaluation).
+        """
+        validate_mask(mask, self._n)
+        return self.contains_quorum(elements_of(mask))
+
+    def find_quorum_within_mask(self, mask: int) -> int | None:
+        """Mask-native :meth:`find_quorum_within`."""
+        validate_mask(mask, self._n)
+        quorum = self.find_quorum_within(elements_of(mask))
+        return None if quorum is None else mask_of(quorum)
+
+    def is_transversal_mask(self, mask: int) -> bool:
+        """Mask-native :meth:`is_transversal`."""
+        validate_mask(mask, self._n)
+        return not self.contains_quorum_mask(self.universe_mask & ~mask)
+
+    def quorum_masks(self) -> tuple[int, ...]:
+        """All minimal quorums as integer masks, computed once per instance.
+
+        Requires quorum enumeration, hence the same universe-size limits as
+        :meth:`quorums`; the tuple is cached so repeated callers pay the
+        enumeration cost only once.
+        """
+        if self._quorum_masks_cache is None:
+            self._quorum_masks_cache = tuple(mask_of(q) for q in self.quorums())
+        return self._quorum_masks_cache
+
+    def transversal_masks(self) -> tuple[int, ...]:
+        """All minimal transversals as integer masks, computed once.
+
+        These are the quorums of the dual system; a known-red mask settles a
+        red witness exactly when it covers one of them.
+        """
+        if self._transversal_masks_cache is None:
+            from repro.systems.boolean import dual_system
+
+            self._transversal_masks_cache = tuple(
+                mask_of(q) for q in dual_system(self).quorums()
+            )
+        return self._transversal_masks_cache
 
     def is_quorum(self, elements: Iterable[int]) -> bool:
         """Return True if ``elements`` is exactly a *minimal* quorum.
@@ -251,10 +308,15 @@ class ExplicitQuorumSystem(QuorumSystem):
             (q for q in sets if not any(other < q for other in sets)),
             key=lambda q: (len(q), sorted(q)),
         )
+        self._quorum_masks_cache = tuple(mask_of(q) for q in self._quorums)
 
     def contains_quorum(self, elements: Iterable[int]) -> bool:
         s = frozenset(elements)
         return any(q <= s for q in self._quorums)
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        validate_mask(mask, self._n)
+        return any(q & mask == q for q in self._quorum_masks_cache)
 
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)

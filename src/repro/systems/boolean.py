@@ -17,8 +17,20 @@ import enum
 import itertools
 from collections.abc import Iterable, Iterator, Mapping
 
+from repro.core.bitmask import mask_of, validate_mask
 from repro.core.coloring import Color
 from repro.systems.base import ExplicitQuorumSystem, QuorumSystem
+
+#: Universe-size cap for the per-instance settled-witness memo.  Beyond it a
+#: knowledge-state cache could grow without bound, so memoization is skipped.
+_SETTLED_MEMO_LIMIT = 24
+
+#: Insertion cap for the memo.  Long Monte-Carlo runs through the generic
+#: scan algorithms see mostly-unique knowledge states; once the cache holds
+#: this many entries, new states are evaluated without being stored, so
+#: memory stays bounded while the hot repeated prefixes (exact permutation
+#: sweeps, strategy-tree builds) remain cached.
+_SETTLED_MEMO_MAX_ENTRIES = 500_000
 
 
 class Ternary(enum.Enum):
@@ -34,6 +46,13 @@ class CharacteristicFunction:
 
     def __init__(self, system: QuorumSystem) -> None:
         self._system = system
+        self._full_mask = (1 << system.n) - 1
+        # Memo for witness_settled_mask, keyed by (green_mask, red_mask).
+        # Shared across every query on this instance, so DP solvers and the
+        # permutation analysis stop recomputing identical knowledge states.
+        self._settled_memo: dict[tuple[int, int], Color | None] | None = (
+            {} if system.n <= _SETTLED_MEMO_LIMIT else None
+        )
 
     @property
     def system(self) -> QuorumSystem:
@@ -72,14 +91,20 @@ class CharacteristicFunction:
         forced to 0 (the red elements form a transversal), and ``UNKNOWN``
         otherwise.
         """
-        true_set = frozenset(known_true)
-        false_set = frozenset(known_false)
-        if true_set & false_set:
+        true_mask = mask_of(known_true)
+        false_mask = mask_of(known_false)
+        validate_mask(true_mask, self.n)
+        validate_mask(false_mask, self.n)
+        return self.evaluate_partial_mask(true_mask, false_mask)
+
+    def evaluate_partial_mask(self, true_mask: int, false_mask: int) -> Ternary:
+        """Mask-native :meth:`evaluate_partial`."""
+        if true_mask & false_mask:
             raise ValueError("an element cannot be simultaneously green and red")
-        if self._system.contains_quorum(true_set):
+        settled = self.witness_settled_mask(true_mask, false_mask)
+        if settled is Color.GREEN:
             return Ternary.TRUE
-        optimistic = self._system.universe - false_set
-        if not self._system.contains_quorum(optimistic):
+        if settled is Color.RED:
             return Ternary.FALSE
         return Ternary.UNKNOWN
 
@@ -94,12 +119,39 @@ class CharacteristicFunction:
         probes are needed.  This is exactly the termination test of a probe
         strategy.
         """
-        outcome = self.evaluate_partial(known_green, known_red)
-        if outcome is Ternary.TRUE:
-            return Color.GREEN
-        if outcome is Ternary.FALSE:
-            return Color.RED
-        return None
+        green_mask = mask_of(known_green)
+        red_mask = mask_of(known_red)
+        validate_mask(green_mask, self.n)
+        validate_mask(red_mask, self.n)
+        if green_mask & red_mask:
+            raise ValueError("an element cannot be simultaneously green and red")
+        return self.witness_settled_mask(green_mask, red_mask)
+
+    def witness_settled_mask(self, green_mask: int, red_mask: int) -> Color | None:
+        """Mask-native :meth:`witness_settled`, memoized per knowledge state.
+
+        On small universes the result is cached on the instance, so DP
+        solvers and permutation sweeps that revisit the same
+        ``(green, red)`` knowledge state get a dict lookup instead of a
+        characteristic-function evaluation.
+        """
+        memo = self._settled_memo
+        if memo is not None:
+            key = (green_mask, red_mask)
+            try:
+                return memo[key]
+            except KeyError:
+                pass
+        system = self._system
+        if system.contains_quorum_mask(green_mask):
+            settled: Color | None = Color.GREEN
+        elif not system.contains_quorum_mask(self._full_mask & ~red_mask):
+            settled = Color.RED
+        else:
+            settled = None
+        if memo is not None and len(memo) < _SETTLED_MEMO_MAX_ENTRIES:
+            memo[key] = settled
+        return settled
 
     # -- minterms / maxterms / duality -----------------------------------------
 

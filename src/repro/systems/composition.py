@@ -117,6 +117,16 @@ class CompositeSystem(QuorumSystem):
             raise ValueError("elements outside the universe")
         return self._outer.contains_quorum(self._live_outer_elements(s))
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        live_mask = 0
+        for index, inner in enumerate(self._inners):
+            block_bits = (mask >> self._offsets[index]) & ((1 << inner.n) - 1)
+            if inner.contains_quorum_mask(block_bits):
+                live_mask |= 1 << index
+        return self._outer.contains_quorum_mask(live_mask)
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)
         if not s <= self.universe:

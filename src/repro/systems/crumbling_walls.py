@@ -42,6 +42,8 @@ class CrumblingWall(QuorumSystem):
             self._rows.append(frozenset(range(start, start + w)))
             start += w
         self._row_of = {e: i for i, row in enumerate(self._rows) for e in row}
+        # Row bitmasks, bottom row last — the unit of the mask fast path.
+        self._row_masks = [(((1 << w) - 1) << (min(row) - 1)) for w, row in zip(widths, self._rows)]
 
     # -- structure ----------------------------------------------------------
 
@@ -104,6 +106,22 @@ class CrumblingWall(QuorumSystem):
             if not below_all_hit:
                 return False
         return False
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        # Same bottom-up scan as contains_quorum, on row bitmasks.
+        for row_mask in reversed(self._row_masks):
+            if mask & row_mask == row_mask:
+                return True
+            if not mask & row_mask:
+                return False
+        return False
+
+    @property
+    def row_masks(self) -> list[int]:
+        """The rows as integer masks, from top (row 1) to bottom (row k)."""
+        return list(self._row_masks)
 
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)

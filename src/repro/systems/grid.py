@@ -32,6 +32,12 @@ class GridSystem(QuorumSystem):
         super().__init__(rows * cols, name=f"Grid({rows}x{cols})")
         self._rows = rows
         self._cols = cols
+        row_unit = (1 << cols) - 1
+        self._grid_row_masks = [row_unit << (r * cols) for r in range(rows)]
+        col_unit = 0
+        for r in range(rows):
+            col_unit |= 1 << (r * cols)
+        self._grid_col_masks = [col_unit << c for c in range(cols)]
 
     @property
     def rows(self) -> int:
@@ -70,6 +76,13 @@ class GridSystem(QuorumSystem):
             return False
         full_cols = [c for c in range(1, self._cols + 1) if self.col_elements(c) <= s]
         return bool(full_cols)
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        if not any(mask & m == m for m in self._grid_row_masks):
+            return False
+        return any(mask & m == m for m in self._grid_col_masks)
 
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)

@@ -119,6 +119,23 @@ class HQS(QuorumSystem):
         votes = sum(1 for child in self.children(v) if self._evaluates_true(child, s))
         return votes >= 2
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        return self._evaluates_true_mask(0, mask)
+
+    def _evaluates_true_mask(self, v: int, mask: int) -> bool:
+        # Leaf heap node v holds universe element v - first_leaf + 1.
+        if v >= self._first_leaf:
+            return bool((mask >> (v - self._first_leaf)) & 1)
+        a = self._evaluates_true_mask(3 * v + 1, mask)
+        b = self._evaluates_true_mask(3 * v + 2, mask)
+        if a and b:
+            return True
+        if not (a or b):
+            return False
+        return self._evaluates_true_mask(3 * v + 3, mask)
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)
         if not s <= self.universe:

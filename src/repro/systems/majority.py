@@ -33,6 +33,11 @@ class MajoritySystem(QuorumSystem):
             raise ValueError("elements outside the universe")
         return len(s) >= self.quorum_size
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        return mask.bit_count() >= self.quorum_size
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)
         if len(s) < self.quorum_size:
@@ -83,6 +88,7 @@ class WeightedMajoritySystem(QuorumSystem):
             raise ValueError("total weight must be positive")
         super().__init__(n, name=name or f"WeightedMaj({n})")
         self._weights = {e: weight_list[e - 1] for e in range(1, n + 1)}
+        self._weight_list = tuple(weight_list)
         self._threshold = total / 2.0
 
     @property
@@ -99,6 +105,17 @@ class WeightedMajoritySystem(QuorumSystem):
         if not s <= self.universe:
             raise ValueError("elements outside the universe")
         return self.weight_of(s) > self._threshold
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        weight = 0
+        m = mask
+        while m:
+            low = m & -m
+            weight += self._weight_list[low.bit_length() - 1]
+            m ^= low
+        return weight > self._threshold
 
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)

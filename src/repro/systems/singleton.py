@@ -32,6 +32,11 @@ class SingletonSystem(QuorumSystem):
             raise ValueError("elements outside the universe")
         return self._center in s
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        return bool((mask >> (self._center - 1)) & 1)
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         if self._center in frozenset(elements):
             return frozenset({self._center})
@@ -68,6 +73,11 @@ class StarSystem(QuorumSystem):
         if not s <= self.universe:
             raise ValueError("elements outside the universe")
         return self._hub in s and len(s) >= 2
+
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        return bool((mask >> (self._hub - 1)) & 1) and mask.bit_count() >= 2
 
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)

@@ -110,6 +110,21 @@ class TreeSystem(QuorumSystem):
             return True
         return v in s and (left_ok or right_ok)
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        return self._has_quorum_mask(1, mask)
+
+    def _has_quorum_mask(self, v: int, mask: int) -> bool:
+        # Heap node v corresponds to bit v - 1; leaves have 2v > n.
+        if 2 * v > self._n:
+            return bool((mask >> (v - 1)) & 1)
+        left_ok = self._has_quorum_mask(2 * v, mask)
+        right_ok = self._has_quorum_mask(2 * v + 1, mask)
+        if left_ok and right_ok:
+            return True
+        return bool((mask >> (v - 1)) & 1) and (left_ok or right_ok)
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)
         if not s <= self.universe:

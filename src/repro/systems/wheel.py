@@ -40,6 +40,14 @@ class WheelSystem(QuorumSystem):
             return True
         return self.rim <= s
 
+    def contains_quorum_mask(self, mask: int) -> bool:
+        if mask < 0 or mask >> self._n:
+            raise ValueError("elements outside the universe")
+        if mask & 1:
+            return mask != 1
+        rim_mask = self.universe_mask & ~1
+        return mask & rim_mask == rim_mask
+
     def find_quorum_within(self, elements: Iterable[int]) -> frozenset[int] | None:
         s = frozenset(elements)
         if 1 in s:

@@ -1,0 +1,174 @@
+"""Tests for the vectorized Monte-Carlo layer (:mod:`repro.core.batched`).
+
+The deterministic kernels must reproduce the sequential algorithms
+*trial-by-trial* on a shared input matrix; the randomized kernels must
+match in distribution.  The estimator wrappers and the batched simulation
+entry point are checked against their per-trial counterparts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProbeCW, ProbeMaj, ProbeTree, RProbeCW, RProbeMaj
+from repro.core.batched import (
+    batched_or_sequential_run,
+    batched_run,
+    estimate_average_probes_batched,
+    estimate_expected_probes_on_batched,
+    sample_red_matrix,
+    supports_batched,
+)
+from repro.core.coloring import Coloring
+from repro.core.estimator import estimate_average_probes, estimate_expected_probes_on
+from repro.simulation.montecarlo import run_batched_trials
+from repro.systems import CrumblingWall, MajoritySystem, TreeSystem, TriangSystem, uniform_wall
+
+
+DETERMINISTIC_CASES = [
+    (ProbeMaj(MajoritySystem(25)), 0.5),
+    (ProbeMaj(MajoritySystem(101)), 0.3),
+    (ProbeCW(TriangSystem(8)), 0.5),
+    (ProbeCW(CrumblingWall([1, 3, 3, 3])), 0.7),
+    (ProbeCW(uniform_wall(rows=5, width=10)), 0.2),
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm,p", DETERMINISTIC_CASES, ids=lambda case: getattr(case, "name", None)
+)
+class TestDeterministicKernelsMatchExactly:
+    def test_trial_by_trial(self, algorithm, p):
+        n = algorithm.system.n
+        red = sample_red_matrix(n, p, 200, rng=42)
+        probes, witness_green = batched_run(algorithm, red)
+        for t in range(red.shape[0]):
+            run = algorithm.run_on(Coloring.from_red_row(red[t]))
+            assert run.probes == probes[t]
+            assert run.witness.is_green == bool(witness_green[t])
+
+
+class TestRandomizedKernelsMatchInDistribution:
+    @pytest.mark.parametrize(
+        "factory,system",
+        [(RProbeMaj, MajoritySystem(51)), (RProbeCW, TriangSystem(8))],
+        ids=["RProbeMaj", "RProbeCW"],
+    )
+    def test_means_agree(self, factory, system):
+        algorithm = factory(system)
+        red = sample_red_matrix(system.n, 0.5, 3000, rng=7)
+        probes, _ = batched_run(algorithm, red, rng=np.random.default_rng(1))
+        rng = random.Random(2)
+        sequential = [
+            algorithm.run_on(Coloring.from_red_row(red[t]), rng=rng).probes
+            for t in range(1000)
+        ]
+        assert abs(float(np.mean(probes)) - float(np.mean(sequential))) < 1.5
+
+    def test_rcw_witness_color_matches_system(self):
+        system = TriangSystem(6)
+        algorithm = RProbeCW(system)
+        red = sample_red_matrix(system.n, 0.5, 300, rng=3)
+        _, witness_green = batched_run(algorithm, red, rng=np.random.default_rng(4))
+        for t in range(red.shape[0]):
+            coloring = Coloring.from_red_row(red[t])
+            assert bool(witness_green[t]) == system.has_live_quorum(coloring)
+
+
+class TestDispatchAndFallback:
+    def test_supports_batched(self):
+        assert supports_batched(ProbeMaj(MajoritySystem(5)))
+        assert supports_batched(RProbeCW(TriangSystem(3)))
+        assert not supports_batched(ProbeTree(TreeSystem(3)))
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeError):
+            batched_run(ProbeTree(TreeSystem(3)), np.zeros((2, 15), dtype=bool))
+
+    def test_fallback_matches_sequential(self):
+        algorithm = ProbeTree(TreeSystem(3))
+        red = sample_red_matrix(15, 0.5, 50, rng=5)
+        probes, witness_green = batched_or_sequential_run(algorithm, red)
+        for t in range(red.shape[0]):
+            run = algorithm.run_on(Coloring.from_red_row(red[t]))
+            assert run.probes == probes[t]
+            assert run.witness.is_green == bool(witness_green[t])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batched_run(ProbeMaj(MajoritySystem(5)), np.zeros((3, 4), dtype=bool))
+
+
+class TestBatchedEstimators:
+    def test_average_probes_agrees_with_sequential(self):
+        algorithm = ProbeMaj(MajoritySystem(101))
+        batched = estimate_average_probes_batched(algorithm, 0.5, trials=4000, seed=1)
+        sequential = estimate_average_probes(algorithm, 0.5, trials=4000, seed=1)
+        assert abs(batched.mean - sequential.mean) < 3 * (batched.ci95 + sequential.ci95)
+
+    def test_estimator_flag_routes_to_batched(self):
+        algorithm = ProbeCW(TriangSystem(8))
+        via_flag = estimate_average_probes(algorithm, 0.5, trials=500, seed=9, batched=True)
+        direct = estimate_average_probes_batched(algorithm, 0.5, trials=500, seed=9)
+        assert via_flag.mean == direct.mean
+        assert via_flag.trials == direct.trials == 500
+
+    def test_validate_incompatible_with_batched(self):
+        with pytest.raises(ValueError):
+            estimate_average_probes(
+                ProbeMaj(MajoritySystem(5)), 0.5, trials=10, batched=True, validate=True
+            )
+
+    def test_expected_probes_on_fixed_input(self):
+        system = CrumblingWall([1, 7], name="Wheel(8)")
+        algorithm = RProbeCW(system)
+        worst = Coloring(8, red=[1, 5])
+        batched = estimate_expected_probes_on_batched(algorithm, worst, trials=4000, seed=11)
+        sequential = estimate_expected_probes_on(algorithm, worst, trials=4000, seed=11)
+        assert abs(batched.mean - sequential.mean) < 3 * (batched.ci95 + sequential.ci95)
+
+    def test_expected_probes_on_deterministic_is_exact(self):
+        system = TriangSystem(4)
+        algorithm = ProbeCW(system)
+        coloring = Coloring(system.n, red=[2, 5, 9])
+        estimate = estimate_expected_probes_on_batched(algorithm, coloring, trials=100)
+        assert estimate.trials == 1 and estimate.std == 0.0
+        assert estimate.mean == float(algorithm.run_on(coloring).probes)
+
+
+class TestSamplersAndBatchResult:
+    def test_sample_red_matrix_distribution(self):
+        red = sample_red_matrix(200, 0.3, 500, rng=13)
+        assert red.shape == (500, 200) and red.dtype == np.bool_
+        assert abs(float(red.mean()) - 0.3) < 0.01
+
+    def test_random_batch_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Coloring.random_batch(10, 1.5, 4)
+
+    def test_from_red_row_round_trip(self):
+        rng = random.Random(17)
+        coloring = Coloring.random(300, 0.4, rng)
+        row = np.zeros(300, dtype=bool)
+        for e in coloring.red_elements:
+            row[e - 1] = True
+        assert Coloring.from_red_row(row) == coloring
+
+    def test_large_n_random_red_count(self):
+        rng = random.Random(19)
+        counts = [len(Coloring.random(2000, 0.25, rng).red_elements) for _ in range(30)]
+        assert abs(float(np.mean(counts)) - 500.0) < 30.0
+
+    def test_run_batched_trials_matches_availability(self):
+        algorithm = ProbeMaj(MajoritySystem(101))
+        result = run_batched_trials(algorithm, p=0.3, trials=2000, seed=23)
+        assert result.trials == 2000
+        # At p = 0.3 a 101-element majority is almost surely alive.
+        assert result.availability_failure_rate < 0.01
+        assert math.isclose(result.elapsed.mean, result.probes.mean)
+        balanced = run_batched_trials(algorithm, p=0.5, trials=2000, seed=29)
+        assert abs(balanced.availability_failure_rate - 0.5) < 0.05

@@ -1,0 +1,302 @@
+"""Equivalence suite: the bitmask engine versus the legacy frozenset path.
+
+The bitmask fast paths (``contains_quorum_mask``, the mask-DP
+:class:`~repro.core.exact.ExactSolver`, the memoized settled-witness test)
+must be *semantically identical* to the original frozenset implementations.
+This module pins that down three ways:
+
+* a reference solver implementing the seed's frozenset knowledge-state DP
+  verbatim, compared against the mask solver on all of the paper's worked
+  systems (``PC`` bit-identical, ``PPC_p`` and Yao bounds within 1e-9);
+* the paper's ``Maj3`` constants (PC = 3, PPC_{1/2} = 5/2, PCR = 8/3);
+* property checks that ``contains_quorum(frozenset)`` agrees with the mask
+  evaluation on random subsets for *every* system construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis.yao import majority_hard_distribution, majority_lower_bound
+from repro.core.bitmask import elements_of, full_mask, mask_of
+from repro.core.coloring import ColoringDistribution
+from repro.core.exact import EXACT_LIMIT, ExactSolver, permutation_algorithm_worst_expected
+from repro.systems import (
+    HQS,
+    CompositeSystem,
+    CrumblingWall,
+    ExplicitQuorumSystem,
+    GridSystem,
+    MajoritySystem,
+    ProjectivePlaneSystem,
+    SingletonSystem,
+    StarSystem,
+    TreeSystem,
+    TriangSystem,
+    WeightedMajoritySystem,
+    WheelSystem,
+)
+from repro.systems.boolean import CharacteristicFunction
+
+
+class LegacySolver:
+    """The seed's frozenset knowledge-state DP, kept as ground truth."""
+
+    def __init__(self, system) -> None:
+        self._system = system
+        self._universe = tuple(sorted(system.universe))
+
+    def _settled(self, green: frozenset[int], red: frozenset[int]):
+        system = self._system
+        if system.contains_quorum(green):
+            return "green"
+        if not system.contains_quorum(system.universe - red):
+            return "red"
+        return None
+
+    def probe_complexity(self) -> int:
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> int:
+            if self._settled(green, red) is not None:
+                return 0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1 + min(
+                max(value(green | {e}, red), value(green, red | {e}))
+                for e in remaining
+            )
+
+        return value(frozenset(), frozenset())
+
+    def probabilistic_probe_complexity(self, p: float) -> float:
+        q = 1.0 - p
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> float:
+            if self._settled(green, red) is not None:
+                return 0.0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            return 1.0 + min(
+                q * value(green | {e}, red) + p * value(green, red | {e})
+                for e in remaining
+            )
+
+        return value(frozenset(), frozenset())
+
+    def best_deterministic_under(self, distribution: ColoringDistribution) -> float:
+        support = distribution.support
+
+        @lru_cache(maxsize=None)
+        def value(green: frozenset[int], red: frozenset[int]) -> float:
+            if self._settled(green, red) is not None:
+                return 0.0
+            consistent = [
+                w
+                for w in support
+                if green <= w.coloring.green_elements
+                and red <= w.coloring.red_elements
+            ]
+            total = sum(w.probability for w in consistent)
+            if total == 0:
+                return 0.0
+            remaining = [e for e in self._universe if e not in green and e not in red]
+            best = float("inf")
+            for e in remaining:
+                green_mass = sum(
+                    w.probability for w in consistent if w.coloring.is_green(e)
+                )
+                prob_green = green_mass / total
+                cost = (
+                    1.0
+                    + prob_green * value(green | {e}, red)
+                    + (1.0 - prob_green) * value(green, red | {e})
+                )
+                best = min(best, cost)
+            return best
+
+        return value(frozenset(), frozenset())
+
+
+PAPER_SYSTEMS = [
+    MajoritySystem(3),
+    MajoritySystem(5),
+    WheelSystem(5),
+    WheelSystem(6),
+    CrumblingWall([1, 2, 3]),
+    TriangSystem(4),  # n = 10
+    TreeSystem(2),  # n = 7
+    HQS(2),  # n = 9
+    CrumblingWall([1, 3, 3, 3]),  # n = 10
+]
+
+
+@pytest.mark.parametrize("system", PAPER_SYSTEMS, ids=lambda s: s.name)
+class TestMaskSolverMatchesLegacy:
+    def test_pc_bit_identical(self, system):
+        assert ExactSolver(system).probe_complexity() == LegacySolver(system).probe_complexity()
+
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.5, 0.8, 1.0])
+    def test_ppc_within_1e9(self, system, p):
+        mask_value = ExactSolver(system).probabilistic_probe_complexity(p)
+        legacy_value = LegacySolver(system).probabilistic_probe_complexity(p)
+        assert math.isclose(mask_value, legacy_value, rel_tol=0, abs_tol=1e-9)
+
+    def test_repeated_queries_reuse_caches(self, system):
+        solver = ExactSolver(system)
+        first = solver.probabilistic_probe_complexity(0.5)
+        # Same-solver re-query and cross-measure queries must be consistent.
+        assert solver.probabilistic_probe_complexity(0.5) == first
+        assert solver.probe_complexity() == LegacySolver(system).probe_complexity()
+
+
+class TestYaoEquivalence:
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_majority_hard_distribution(self, n):
+        system = MajoritySystem(n)
+        dist = majority_hard_distribution(system)
+        mask_value = ExactSolver(system).best_deterministic_under(dist)
+        legacy_value = LegacySolver(system).best_deterministic_under(dist)
+        assert math.isclose(mask_value, legacy_value, rel_tol=0, abs_tol=1e-9)
+        assert math.isclose(mask_value, majority_lower_bound(n), rel_tol=1e-9)
+
+    @pytest.mark.parametrize(
+        "system",
+        [WheelSystem(5), TriangSystem(3), TreeSystem(1)],
+        ids=lambda s: s.name,
+    )
+    def test_product_distribution(self, system):
+        dist = ColoringDistribution.product(system.n, 0.5)
+        mask_value = ExactSolver(system).best_deterministic_under(dist)
+        legacy_value = LegacySolver(system).best_deterministic_under(dist)
+        assert math.isclose(mask_value, legacy_value, rel_tol=0, abs_tol=1e-9)
+
+
+class TestPaperWorkedExample:
+    """Section 2.3: Maj3 has PC = 3, PPC_{1/2} = 5/2 and PCR = 8/3."""
+
+    def test_maj3_constants(self):
+        system = MajoritySystem(3)
+        solver = ExactSolver(system)
+        assert solver.probe_complexity() == 3
+        assert math.isclose(solver.probabilistic_probe_complexity(0.5), 2.5)
+        assert math.isclose(permutation_algorithm_worst_expected(system), 8 / 3)
+        yao = solver.best_deterministic_under(majority_hard_distribution(system))
+        assert math.isclose(yao, 8 / 3, rel_tol=1e-9)
+
+
+ALL_SYSTEMS = [
+    MajoritySystem(9),
+    WeightedMajoritySystem([3, 1, 1, 2, 1]),
+    WheelSystem(8),
+    StarSystem(6),
+    SingletonSystem(5, center=3),
+    CrumblingWall([1, 3, 2, 4]),
+    TriangSystem(4),
+    TreeSystem(3),  # n = 15
+    HQS(2),
+    GridSystem(3, 4),
+    ProjectivePlaneSystem(2),  # Fano plane, n = 7
+    ExplicitQuorumSystem(5, [{1, 2}, {2, 3, 4}, {1, 4, 5}]),
+    CompositeSystem(MajoritySystem(3), [MajoritySystem(3), WheelSystem(3), SingletonSystem(2)]),
+]
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS, ids=lambda s: s.name)
+class TestMaskPredicateEquivalence:
+    def test_random_subsets(self, system):
+        rng = random.Random(20260728 + system.n)
+        for _ in range(200):
+            subset = frozenset(
+                e for e in range(1, system.n + 1) if rng.random() < rng.choice([0.2, 0.5, 0.8])
+            )
+            mask = mask_of(subset)
+            assert system.contains_quorum_mask(mask) == system.contains_quorum(subset)
+
+    def test_extremes(self, system):
+        assert system.contains_quorum_mask(full_mask(system.n)) is True
+        assert system.contains_quorum_mask(0) == system.contains_quorum(frozenset())
+
+    def test_out_of_universe_mask_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.contains_quorum_mask(1 << system.n)
+
+    def test_witness_settled_mask_agrees(self, system):
+        f = CharacteristicFunction(system)
+        rng = random.Random(31 + system.n)
+        for _ in range(50):
+            greens, reds = set(), set()
+            for e in range(1, system.n + 1):
+                u = rng.random()
+                if u < 0.3:
+                    greens.add(e)
+                elif u < 0.6:
+                    reds.add(e)
+            assert f.witness_settled_mask(mask_of(greens), mask_of(reds)) == f.witness_settled(
+                greens, reds
+            )
+
+
+class TestMaskEnumeration:
+    @pytest.mark.parametrize(
+        "system",
+        [MajoritySystem(5), WheelSystem(5), TriangSystem(3), TreeSystem(2), HQS(1)],
+        ids=lambda s: s.name,
+    )
+    def test_quorum_masks_match_quorums(self, system):
+        assert set(system.quorum_masks()) == {mask_of(q) for q in system.quorums()}
+        # Cached: second call returns the identical tuple.
+        assert system.quorum_masks() is system.quorum_masks()
+
+    def test_transversal_masks_are_minimal_transversals(self):
+        system = WheelSystem(5)
+        transversals = [elements_of(m) for m in system.transversal_masks()]
+        assert all(system.is_transversal(t) for t in transversals)
+        # Minimality: removing any element breaks the transversal.
+        for t in transversals:
+            for e in t:
+                assert not system.is_transversal(t - {e})
+
+    def test_exact_limit_raised_to_20(self):
+        assert EXACT_LIMIT >= 20
+        ExactSolver(MajoritySystem(17))  # constructible beyond the old cap of 16
+        with pytest.raises(ValueError):
+            ExactSolver(MajoritySystem(21))
+
+
+class TestLargeUniverseMaskPaths:
+    """Mask predicates on universes far beyond 64 bits (arbitrary precision)."""
+
+    def test_majority_large(self):
+        system = MajoritySystem(1001)
+        mask = mask_of(range(1, 502))
+        assert system.contains_quorum_mask(mask)
+        assert not system.contains_quorum_mask(mask >> 1)
+
+    def test_tree_large(self):
+        system = TreeSystem(9)  # n = 1023
+        # A full root-to-leaf path is a quorum.
+        path = []
+        v = 1
+        while v <= system.n:
+            path.append(v)
+            v *= 2
+        assert system.contains_quorum_mask(mask_of(path))
+        assert not system.contains_quorum_mask(mask_of(path[1:]))
+
+    def test_hqs_large(self):
+        system = HQS(6)  # n = 729
+
+        # Build a quorum explicitly: two of three children recursively.
+        def build(v: int) -> list[int]:
+            if system.is_leaf_node(v):
+                return [system.leaf_to_element(v)]
+            a, b, _ = system.children(v)
+            return build(a) + build(b)
+
+        elements = build(0)
+        assert system.contains_quorum_mask(mask_of(elements))
+        assert not system.contains_quorum_mask(mask_of(elements[1:]))
