@@ -16,6 +16,10 @@ Sections:
 * ``batched_montecarlo`` — vectorized versus per-trial Monte-Carlo
   estimation (1000 trials) for Probe_Maj on ``Maj(1001)`` and Probe_CW on
   ``Triang(45)`` (n = 1035);
+* ``batched_gates`` — the level-synchronous gate engine
+  (:mod:`repro.core.batched_gates`) versus the recursive per-trial loops
+  for Probe_Tree / R_Probe_Tree on ``Tree(h=9)`` (n = 1023) and
+  Probe_HQS / IR_Probe_HQS on ``HQS(h=6)`` (n = 729);
 * ``coloring_sampling`` — ``Coloring.random`` at ``n = 2000`` and the
   ``random_batch`` matrix sampler.
 """
@@ -34,12 +38,25 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algorithms import ProbeCW, ProbeMaj  # noqa: E402
+from repro.algorithms import (  # noqa: E402
+    IRProbeHQS,
+    ProbeCW,
+    ProbeHQS,
+    ProbeMaj,
+    ProbeTree,
+    RProbeTree,
+)
 from repro.core.batched import estimate_average_probes_batched  # noqa: E402
 from repro.core.coloring import Coloring  # noqa: E402
 from repro.core.estimator import estimate_average_probes  # noqa: E402
 from repro.core.exact import ExactSolver  # noqa: E402
-from repro.systems import CrumblingWall, MajoritySystem, TriangSystem  # noqa: E402
+from repro.systems import (  # noqa: E402
+    HQS,
+    CrumblingWall,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+)
 from repro.systems.boolean import CharacteristicFunction  # noqa: E402
 
 
@@ -103,15 +120,10 @@ def bench_exact_solver(quick: bool) -> dict:
     }
 
 
-def bench_batched_montecarlo(quick: bool) -> list[dict]:
-    trials = 200 if quick else 1000
-    cases = [
-        ("ProbeMaj", ProbeMaj(MajoritySystem(1001))),
-        ("ProbeCW", ProbeCW(TriangSystem(45))),  # n = 1035
-    ]
+def _bench_batched_vs_loop(cases: list, trials: int, p: float = 0.5) -> list[dict]:
+    """Time the batched kernel against the per-trial loop for each case."""
     results = []
     for name, algorithm in cases:
-        p = 0.5
         batched_seconds, batched_estimate = timed(
             lambda: estimate_average_probes_batched(algorithm, p, trials=trials, seed=1),
             repeat=3,
@@ -133,6 +145,28 @@ def bench_batched_montecarlo(quick: bool) -> list[dict]:
             }
         )
     return results
+
+
+def bench_batched_montecarlo(quick: bool) -> list[dict]:
+    trials = 200 if quick else 1000
+    cases = [
+        ("ProbeMaj", ProbeMaj(MajoritySystem(1001))),
+        ("ProbeCW", ProbeCW(TriangSystem(45))),  # n = 1035
+    ]
+    return _bench_batched_vs_loop(cases, trials)
+
+
+def bench_batched_gates(quick: bool) -> list[dict]:
+    trials = 200 if quick else 1000
+    tree_height = 7 if quick else 9  # n = 255 / 1023
+    hqs_height = 5 if quick else 6  # n = 243 / 729
+    cases = [
+        ("ProbeTree", ProbeTree(TreeSystem(tree_height))),
+        ("RProbeTree", RProbeTree(TreeSystem(tree_height))),
+        ("ProbeHQS", ProbeHQS(HQS(hqs_height))),
+        ("IRProbeHQS", IRProbeHQS(HQS(hqs_height))),
+    ]
+    return _bench_batched_vs_loop(cases, trials)
 
 
 def bench_coloring_sampling(quick: bool) -> dict:
@@ -171,6 +205,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "exact_solver": bench_exact_solver(args.quick),
         "batched_montecarlo": bench_batched_montecarlo(args.quick),
+        "batched_gates": bench_batched_gates(args.quick),
         "coloring_sampling": bench_coloring_sampling(args.quick),
     }
     output = args.output
@@ -188,7 +223,7 @@ def main(argv=None) -> int:
         f"vs legacy {exact['legacy_frozenset_dp_seconds']:.2f}s "
         f"({exact['speedup']:.1f}x)"
     )
-    for case in snapshot["batched_montecarlo"]:
+    for case in snapshot["batched_montecarlo"] + snapshot["batched_gates"]:
         print(
             f"{case['algorithm']} n={case['n']} x{case['trials']}: batched "
             f"{case['batched_seconds']*1e3:.1f}ms vs loop "

@@ -13,11 +13,20 @@ expectation.  The paper uses three such distributions:
   every height-1 bottom subtree exactly two of the three nodes are red,
   uniformly and independently; the value is ``2(n + 1)/3``.
 
-Each distribution is provided both as a sampler (for Monte-Carlo
-experiments on large systems) and as an explicit
-:class:`~repro.core.coloring.ColoringDistribution` (for exact best-
-deterministic computations on small systems via
-:meth:`repro.core.exact.ExactSolver.best_deterministic_under`).
+Each distribution comes in three forms:
+
+* a *sampler* closure (``*_hard_sampler``) drawing one
+  :class:`~repro.core.coloring.Coloring` per call, for per-trial
+  Monte-Carlo loops — all row/subtree precomputation is hoisted out of the
+  closure so the per-sample cost is the draw itself;
+* a *matrix sampler* (``*_hard_matrix``) drawing a whole trial batch as a
+  ``(trials, n)`` numpy bool red matrix, the native input of the batched
+  kernels in :mod:`repro.core.batched` /
+  :mod:`repro.core.batched_gates`;
+* an explicit :class:`~repro.core.coloring.ColoringDistribution`
+  (``*_hard_distribution``) for exact best-deterministic computations on
+  small systems via
+  :meth:`repro.core.exact.ExactSolver.best_deterministic_under`.
 """
 
 from __future__ import annotations
@@ -25,7 +34,9 @@ from __future__ import annotations
 import itertools
 import random
 
-from repro.core.coloring import Coloring, ColoringDistribution, WeightedColoring
+import numpy as np
+
+from repro.core.coloring import Coloring, ColoringDistribution, as_numpy_generator
 from repro.systems.crumbling_walls import CrumblingWall
 from repro.systems.majority import MajoritySystem
 from repro.systems.tree import TreeSystem
@@ -42,6 +53,23 @@ def majority_hard_sampler(system: MajoritySystem):
         return Coloring.with_exact_reds(system.n, reds, rng)
 
     return sample
+
+
+def majority_hard_matrix(
+    system: MajoritySystem, trials: int, rng=None
+) -> np.ndarray:
+    """Batched Theorem 4.2 sampler: ``trials`` uniform ``(k + 1)``-red rows.
+
+    Each row of the returned ``(trials, n)`` bool matrix marks a uniformly
+    chosen ``k + 1``-subset red (a per-trial uniform permutation truncated
+    to its first ``k + 1`` positions).
+    """
+    generator = as_numpy_generator(rng)
+    n, reds = system.n, system.quorum_size
+    order = generator.random((trials, n)).argsort(axis=1)
+    red = np.zeros((trials, n), dtype=bool)
+    np.put_along_axis(red, order[:, :reds], True, axis=1)
+    return red
 
 
 def majority_hard_distribution(system: MajoritySystem) -> ColoringDistribution:
@@ -63,15 +91,29 @@ def cw_hard_sampler(system: CrumblingWall):
     """Sampler for the hard distribution of Theorem 4.6.
 
     Exactly one uniformly chosen element of every row is green; all other
-    elements are red.
+    elements are red.  The sorted row lists are precomputed once, so each
+    sample costs one RNG draw per row.
     """
+    sorted_rows = [sorted(row) for row in system.rows]
 
     def sample(rng: random.Random) -> Coloring:
-        green = {rng.choice(sorted(row)) for row in system.rows}
+        green = {rng.choice(row) for row in sorted_rows}
         red = system.universe - green
         return Coloring(system.n, red)
 
     return sample
+
+
+def cw_hard_matrix(system: CrumblingWall, trials: int, rng=None) -> np.ndarray:
+    """Batched Theorem 4.6 sampler: all red except one uniform green per row."""
+    generator = as_numpy_generator(rng)
+    red = np.ones((trials, system.n), dtype=bool)
+    rows_idx = np.arange(trials)
+    for row in system.rows:
+        columns = np.asarray(sorted(row), dtype=np.intp) - 1
+        green = columns[generator.integers(columns.size, size=trials)]
+        red[rows_idx, green] = False
+    return red
 
 
 def cw_hard_distribution(system: CrumblingWall) -> ColoringDistribution:
@@ -92,27 +134,34 @@ def cw_lower_bound(system: CrumblingWall) -> float:
 # -- Tree (Theorem 4.8) ------------------------------------------------------------------------
 
 
+def _tree_hard_trios(system: TreeSystem) -> list[list[int]]:
+    """The ``(root, left, right)`` trios of the height-1 bottom subtrees."""
+    if system.height < 1:
+        raise ValueError("the Theorem 4.8 distribution needs height >= 1")
+    trios = []
+    for root in range(1, system.n + 1):
+        if system.depth_of(root) == system.height - 1:
+            left, right = system.children(root)
+            trios.append([root, left, right])
+    return trios
+
+
 def tree_hard_sampler(system: TreeSystem):
     """Sampler for the hard distribution of Theorem 4.8.
 
     Every node of depth at most ``h − 2`` is green.  The ``(n + 1)/4``
     height-1 subtrees hanging at depth ``h − 1`` each have exactly two of
     their three nodes (parent plus two leaves) colored red, the green one
-    chosen uniformly and independently per subtree.
+    chosen uniformly and independently per subtree.  The subtree trios are
+    derived once, outside the per-sample closure.
 
     Requires height at least 1 (so that height-1 subtrees exist).
     """
-    if system.height < 1:
-        raise ValueError("the Theorem 4.8 distribution needs height >= 1")
-    subtree_roots = [
-        v for v in range(1, system.n + 1) if system.depth_of(v) == system.height - 1
-    ]
+    trios = _tree_hard_trios(system)
 
     def sample(rng: random.Random) -> Coloring:
         red: set[int] = set()
-        for root in subtree_roots:
-            left, right = system.children(root)
-            trio = [root, left, right]
+        for trio in trios:
             green_one = rng.choice(trio)
             red.update(v for v in trio if v != green_one)
         return Coloring(system.n, red)
@@ -120,17 +169,25 @@ def tree_hard_sampler(system: TreeSystem):
     return sample
 
 
+def tree_hard_matrix(system: TreeSystem, trials: int, rng=None) -> np.ndarray:
+    """Batched Theorem 4.8 sampler.
+
+    Starts all green, reddens every bottom-subtree trio and then clears one
+    uniformly chosen member per ``(trial, trio)``.
+    """
+    generator = as_numpy_generator(rng)
+    trios = np.asarray(_tree_hard_trios(system), dtype=np.intp) - 1  # (m, 3)
+    red = np.zeros((trials, system.n), dtype=bool)
+    red[:, trios.ravel()] = True
+    choice = generator.integers(3, size=(trials, trios.shape[0]))
+    green = trios[np.arange(trios.shape[0])[None, :], choice]  # (trials, m)
+    red[np.arange(trials)[:, None], green] = False
+    return red
+
+
 def tree_hard_distribution(system: TreeSystem) -> ColoringDistribution:
     """Explicit hard distribution of Theorem 4.8 (small trees only)."""
-    if system.height < 1:
-        raise ValueError("the Theorem 4.8 distribution needs height >= 1")
-    subtree_roots = [
-        v for v in range(1, system.n + 1) if system.depth_of(v) == system.height - 1
-    ]
-    trios = []
-    for root in subtree_roots:
-        left, right = system.children(root)
-        trios.append([root, left, right])
+    trios = _tree_hard_trios(system)
     colorings = []
     for greens in itertools.product(*[range(3) for _ in trios]):
         red: set[int] = set()

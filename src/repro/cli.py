@@ -8,6 +8,7 @@ writing Python:
 * ``repro-probe maj3``             — the Section 2.3 worked example, exact
 * ``repro-probe probe``            — run one probing episode on a random coloring
 * ``repro-probe estimate``         — Monte-Carlo PPC estimate vs the paper bound
+* ``repro-probe sweep``            — batched (p, n) grid sweep + JSON artifact
 * ``repro-probe table1``           — regenerate Table 1
 * ``repro-probe experiment <id>``  — run a named per-theorem experiment
 
@@ -24,44 +25,16 @@ from repro.algorithms import default_deterministic_algorithm, default_randomized
 from repro.core.coloring import Coloring
 from repro.core.estimator import estimate_average_probes
 from repro.systems import (
-    HQS,
+    SYSTEM_CHOICES,
     CrumblingWall,
     GridSystem,
+    HQS,
     MajoritySystem,
-    QuorumSystem,
     TreeSystem,
     TriangSystem,
     WheelSystem,
+    build_system,
 )
-
-
-def build_system(name: str, size: int) -> QuorumSystem:
-    """Construct one of the paper's systems from a CLI name and size knob.
-
-    ``size`` means: universe size for Majority/Wheel (odd / >= 3), number of
-    rows for Triang, tree height for Tree and HQS, side length for Grid.
-    """
-    key = name.lower()
-    if key in ("maj", "majority"):
-        return MajoritySystem(size if size % 2 == 1 else size + 1)
-    if key == "wheel":
-        return WheelSystem(max(size, 3))
-    if key == "triang":
-        return TriangSystem(max(size, 1))
-    if key in ("cw", "wall"):
-        return CrumblingWall([1] + [max(size, 2)] * max(size - 1, 1))
-    if key == "tree":
-        return TreeSystem(max(size, 0))
-    if key == "hqs":
-        return HQS(max(size, 0))
-    if key == "grid":
-        return GridSystem(max(size, 1))
-    raise ValueError(
-        f"unknown system {name!r}; choose from maj, wheel, triang, cw, tree, hqs, grid"
-    )
-
-
-SYSTEM_CHOICES = ("maj", "wheel", "triang", "cw", "tree", "hqs", "grid")
 
 EXPERIMENT_IDS = (
     "maj3",
@@ -171,6 +144,32 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_float_list(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import render_sweep, run_sweep, write_sweep_artifact
+
+    result = run_sweep(
+        args.system,
+        sizes=args.sizes,
+        ps=args.ps,
+        trials=args.trials,
+        seed=args.seed,
+        randomized=args.randomized,
+    )
+    print(render_sweep(result))
+    output = args.output or f"sweep_{args.system}{'_rand' if args.randomized else ''}.json"
+    path = write_sweep_artifact(result, output)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import Table1Sizes, render_table1, run_table1
 
@@ -275,6 +274,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the vectorized (numpy) Monte-Carlo estimator",
     )
     estimate.set_defaults(func=_cmd_estimate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="batched Monte-Carlo sweep over a (p, size) grid, written as JSON",
+    )
+    sweep.add_argument("--system", choices=SYSTEM_CHOICES, default="tree")
+    sweep.add_argument(
+        "--sizes",
+        type=_parse_int_list,
+        default=[3, 5, 7, 9],
+        help="comma-separated size knobs (e.g. tree/HQS heights)",
+    )
+    sweep.add_argument(
+        "--ps",
+        type=_parse_float_list,
+        default=[0.1, 0.3, 0.5],
+        help="comma-separated failure probabilities",
+    )
+    sweep.add_argument("--trials", type=int, default=1000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--randomized", action="store_true")
+    sweep.add_argument(
+        "--output",
+        default=None,
+        help="artifact path (default: sweep_<system>[_rand].json)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--maj-n", type=int, default=101, dest="maj_n")

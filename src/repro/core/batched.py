@@ -6,11 +6,13 @@ probe loop for every sample.  For the paper's structured algorithms the
 whole trial batch can instead be evaluated with numpy: a batch of colorings
 is one boolean matrix (``True`` = red, column ``i`` ⇔ element ``i + 1``,
 the same convention as :meth:`Coloring.random_batch`), and the probe count
-of every trial falls out of cumulative-sum / argmax arithmetic over that
-matrix.
+of every trial falls out of cumulative-sum / argmax / per-level gate
+arithmetic over that matrix.
 
-Batched kernels exist for the algorithms whose probe schedule is
-data-independent enough to vectorize:
+Kernels are looked up in a registry keyed by the *exact* algorithm class
+(:func:`register_kernel`); a subclass overrides probing behavior, so it
+never inherits its parent's kernel and must register its own.  Registered
+out of the box:
 
 * :class:`~repro.algorithms.majority.ProbeMaj` — fixed-order scan until one
   color reaches the quorum size (cumulative counts + argmax);
@@ -20,26 +22,64 @@ data-independent enough to vectorize:
   scan of Fig. 5, one vector step per row;
 * :class:`~repro.algorithms.crumbling_walls.RProbeCW` — the bottom-up
   randomized scan of Theorem 4.4, one vector step per row over the
-  still-active trials.
+  still-active trials;
+* the five gate-tree algorithms — Probe_Tree, R_Probe_Tree, Probe_HQS,
+  R_Probe_HQS and IR_Probe_HQS — through the level-synchronous engine of
+  :mod:`repro.core.batched_gates`.
 
-Every kernel reproduces the sequential algorithm's probe count *exactly*
-for a given input matrix (the randomized ones draw from the same
-distribution over probe orders), which the equivalence tests assert
-trial-by-trial.  ``estimate_average_probes_batched`` transparently falls
-back to the per-trial loop for algorithms without a kernel.
+Every deterministic kernel reproduces the sequential algorithm's probe
+count *exactly* for a given input matrix, and the randomized ones draw
+from the same distribution over probe orders, which the equivalence tests
+assert trial-by-trial.  ``estimate_average_probes_batched`` transparently
+falls back to the per-trial loop for algorithms without a kernel.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.algorithms.base import ProbingAlgorithm
 from repro.algorithms.crumbling_walls import ProbeCW, RProbeCW
+from repro.algorithms.hqs import IRProbeHQS, ProbeHQS, RProbeHQS
 from repro.algorithms.majority import ProbeMaj, RProbeMaj
+from repro.algorithms.tree import ProbeTree, RProbeTree
+from repro.core.batched_gates import (
+    ir_probe_hqs_kernel,
+    probe_hqs_kernel,
+    probe_tree_kernel,
+    r_probe_hqs_kernel,
+    r_probe_tree_kernel,
+)
 from repro.core.coloring import Coloring, as_numpy_generator as as_generator
 from repro.core.estimator import Estimate
+
+#: A batched kernel: ``(algorithm, red, rng) -> (probes, witness_green)``
+#: over an already-validated ``(trials, n)`` bool matrix.
+BatchedKernel = Callable[
+    [ProbingAlgorithm, np.ndarray, object], tuple[np.ndarray, np.ndarray]
+]
+
+_KERNELS: dict[type, BatchedKernel] = {}
+
+
+def register_kernel(algorithm_cls: type, kernel: BatchedKernel) -> BatchedKernel:
+    """Register a vectorized kernel for an algorithm class.
+
+    Dispatch is by exact type — subclasses change probing behavior, so they
+    must register their own kernel rather than silently inheriting one.
+    Returns the kernel so future in-module kernels can keep registration
+    next to their definition.
+    """
+    _KERNELS[algorithm_cls] = kernel
+    return kernel
+
+
+def kernel_for(algorithm: ProbingAlgorithm) -> BatchedKernel | None:
+    """The registered kernel for this algorithm, or ``None``."""
+    return _KERNELS.get(type(algorithm))
 
 
 def sample_red_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
@@ -49,7 +89,7 @@ def sample_red_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
 
 def supports_batched(algorithm: ProbingAlgorithm) -> bool:
     """True when a vectorized kernel exists for this algorithm."""
-    return isinstance(algorithm, (ProbeMaj, RProbeMaj, ProbeCW, RProbeCW))
+    return kernel_for(algorithm) is not None
 
 
 def batched_run(
@@ -67,21 +107,10 @@ def batched_run(
         raise ValueError(
             f"red matrix must have shape (trials, {algorithm.system.n})"
         )
-    if isinstance(algorithm, RProbeMaj):
-        generator = as_generator(rng)
-        order = generator.random(red.shape).argsort(axis=1)
-        permuted = np.take_along_axis(red, order, axis=1)
-        return _majority_scan_kernel(algorithm.system.quorum_size, permuted)
-    if isinstance(algorithm, ProbeMaj):
-        columns = np.asarray(algorithm.order, dtype=np.intp) - 1
-        return _majority_scan_kernel(algorithm.system.quorum_size, red[:, columns])
-    if isinstance(algorithm, ProbeCW):
-        shuffle = algorithm.within_row_order == "random"
-        generator = as_generator(rng) if shuffle else None
-        return _probe_cw_kernel(algorithm.system, red, generator)
-    if isinstance(algorithm, RProbeCW):
-        return _r_probe_cw_kernel(algorithm.system, red, as_generator(rng))
-    raise TypeError(f"no batched kernel for {algorithm.name}")
+    kernel = kernel_for(algorithm)
+    if kernel is None:
+        raise TypeError(f"no batched kernel for {algorithm.name}")
+    return kernel(algorithm, red, rng)
 
 
 def batched_or_sequential_run(
@@ -108,7 +137,19 @@ def _sequential_run(
     return probes, witness_green
 
 
-# -- kernels ---------------------------------------------------------------------
+# -- majority / crumbling-wall kernels --------------------------------------------
+
+
+def _probe_maj_kernel(algorithm, red, rng=None):
+    columns = np.asarray(algorithm.order, dtype=np.intp) - 1
+    return _majority_scan_kernel(algorithm.system.quorum_size, red[:, columns])
+
+
+def _r_probe_maj_kernel(algorithm, red, rng=None):
+    generator = as_generator(rng)
+    order = generator.random(red.shape).argsort(axis=1)
+    permuted = np.take_along_axis(red, order, axis=1)
+    return _majority_scan_kernel(algorithm.system.quorum_size, permuted)
 
 
 def _majority_scan_kernel(
@@ -127,6 +168,12 @@ def _majority_scan_kernel(
     probes = stopped.argmax(axis=1) + 1
     witness_green = cum_red[:, -1] < target
     return probes.astype(np.int64), witness_green
+
+
+def _probe_cw_dispatch(algorithm, red, rng=None):
+    shuffle = algorithm.within_row_order == "random"
+    generator = as_generator(rng) if shuffle else None
+    return _probe_cw_kernel(algorithm.system, red, generator)
 
 
 def _probe_cw_kernel(
@@ -157,6 +204,10 @@ def _probe_cw_kernel(
         probes += np.where(found, first_match + 1, width)
         mode_red ^= ~found
     return probes, ~mode_red
+
+
+def _r_probe_cw_dispatch(algorithm, red, rng=None):
+    return _r_probe_cw_kernel(algorithm.system, red, as_generator(rng))
 
 
 def _r_probe_cw_kernel(
@@ -198,6 +249,17 @@ def _r_probe_cw_kernel(
     return probes, witness_green
 
 
+register_kernel(ProbeMaj, _probe_maj_kernel)
+register_kernel(RProbeMaj, _r_probe_maj_kernel)
+register_kernel(ProbeCW, _probe_cw_dispatch)
+register_kernel(RProbeCW, _r_probe_cw_dispatch)
+register_kernel(ProbeTree, probe_tree_kernel)
+register_kernel(RProbeTree, r_probe_tree_kernel)
+register_kernel(ProbeHQS, probe_hqs_kernel)
+register_kernel(RProbeHQS, r_probe_hqs_kernel)
+register_kernel(IRProbeHQS, ir_probe_hqs_kernel)
+
+
 # -- estimators -------------------------------------------------------------------
 
 
@@ -219,6 +281,28 @@ def estimate_average_probes_batched(
         raise ValueError("need at least one trial")
     generator = as_generator(seed)
     red = sample_red_matrix(algorithm.system.n, p, trials, generator)
+    probes, _ = batched_or_sequential_run(algorithm, red, generator)
+    return Estimate.from_samples(probes)
+
+
+def estimate_average_under_batched(
+    algorithm: ProbingAlgorithm,
+    matrix_sampler,
+    trials: int = 1000,
+    seed: int | None = None,
+) -> Estimate:
+    """Vectorized counterpart of
+    :func:`repro.core.estimator.estimate_average_under`.
+
+    ``matrix_sampler(trials, generator)`` must return a ``(trials, n)``
+    bool red matrix — e.g. the batched Yao hard-distribution samplers of
+    :mod:`repro.analysis.yao` wrapped in a ``functools.partial``.  The
+    whole batch then runs through the algorithm's kernel at once.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    generator = as_generator(seed)
+    red = matrix_sampler(trials, generator)
     probes, _ = batched_or_sequential_run(algorithm, red, generator)
     return Estimate.from_samples(probes)
 

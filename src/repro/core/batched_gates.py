@@ -1,0 +1,232 @@
+"""Level-synchronous vectorized gate kernels for the Tree and HQS systems.
+
+The recursive probing algorithms of Sections 3.3/3.4 and 4.3/4.4 walk a
+gate tree top-down, but their probe counts admit a *bottom-up* formulation:
+for every node the pair ``(value, probes)`` — the color the recursive call
+would return and the number of probes it would spend — depends only on the
+same pair at the node's children (and, for IR_Probe_HQS, grandchildren).
+Evaluating one tree level at a time over a whole ``(trials, n)`` coloring
+matrix therefore turns a batch of recursive evaluations into ``O(height)``
+rounds of numpy arithmetic, one column slice per level, with per-level
+masks implementing "skip the third child when the first two agree" and
+per-trial index matrices implementing the uniform order choices of the
+randomized variants.
+
+Per-node recurrences (``e`` = the node's own color, ``C``/``P`` = child
+value/probes, colors stored as booleans with ``True`` = red):
+
+* **Probe_Tree** (Prop. 3.6): probe the root, recurse right, recurse left
+  only on disagreement::
+
+      P(v) = 1 + P(right) + [C(right) != e] * P(left)
+      C(v) = e                if C(right) == e else C(left)
+
+* **R_Probe_Tree** (Thm. 4.7): a uniform choice among (root, right)-then-
+  left, (root, left)-then-right and (left, right)-then-root, drawn as a
+  per-(trial, node) integer matrix.
+
+* **Probe_HQS** (Thm. 3.8): evaluate the first two children of the 2-of-3
+  gate, the third only on disagreement::
+
+      P(v) = P(c1) + P(c2) + [C(c1) != C(c2)] * P(c3)
+      C(v) = majority(C(c1), C(c2), C(c3))
+
+* **R_Probe_HQS** (Fig. 7): the same gate rule after a uniform per-gate
+  permutation of the three children (an index into the 6 permutations of
+  ``(0, 1, 2)``, gathered with ``take_along_axis``).
+
+* **IR_Probe_HQS** (Fig. 8): evaluate a random child ``r1``, peek at one
+  random grandchild of a second random child ``r2``, then either finish
+  ``r2`` or jump to ``r3`` depending on whether the peek agreed with
+  ``r1``.  The level step therefore consumes *two* levels of bottom-up
+  state: the children's standalone ``(value, probes)`` and the
+  grandchildren's, from which the conditional finishing cost of ``r2``
+  is assembled without ever evaluating it as a standalone subtree.
+
+The deterministic kernels reproduce the recursive implementations
+*trial-exactly* (identical probe count and witness color per row); the
+randomized ones draw their order choices from the same distributions, so
+they match in distribution but not per-seed.  Both claims are pinned by
+``tests/core/test_batched_gates.py``.
+
+Kernels follow the uniform signature ``kernel(algorithm, red, rng)`` and
+are registered with :func:`repro.core.batched.register_kernel`; they are
+not normally called directly — use :func:`repro.core.batched.batched_run`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coloring import as_numpy_generator
+
+#: The six permutations of ``(0, 1, 2)``; drawing a uniform row index gives
+#: a uniform shuffle of a gate's three children, exactly like the
+#: sequential ``rng.shuffle`` of a 3-list.
+PERMUTATIONS_3 = np.array(
+    [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]],
+    dtype=np.intp,
+)
+
+
+# -- binary Tree system ------------------------------------------------------------
+
+
+def _tree_leaf_level(red: np.ndarray, height: int) -> tuple[np.ndarray, np.ndarray]:
+    """Initial ``(value, probes)`` arrays for the tree's leaf level.
+
+    Heap node ``v`` is universe element ``v`` (column ``v - 1``); the
+    leaves of a height-``h`` tree are nodes ``2^h .. 2^(h+1) - 1``.
+    """
+    first = 1 << height
+    value = red[:, first - 1 : 2 * first - 1]
+    probes = np.ones(value.shape, dtype=np.int64)
+    return value, probes
+
+
+def probe_tree_kernel(algorithm, red: np.ndarray, rng=None):
+    """Algorithm Probe_Tree (Prop. 3.6), one vector step per tree level."""
+    system = algorithm.system
+    value, probes = _tree_leaf_level(red, system.height)
+    for depth in range(system.height - 1, -1, -1):
+        lo = 1 << depth
+        elem = red[:, lo - 1 : 2 * lo - 1]
+        left_v, right_v = value[:, 0::2], value[:, 1::2]
+        left_p, right_p = probes[:, 0::2], probes[:, 1::2]
+        right_matches = right_v == elem
+        value = np.where(right_matches, elem, left_v)
+        probes = 1 + right_p + np.where(right_matches, 0, left_p)
+    return probes[:, 0], ~value[:, 0]
+
+
+def r_probe_tree_kernel(algorithm, red: np.ndarray, rng=None):
+    """Algorithm R_Probe_Tree (Thm. 4.7): per-(trial, node) uniform choice
+    among the three evaluation orders."""
+    generator = as_numpy_generator(rng)
+    system = algorithm.system
+    value, probes = _tree_leaf_level(red, system.height)
+    for depth in range(system.height - 1, -1, -1):
+        lo = 1 << depth
+        elem = red[:, lo - 1 : 2 * lo - 1]
+        left_v, right_v = value[:, 0::2], value[:, 1::2]
+        left_p, right_p = probes[:, 0::2], probes[:, 1::2]
+        choice = generator.integers(3, size=elem.shape)
+        right_first = right_v == elem  # choice 0: (root, right) then left
+        left_first = left_v == elem  # choice 1: (root, left) then right
+        subtrees_agree = left_v == right_v  # choice 2: (left, right) then root
+        value = np.select(
+            [choice == 0, choice == 1],
+            [
+                np.where(right_first, elem, left_v),
+                np.where(left_first, elem, right_v),
+            ],
+            default=np.where(subtrees_agree, left_v, elem),
+        )
+        probes = np.select(
+            [choice == 0, choice == 1],
+            [
+                1 + right_p + np.where(right_first, 0, left_p),
+                1 + left_p + np.where(left_first, 0, right_p),
+            ],
+            default=left_p + right_p + np.where(subtrees_agree, 0, 1),
+        )
+    return probes[:, 0], ~value[:, 0]
+
+
+# -- HQS (ternary 2-of-3 gate tree) ---------------------------------------------------
+
+
+def _hqs_gate_level(
+    value: np.ndarray, probes: np.ndarray, generator: np.random.Generator | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """One 2-then-3 gate level; ``generator`` draws the per-gate shuffle
+    (``None`` for the deterministic left-to-right order)."""
+    trials, width = value.shape
+    gates = width // 3
+    values = value.reshape(trials, gates, 3)
+    costs = probes.reshape(trials, gates, 3)
+    if generator is not None:
+        order = PERMUTATIONS_3[generator.integers(6, size=(trials, gates))]
+        values = np.take_along_axis(values, order, axis=2)
+        costs = np.take_along_axis(costs, order, axis=2)
+    first_two_agree = values[..., 0] == values[..., 1]
+    new_value = np.where(first_two_agree, values[..., 0], values[..., 2])
+    new_probes = (
+        costs[..., 0] + costs[..., 1] + np.where(first_two_agree, 0, costs[..., 2])
+    )
+    return new_value, new_probes
+
+
+def probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
+    """Algorithm Probe_HQS (Thm. 3.8): deterministic 2-then-3 gates."""
+    value = red
+    probes = np.ones(red.shape, dtype=np.int64)
+    for _ in range(algorithm.system.height):
+        value, probes = _hqs_gate_level(value, probes, None)
+    return probes[:, 0], ~value[:, 0]
+
+
+def r_probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
+    """Algorithm R_Probe_HQS (Fig. 7): uniformly shuffled 2-then-3 gates."""
+    generator = as_numpy_generator(rng)
+    value = red
+    probes = np.ones(red.shape, dtype=np.int64)
+    for _ in range(algorithm.system.height):
+        value, probes = _hqs_gate_level(value, probes, generator)
+    return probes[:, 0], ~value[:, 0]
+
+
+def ir_probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
+    """Algorithm IR_Probe_HQS (Fig. 8, Thm. 4.10).
+
+    Nodes of height >= 2 peek at one random grandchild of the second chosen
+    child, so each level step reads *two* levels of bottom-up state
+    (children and grandchildren standalone evaluations); height-1 nodes use
+    the plain randomized gate, exactly as in the recursive implementation.
+    """
+    generator = as_numpy_generator(rng)
+    height = algorithm.system.height
+    trials = red.shape[0]
+    grand_value = red
+    grand_probes = np.ones(red.shape, dtype=np.int64)
+    if height == 0:
+        return grand_probes[:, 0], ~grand_value[:, 0]
+    # Height-1 gates have leaf children: no grandchildren to peek at.
+    value, probes = _hqs_gate_level(grand_value, grand_probes, generator)
+    for depth in range(height - 2, -1, -1):
+        gates = 3**depth
+        child_v = value.reshape(trials, gates, 3)
+        child_p = probes.reshape(trials, gates, 3)
+        grand_v = grand_value.reshape(trials, gates, 3, 3)
+        grand_p = grand_probes.reshape(trials, gates, 3, 3)
+
+        order = PERMUTATIONS_3[generator.integers(6, size=(trials, gates))]
+        r1, r2, r3 = order[..., 0:1], order[..., 1:2], order[..., 2:3]
+        v1 = np.take_along_axis(child_v, r1, axis=2)[..., 0]
+        p1 = np.take_along_axis(child_p, r1, axis=2)[..., 0]
+        v2 = np.take_along_axis(child_v, r2, axis=2)[..., 0]
+        v3 = np.take_along_axis(child_v, r3, axis=2)[..., 0]
+        p3 = np.take_along_axis(child_p, r3, axis=2)[..., 0]
+
+        # r2's three children, in a fresh uniform order; the first is the peek.
+        r2_grand_v = np.take_along_axis(grand_v, r2[..., None], axis=2)[:, :, 0, :]
+        r2_grand_p = np.take_along_axis(grand_p, r2[..., None], axis=2)[:, :, 0, :]
+        grand_order = PERMUTATIONS_3[generator.integers(6, size=(trials, gates))]
+        gv = np.take_along_axis(r2_grand_v, grand_order, axis=2)
+        gp = np.take_along_axis(r2_grand_p, grand_order, axis=2)
+        peek_v, peek_p = gv[..., 0], gp[..., 0]
+        # Cost of finishing r2's gate after the peek: second grandchild,
+        # plus the third when the first two disagree.
+        finish_p = gp[..., 1] + np.where(gv[..., 0] == gv[..., 1], 0, gp[..., 2])
+
+        peek_agrees = peek_v == v1
+        grand_value, grand_probes = value, probes
+        probes = p1 + peek_p + np.where(
+            peek_agrees,
+            # Step 5: finish r2; evaluate r3 only if r2 disagrees with r1.
+            finish_p + np.where(v2 == v1, 0, p3),
+            # Step 6: jump to r3; finish r2 only if r3 disagrees with r1.
+            p3 + np.where(v3 == v1, 0, finish_p),
+        )
+        value = child_v.sum(axis=2) >= 2
+    return probes[:, 0], ~value[:, 0]

@@ -184,7 +184,11 @@ def estimate_average_under(
     """Estimate expected probes when inputs come from an arbitrary sampler.
 
     ``sampler(rng)`` must return a :class:`Coloring`; used for the hard
-    input distributions of the Yao-style lower-bound experiments.
+    input distributions of the Yao-style lower-bound experiments.  When the
+    input family has a batched matrix sampler (see
+    :mod:`repro.analysis.yao`), prefer
+    :func:`repro.core.batched.estimate_average_under_batched`, which runs
+    the whole batch through the algorithm's vectorized kernel.
     """
     if trials < 1:
         raise ValueError("need at least one trial")

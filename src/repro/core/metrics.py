@@ -55,11 +55,32 @@ def availability_monte_carlo(
     p: float,
     trials: int = 2000,
     seed: int | None = None,
+    batched: bool = False,
 ) -> Estimate:
-    """Monte-Carlo estimate of ``F_p(S)``."""
+    """Monte-Carlo estimate of ``F_p(S)``.
+
+    With ``batched=True`` the whole trial batch is sampled as one red
+    matrix and the witness colors come from the system's batched probing
+    kernel (the witness is green exactly when a live quorum exists);
+    systems without a kernel fall back to the per-trial loop inside the
+    batched layer.  The batched path draws from a different RNG stream, so
+    per-seed values differ from the sequential path.
+    """
     _check_probability(p)
     if trials < 1:
         raise ValueError("need at least one trial")
+    if batched:
+        import numpy as np
+
+        from repro.algorithms import default_deterministic_algorithm
+        from repro.core.batched import batched_or_sequential_run, sample_red_matrix
+        from repro.core.coloring import as_numpy_generator
+
+        algorithm = default_deterministic_algorithm(system)
+        generator = as_numpy_generator(seed)
+        red = sample_red_matrix(system.n, p, trials, generator)
+        _, witness_green = batched_or_sequential_run(algorithm, red, generator)
+        return Estimate.from_samples(np.where(witness_green, 0.0, 1.0))
     rng = random.Random(seed)
     samples = []
     for _ in range(trials):

@@ -26,6 +26,7 @@ from repro.experiments.figures import (
     render_tree,
 )
 from repro.experiments.hqs import (
+    hqs_family_p_matrix,
     probe_hqs_expected_exact,
     run_probe_hqs_optimality,
     run_probe_hqs_scaling,
@@ -40,6 +41,14 @@ from repro.experiments.majority import (
     run_randomized_majority,
 )
 from repro.experiments.report import Row, render_table, violations
+from repro.experiments.sweep import (
+    SweepCell,
+    SweepResult,
+    load_sweep_artifact,
+    render_sweep,
+    run_sweep,
+    write_sweep_artifact,
+)
 from repro.experiments.table1 import Table1Sizes, render_table1, run_table1
 from repro.experiments.tree import (
     run_deterministic_vs_randomized_tree,
@@ -61,6 +70,7 @@ __all__ = [
     "render_crumbling_wall",
     "render_hqs",
     "render_tree",
+    "hqs_family_p_matrix",
     "probe_hqs_expected_exact",
     "run_probe_hqs_optimality",
     "run_probe_hqs_scaling",
@@ -76,6 +86,12 @@ __all__ = [
     "Row",
     "render_table",
     "violations",
+    "SweepCell",
+    "SweepResult",
+    "load_sweep_artifact",
+    "render_sweep",
+    "run_sweep",
+    "write_sweep_artifact",
     "Table1Sizes",
     "render_table1",
     "run_table1",

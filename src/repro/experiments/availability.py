@@ -31,8 +31,14 @@ def run_availability_experiment(
     ps: Sequence[float] = (0.1, 0.3, 0.5),
     trials: int = 4000,
     seed: int = 61,
+    batched: bool = True,
 ) -> list[Row]:
-    """Availability of every paper system: recursion vs enumeration vs MC."""
+    """Availability of every paper system: recursion vs enumeration vs MC.
+
+    ``batched=True`` routes the Monte-Carlo estimates through the batched
+    probing kernels (witness color ⇔ live quorum); systems without a kernel
+    fall back to the per-trial loop.
+    """
     rows: list[Row] = []
 
     small_systems = [
@@ -45,7 +51,9 @@ def run_availability_experiment(
     for system in small_systems:
         for p in ps:
             exact = availability_exact(system, p)
-            mc = availability_monte_carlo(system, p, trials=trials, seed=seed)
+            mc = availability_monte_carlo(
+                system, p, trials=trials, seed=seed, batched=batched
+            )
             rows.append(
                 Row(
                     experiment="availability",

@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence
+from functools import partial
+
+import numpy as np
 
 from repro.algorithms.hqs import IRProbeHQS, ProbeHQS, RProbeHQS
 from repro.analysis.bounds import (
@@ -21,7 +24,7 @@ from repro.analysis.bounds import (
     HQS_PPC_EXPONENT,
 )
 from repro.analysis.fitting import PowerLawFit, fit_power_law
-from repro.core.coloring import Coloring
+from repro.core.coloring import Coloring, as_numpy_generator
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.core.exact import ExactSolver
 from repro.experiments.report import Row
@@ -49,6 +52,7 @@ def run_probe_hqs_scaling(
     ps: Sequence[float] = (0.5, 0.25),
     trials: int = 1500,
     seed: int = 37,
+    batched: bool = True,
 ) -> tuple[list[Row], dict[float, PowerLawFit]]:
     """Measured Probe_HQS averages vs ``2.5^h`` and the exponent fits."""
     rows: list[Row] = []
@@ -59,7 +63,7 @@ def run_probe_hqs_scaling(
         for height in heights:
             system = HQS(height)
             estimate = estimate_average_probes(
-                ProbeHQS(system), p, trials=trials, seed=seed
+                ProbeHQS(system), p, trials=trials, seed=seed, batched=batched
             )
             sizes.append(float(system.n))
             costs.append(estimate.mean)
@@ -165,10 +169,31 @@ def worst_case_family_sampler(system: HQS):
     return sample
 
 
+def hqs_family_p_matrix(system: HQS, trials: int, rng=None) -> np.ndarray:
+    """Batched sampler over the worst-case family ``P`` of Lemma 4.11.
+
+    Assigns gate values top-down over whole trial batches: the root value
+    is a fair coin per trial, and at every gate a uniformly chosen minority
+    child flips its parent's value.  The leaf level is the red matrix.
+    """
+    generator = as_numpy_generator(rng)
+    value = generator.random((trials, 1)) < 0.5
+    for _ in range(system.height):
+        gates = value.shape[1]
+        minority = generator.integers(3, size=(trials, gates))
+        child_value = np.repeat(value, 3, axis=1)
+        is_minority = np.tile(np.arange(3), gates)[None, :] == np.repeat(
+            minority, 3, axis=1
+        )
+        value = child_value ^ is_minority
+    return value
+
+
 def run_randomized_hqs(
     heights: Sequence[int] = (2, 3, 4, 5),
     trials: int = 1500,
     seed: int = 41,
+    batched: bool = True,
 ) -> list[Row]:
     """R_Probe_HQS vs IR_Probe_HQS on the family ``P``, with exponent fits."""
     rows: list[Row] = []
@@ -177,13 +202,24 @@ def run_randomized_hqs(
     costs_ir: list[float] = []
     for height in heights:
         system = HQS(height)
-        sampler = worst_case_family_sampler(system)
-        est_r = estimate_average_under(
-            RProbeHQS(system), sampler, trials=trials, seed=seed + height
-        )
-        est_ir = estimate_average_under(
-            IRProbeHQS(system), sampler, trials=trials, seed=seed + height
-        )
+        if batched:
+            from repro.core.batched import estimate_average_under_batched
+
+            matrix_sampler = partial(hqs_family_p_matrix, system)
+            est_r = estimate_average_under_batched(
+                RProbeHQS(system), matrix_sampler, trials=trials, seed=seed + height
+            )
+            est_ir = estimate_average_under_batched(
+                IRProbeHQS(system), matrix_sampler, trials=trials, seed=seed + height
+            )
+        else:
+            sampler = worst_case_family_sampler(system)
+            est_r = estimate_average_under(
+                RProbeHQS(system), sampler, trials=trials, seed=seed + height
+            )
+            est_ir = estimate_average_under(
+                IRProbeHQS(system), sampler, trials=trials, seed=seed + height
+            )
         sizes.append(float(system.n))
         costs_r.append(est_r.mean)
         costs_ir.append(est_ir.mean)

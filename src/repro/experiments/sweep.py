@@ -1,0 +1,219 @@
+"""Batched ``(p, n)`` sweep runner.
+
+Drives the vectorized kernels of :mod:`repro.core.batched` across a grid of
+failure probabilities and system sizes, one Monte-Carlo batch per cell, and
+serializes the whole sweep as a single JSON artifact.  This is how the
+paper's scaling curves — the ``O(n^0.585)`` Probe_Tree and ``n^0.834``
+Probe_HQS power laws, and the randomized-vs-deterministic gaps — are
+regenerated at sizes the per-trial loops cannot reach.
+
+Every cell draws from its own seeded stream (a ``SeedSequence`` keyed by
+the sweep seed and the cell's ``(size, p)`` values), so results are
+independent of grid iteration order and any sub-grid — prefix or not —
+can be reproduced in isolation.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import time
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import (
+    default_deterministic_algorithm,
+    default_randomized_algorithm,
+)
+from repro.core.batched import (
+    batched_or_sequential_run,
+    sample_red_matrix,
+    supports_batched,
+)
+from repro.core.estimator import Estimate
+from repro.systems import build_system
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One ``(size, p)`` grid cell of a sweep."""
+
+    system: str
+    size: int
+    n: int
+    p: float
+    mean: float
+    std: float
+    ci95: float
+    trials: int
+    batched_kernel: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep: the grid definition plus one cell per point."""
+
+    system: str
+    algorithm: str
+    randomized: bool
+    sizes: tuple[int, ...]
+    ps: tuple[float, ...]
+    trials: int
+    seed: int
+    cells: tuple[SweepCell, ...]
+
+    def cell(self, size: int, p: float) -> SweepCell:
+        """The cell measured at ``(size, p)``."""
+        for cell in self.cells:
+            if cell.size == size and cell.p == p:
+                return cell
+        raise KeyError(f"no sweep cell at size={size}, p={p}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the artifact payload)."""
+        return {
+            "kind": "p_sweep",
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "randomized": self.randomized,
+            "sizes": list(self.sizes),
+            "ps": list(self.ps),
+            "trials": self.trials,
+            "seed": self.seed,
+            "cells": [asdict(cell) for cell in self.cells],
+        }
+
+
+def _cell_generator(seed: int, size: int, p: float) -> np.random.Generator:
+    """The seeded per-cell stream: keyed by sweep seed and the cell's
+    ``(size, p)`` values, so a cell reproduces bit-identically no matter
+    which grid it is part of.  Seed and keys are encoded as unsigned
+    64-bit words (two's complement for negative ints, IEEE-754 bits for
+    ``p``) since ``SeedSequence`` rejects negative entropy."""
+    size_key = int(size) & 0xFFFFFFFFFFFFFFFF
+    p_key = int(np.float64(p).view(np.uint64))
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=int(seed) & 0xFFFFFFFFFFFFFFFF, spawn_key=(size_key, p_key)
+        )
+    )
+
+
+def run_sweep(
+    system_name: str,
+    sizes: Sequence[int],
+    ps: Sequence[float],
+    trials: int = 1000,
+    seed: int = 0,
+    randomized: bool = False,
+) -> SweepResult:
+    """Run a batched Monte-Carlo sweep over the ``(sizes, ps)`` grid.
+
+    ``system_name`` and ``sizes`` use the conventions of
+    :func:`repro.systems.build_system` (size knob = tree/HQS height,
+    universe size for Majority, ...).  ``randomized`` selects the paper's
+    randomized algorithm for the system instead of the deterministic one.
+    Algorithms without a registered kernel transparently fall back to the
+    per-trial loop, so the sweep works — slowly — for any system.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not sizes or not ps:
+        raise ValueError("sweep needs at least one size and one p")
+    cells: list[SweepCell] = []
+    algorithm_name = ""
+    for size in sizes:
+        system = build_system(system_name, size)
+        algorithm = (
+            default_randomized_algorithm(system)
+            if randomized
+            else default_deterministic_algorithm(system)
+        )
+        algorithm_name = algorithm.name
+        for p in ps:
+            generator = _cell_generator(seed, size, p)
+            start = time.perf_counter()
+            red = sample_red_matrix(system.n, p, trials, generator)
+            probes, _ = batched_or_sequential_run(algorithm, red, generator)
+            elapsed = time.perf_counter() - start
+            estimate = Estimate.from_samples(probes)
+            cells.append(
+                SweepCell(
+                    system=system.name,
+                    size=size,
+                    n=system.n,
+                    p=float(p),
+                    mean=estimate.mean,
+                    std=estimate.std,
+                    ci95=estimate.ci95,
+                    trials=trials,
+                    batched_kernel=supports_batched(algorithm),
+                    seconds=elapsed,
+                )
+            )
+    return SweepResult(
+        system=system_name,
+        algorithm=algorithm_name,
+        randomized=randomized,
+        sizes=tuple(int(s) for s in sizes),
+        ps=tuple(float(p) for p in ps),
+        trials=trials,
+        seed=seed,
+        cells=tuple(cells),
+    )
+
+
+def render_sweep(result: SweepResult) -> str:
+    """Plain-text table of a sweep: one row per size, one column per p."""
+    header = f"{result.algorithm} sweep ({result.trials} trials/cell, seed {result.seed})"
+    lines = [header, ""]
+    lines.append(
+        f"{'system':<16} {'n':>6} " + " ".join(f"p={p:<11g}" for p in result.ps)
+    )
+    for size in result.sizes:
+        cells = [result.cell(size, p) for p in result.ps]
+        lines.append(
+            f"{cells[0].system:<16} {cells[0].n:>6} "
+            + " ".join(f"{c.mean:8.2f}±{c.ci95:<5.2f}" for c in cells)
+        )
+    kernel = all(c.batched_kernel for c in result.cells)
+    total = sum(c.seconds for c in result.cells)
+    lines.append("")
+    lines.append(
+        f"{len(result.cells)} cells in {total:.3f}s "
+        f"({'vectorized kernel' if kernel else 'per-trial fallback in use'})"
+    )
+    return "\n".join(lines)
+
+
+def write_sweep_artifact(result: SweepResult, path: str | Path) -> Path:
+    """Write the sweep's JSON artifact and return its path."""
+    destination = Path(path)
+    payload = result.to_dict()
+    payload["created"] = (
+        datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    )
+    destination.write_text(json.dumps(payload, indent=2) + "\n")
+    return destination
+
+
+def load_sweep_artifact(path: str | Path) -> SweepResult:
+    """Load a sweep artifact written by :func:`write_sweep_artifact`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "p_sweep":
+        raise ValueError(f"{path} is not a p_sweep artifact")
+    cells = tuple(SweepCell(**cell) for cell in payload["cells"])
+    return SweepResult(
+        system=payload["system"],
+        algorithm=payload["algorithm"],
+        randomized=payload["randomized"],
+        sizes=tuple(payload["sizes"]),
+        ps=tuple(payload["ps"]),
+        trials=payload["trials"],
+        seed=payload["seed"],
+        cells=cells,
+    )

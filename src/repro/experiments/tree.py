@@ -13,11 +13,12 @@ claims bracket R_Probe_Tree's worst-case expected probes between
 from __future__ import annotations
 
 from collections.abc import Sequence
+from functools import partial
 
 from repro.algorithms.tree import ProbeTree, RProbeTree
 from repro.analysis.fitting import PowerLawFit, fit_power_law
 from repro.analysis.bounds import tree_ppc_exponent
-from repro.analysis.yao import tree_hard_sampler, tree_lower_bound
+from repro.analysis.yao import tree_hard_matrix, tree_hard_sampler, tree_lower_bound
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.experiments.report import Row
 from repro.systems.tree import TreeSystem
@@ -25,11 +26,25 @@ from repro.systems.tree import TreeSystem
 DEFAULT_HEIGHTS = (3, 4, 5, 6, 7, 8)
 
 
+def _hard_input_estimator(algorithm, system, trials, seed, batched):
+    """Estimate on the Theorem 4.8 hard distribution, batched or per-trial."""
+    if batched:
+        from repro.core.batched import estimate_average_under_batched
+
+        return estimate_average_under_batched(
+            algorithm, partial(tree_hard_matrix, system), trials=trials, seed=seed
+        )
+    return estimate_average_under(
+        algorithm, tree_hard_sampler(system), trials=trials, seed=seed
+    )
+
+
 def run_probe_tree_scaling(
     heights: Sequence[int] = DEFAULT_HEIGHTS,
     ps: Sequence[float] = (0.5, 0.3, 0.1),
     trials: int = 1500,
     seed: int = 23,
+    batched: bool = True,
 ) -> tuple[list[Row], dict[float, PowerLawFit]]:
     """Measured Probe_Tree averages and per-``p`` power-law exponent fits."""
     rows: list[Row] = []
@@ -40,7 +55,7 @@ def run_probe_tree_scaling(
         for height in heights:
             system = TreeSystem(height)
             estimate = estimate_average_probes(
-                ProbeTree(system), p, trials=trials, seed=seed
+                ProbeTree(system), p, trials=trials, seed=seed, batched=batched
             )
             sizes.append(float(system.n))
             costs.append(estimate.mean)
@@ -77,6 +92,7 @@ def run_randomized_tree(
     heights: Sequence[int] = (3, 5, 7, 9),
     trials: int = 2000,
     seed: int = 29,
+    batched: bool = True,
 ) -> list[Row]:
     """R_Probe_Tree on the hard distribution of Theorem 4.8 versus bounds."""
     rows: list[Row] = []
@@ -84,8 +100,8 @@ def run_randomized_tree(
         system = TreeSystem(height)
         algorithm = RProbeTree(system)
         n = system.n
-        estimate = estimate_average_under(
-            algorithm, tree_hard_sampler(system), trials=trials, seed=seed + height
+        estimate = _hard_input_estimator(
+            algorithm, system, trials, seed + height, batched
         )
         rows.append(
             Row(
@@ -118,6 +134,7 @@ def run_deterministic_vs_randomized_tree(
     heights: Sequence[int] = (3, 5, 7),
     trials: int = 2000,
     seed: int = 31,
+    batched: bool = True,
 ) -> list[Row]:
     """Head-to-head on the hard inputs: Probe_Tree (deterministic order) vs
     R_Probe_Tree, illustrating the constant-factor randomized advantage in
@@ -125,12 +142,11 @@ def run_deterministic_vs_randomized_tree(
     rows: list[Row] = []
     for height in heights:
         system = TreeSystem(height)
-        hard = tree_hard_sampler(system)
-        det = estimate_average_under(
-            ProbeTree(system), hard, trials=trials, seed=seed + height
+        det = _hard_input_estimator(
+            ProbeTree(system), system, trials, seed + height, batched
         )
-        rand = estimate_average_under(
-            RProbeTree(system), hard, trials=trials, seed=seed + height
+        rand = _hard_input_estimator(
+            RProbeTree(system), system, trials, seed + height, batched
         )
         rows.append(
             Row(

@@ -105,8 +105,10 @@ def run_batched_trials(
     """Vectorized counterpart of :func:`run_cluster_trials` for i.i.d. failures.
 
     Samples the whole failure batch as one boolean matrix and evaluates the
-    algorithm through the mask-aware kernels of :mod:`repro.core.batched`
-    (falling back to a per-trial loop for algorithms without a kernel).
+    algorithm through the registered kernels of :mod:`repro.core.batched`
+    — including the level-synchronous Tree/HQS gate kernels of
+    :mod:`repro.core.batched_gates` — falling back to a per-trial loop for
+    algorithms without a kernel.
     The elapsed-time estimate uses the latency model's *mean* per probe —
     the batched path trades per-probe latency sampling for throughput; use
     :func:`run_cluster_trials` when latency jitter matters.

@@ -20,6 +20,7 @@ from repro.systems.boolean import (
     systems_equal,
 )
 from repro.systems.composition import CompositeSystem, self_composition
+from repro.systems.factory import SYSTEM_CHOICES, build_system
 from repro.systems.crumbling_walls import (
     CrumblingWall,
     TriangSystem,
@@ -45,6 +46,8 @@ __all__ = [
     "systems_equal",
     "CompositeSystem",
     "self_composition",
+    "SYSTEM_CHOICES",
+    "build_system",
     "CrumblingWall",
     "TriangSystem",
     "uniform_wall",

@@ -1,0 +1,47 @@
+"""Name-and-size-knob factory for the paper's systems.
+
+Shared by the CLI and the sweep runner, so library code never has to
+import :mod:`repro.cli` to turn a ``("tree", 7)``-style specification into
+a system.
+"""
+
+from __future__ import annotations
+
+from repro.systems.base import QuorumSystem
+from repro.systems.crumbling_walls import CrumblingWall, TriangSystem
+from repro.systems.grid import GridSystem
+from repro.systems.hqs import HQS
+from repro.systems.majority import MajoritySystem
+from repro.systems.tree import TreeSystem
+from repro.systems.wheel import WheelSystem
+
+#: The CLI names accepted by :func:`build_system`.
+SYSTEM_CHOICES = ("maj", "wheel", "triang", "cw", "tree", "hqs", "grid")
+
+
+def build_system(name: str, size: int) -> QuorumSystem:
+    """Construct one of the paper's systems from a CLI name and size knob.
+
+    ``size`` means: universe size for Majority/Wheel (odd / >= 3), number of
+    rows for Triang, tree height for Tree and HQS, side length for Grid.
+    Out-of-range knobs are clamped to the nearest valid value (an even
+    Majority size is bumped to ``size + 1``).
+    """
+    key = name.lower()
+    if key in ("maj", "majority"):
+        return MajoritySystem(size if size % 2 == 1 else size + 1)
+    if key == "wheel":
+        return WheelSystem(max(size, 3))
+    if key == "triang":
+        return TriangSystem(max(size, 1))
+    if key in ("cw", "wall"):
+        return CrumblingWall([1] + [max(size, 2)] * max(size - 1, 1))
+    if key == "tree":
+        return TreeSystem(max(size, 0))
+    if key == "hqs":
+        return HQS(max(size, 0))
+    if key == "grid":
+        return GridSystem(max(size, 1))
+    raise ValueError(
+        f"unknown system {name!r}; choose from maj, wheel, triang, cw, tree, hqs, grid"
+    )

@@ -7,19 +7,25 @@ import random
 
 import pytest
 
+import numpy as np
+
 from repro.analysis.yao import (
     cw_hard_distribution,
+    cw_hard_matrix,
     cw_hard_sampler,
     cw_lower_bound,
     majority_hard_distribution,
+    majority_hard_matrix,
     majority_hard_sampler,
     majority_lower_bound,
     tree_hard_distribution,
+    tree_hard_matrix,
     tree_hard_sampler,
     tree_lower_bound,
     tree_subtree_expected_probes,
     yao_bound_via_exact,
 )
+from repro.core.coloring import Coloring
 from repro.core.exact import ExactSolver
 from repro.systems import CrumblingWall, MajoritySystem, TreeSystem, TriangSystem
 
@@ -109,6 +115,61 @@ class TestTreeHardDistribution:
         # that (the optimum may not need to probe the all-green root).
         assert value >= 2 * (tree.n + 1) / 3 - 1e-9
         assert value <= tree.n
+
+
+class TestBatchedHardSamplers:
+    """The matrix samplers must hit the same supports as the explicit
+    distributions, with uniform frequencies at small ``n``."""
+
+    def test_majority_matrix_rows_have_exactly_k_plus_one_reds(self):
+        system = MajoritySystem(9)
+        red = majority_hard_matrix(system, 400, rng=1)
+        assert red.shape == (400, 9) and red.dtype == np.bool_
+        assert (red.sum(axis=1) == 5).all()
+
+    def test_cw_matrix_leaves_one_green_per_row(self):
+        wall = TriangSystem(4)
+        red = cw_hard_matrix(wall, 300, rng=2)
+        for row in wall.rows:
+            columns = np.asarray(sorted(row)) - 1
+            assert ((~red[:, columns]).sum(axis=1) == 1).all()
+
+    def test_tree_matrix_reds_come_in_bottom_subtree_pairs(self):
+        tree = TreeSystem(3)
+        red = tree_hard_matrix(tree, 300, rng=3)
+        subtree_roots = [v for v in range(1, tree.n + 1) if tree.depth_of(v) == 2]
+        assert (red.sum(axis=1) == 2 * len(subtree_roots)).all()
+        for root in subtree_roots:
+            trio = np.asarray([root, *tree.children(root)]) - 1
+            assert (red[:, trio].sum(axis=1) == 2).all()
+        # every node of depth <= h - 2 stays green
+        upper = np.asarray(
+            [v for v in range(1, tree.n + 1) if tree.depth_of(v) <= tree.height - 2]
+        ) - 1
+        assert not red[:, upper].any()
+
+    @pytest.mark.parametrize(
+        "matrix,distribution,system",
+        [
+            (majority_hard_matrix, majority_hard_distribution, MajoritySystem(5)),
+            (cw_hard_matrix, cw_hard_distribution, CrumblingWall([1, 2, 2])),
+            (tree_hard_matrix, tree_hard_distribution, TreeSystem(2)),
+        ],
+        ids=["majority", "cw", "tree"],
+    )
+    def test_matrix_matches_explicit_distribution(self, matrix, distribution, system):
+        trials = 6000
+        red = matrix(system, trials, rng=4)
+        support = {w.coloring: w.probability for w in distribution(system).support}
+        counts: dict[Coloring, int] = {}
+        for t in range(trials):
+            coloring = Coloring.from_red_row(red[t])
+            assert coloring in support
+            counts[coloring] = counts.get(coloring, 0) + 1
+        for coloring, probability in support.items():
+            frequency = counts.get(coloring, 0) / trials
+            stderr = np.sqrt(probability * (1.0 - probability) / trials)
+            assert abs(frequency - probability) < 5.0 * stderr + 1e-3
 
 
 class TestHardDistributionsAreActuallyHard:

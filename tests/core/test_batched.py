@@ -14,12 +14,14 @@ import random
 import numpy as np
 import pytest
 
-from repro.algorithms import ProbeCW, ProbeMaj, ProbeTree, RProbeCW, RProbeMaj
+from repro.algorithms import ProbeCW, ProbeMaj, ProbeTree, RProbeCW, RProbeMaj, SequentialScan
 from repro.core.batched import (
     batched_or_sequential_run,
     batched_run,
     estimate_average_probes_batched,
     estimate_expected_probes_on_batched,
+    kernel_for,
+    register_kernel,
     sample_red_matrix,
     supports_batched,
 )
@@ -83,14 +85,35 @@ class TestDispatchAndFallback:
     def test_supports_batched(self):
         assert supports_batched(ProbeMaj(MajoritySystem(5)))
         assert supports_batched(RProbeCW(TriangSystem(3)))
-        assert not supports_batched(ProbeTree(TreeSystem(3)))
+        assert supports_batched(ProbeTree(TreeSystem(3)))
+        assert not supports_batched(SequentialScan(MajoritySystem(5)))
 
     def test_unsupported_raises(self):
         with pytest.raises(TypeError):
-            batched_run(ProbeTree(TreeSystem(3)), np.zeros((2, 15), dtype=bool))
+            batched_run(SequentialScan(MajoritySystem(5)), np.zeros((2, 5), dtype=bool))
+
+    def test_subclass_does_not_inherit_kernel(self):
+        # Dispatch is by exact type: a subclass overrides probing behavior,
+        # so it must register its own kernel.
+        class TweakedProbeMaj(ProbeMaj):
+            pass
+
+        algorithm = TweakedProbeMaj(MajoritySystem(5))
+        assert not supports_batched(algorithm)
+        register_kernel(TweakedProbeMaj, kernel_for(ProbeMaj(MajoritySystem(5))))
+        try:
+            assert supports_batched(algorithm)
+            red = sample_red_matrix(5, 0.5, 30, rng=1)
+            probes, _ = batched_run(algorithm, red)
+            reference, _ = batched_run(ProbeMaj(MajoritySystem(5)), red)
+            assert (probes == reference).all()
+        finally:
+            from repro.core import batched
+
+            del batched._KERNELS[TweakedProbeMaj]
 
     def test_fallback_matches_sequential(self):
-        algorithm = ProbeTree(TreeSystem(3))
+        algorithm = SequentialScan(TreeSystem(3))
         red = sample_red_matrix(15, 0.5, 50, rng=5)
         probes, witness_green = batched_or_sequential_run(algorithm, red)
         for t in range(red.shape[0]):

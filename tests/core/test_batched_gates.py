@@ -1,0 +1,190 @@
+"""Tests for the level-synchronous gate engine (:mod:`repro.core.batched_gates`).
+
+The deterministic Tree/HQS kernels must reproduce the recursive
+implementations *trial-by-trial* on shared red matrices (identical probe
+counts and witness colors per row); the randomized kernels draw from the
+same distribution over probe orders, so their per-input probe-count
+histograms and their means must agree with the sequential loops within
+confidence bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    IRProbeHQS,
+    ProbeHQS,
+    ProbeTree,
+    RProbeHQS,
+    RProbeTree,
+)
+from repro.core.batched import (
+    batched_run,
+    estimate_average_under_batched,
+    sample_red_matrix,
+    supports_batched,
+)
+from repro.core.coloring import Coloring
+from repro.core.estimator import estimate_average_under
+from repro.experiments.hqs import hqs_family_p_matrix, worst_case_family_sampler
+from repro.systems import HQS, TreeSystem
+
+
+TREE_HEIGHTS = [0, 1, 2, 4, 6]
+HQS_HEIGHTS = [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("height", TREE_HEIGHTS)
+def test_probe_tree_kernel_is_trial_exact(height):
+    system = TreeSystem(height)
+    algorithm = ProbeTree(system)
+    red = sample_red_matrix(system.n, 0.5, 150, rng=height + 1)
+    probes, witness_green = batched_run(algorithm, red)
+    for t in range(red.shape[0]):
+        run = algorithm.run_on(Coloring.from_red_row(red[t]))
+        assert run.probes == probes[t]
+        assert run.witness.is_green == bool(witness_green[t])
+
+
+@pytest.mark.parametrize("height", HQS_HEIGHTS)
+@pytest.mark.parametrize("p", [0.2, 0.5])
+def test_probe_hqs_kernel_is_trial_exact(height, p):
+    system = HQS(height)
+    algorithm = ProbeHQS(system)
+    red = sample_red_matrix(system.n, p, 150, rng=height + 7)
+    probes, witness_green = batched_run(algorithm, red)
+    rng = random.Random(0)
+    for t in range(red.shape[0]):
+        run = algorithm.run_on(Coloring.from_red_row(red[t]), rng=rng)
+        assert run.probes == probes[t]
+        assert run.witness.is_green == bool(witness_green[t])
+
+
+class TestRandomizedKernelsMatchInDistribution:
+    @pytest.mark.parametrize(
+        "factory,system",
+        [
+            (RProbeTree, TreeSystem(5)),
+            (RProbeHQS, HQS(3)),
+            (IRProbeHQS, HQS(3)),
+        ],
+        ids=["RProbeTree", "RProbeHQS", "IRProbeHQS"],
+    )
+    def test_means_agree_on_random_inputs(self, factory, system):
+        algorithm = factory(system)
+        red = sample_red_matrix(system.n, 0.5, 4000, rng=11)
+        probes, _ = batched_run(algorithm, red, rng=np.random.default_rng(12))
+        rng = random.Random(13)
+        sequential = [
+            algorithm.run_on(Coloring.from_red_row(red[t]), rng=rng).probes
+            for t in range(1500)
+        ]
+        batched_sem = float(np.std(probes)) / np.sqrt(len(probes))
+        seq_sem = float(np.std(sequential)) / np.sqrt(len(sequential))
+        tolerance = 4.0 * (batched_sem + seq_sem)
+        assert abs(float(np.mean(probes)) - float(np.mean(sequential))) < tolerance
+
+    @pytest.mark.parametrize(
+        "factory", [RProbeHQS, IRProbeHQS], ids=["RProbeHQS", "IRProbeHQS"]
+    )
+    def test_fixed_input_histograms_agree(self, factory):
+        """On one fixed family-P input the per-probe-count frequencies of the
+        kernel and the sequential loop must agree bin by bin."""
+        system = HQS(2)
+        algorithm = factory(system)
+        coloring = worst_case_family_sampler(system)(random.Random(3))
+        row = np.zeros(system.n, dtype=bool)
+        for e in coloring.red_elements:
+            row[e - 1] = True
+        trials = 30000
+        red = np.broadcast_to(row, (trials, system.n))
+        probes, _ = batched_run(algorithm, red, rng=np.random.default_rng(4))
+        rng = random.Random(5)
+        sequential = [algorithm.run_on(coloring, rng=rng).probes for _ in range(trials)]
+        batched_hist = Counter(probes.tolist())
+        seq_hist = Counter(sequential)
+        for k in set(batched_hist) | set(seq_hist):
+            fb = batched_hist.get(k, 0) / trials
+            fs = seq_hist.get(k, 0) / trials
+            f = max(fb, fs)
+            stderr = np.sqrt(2.0 * f * (1.0 - f) / trials)
+            assert abs(fb - fs) < 5.0 * stderr + 1e-3, (k, fb, fs)
+
+    @pytest.mark.parametrize("height", [1, 2, 3, 4])
+    def test_witness_color_matches_system_truth(self, height):
+        for factory, system in [
+            (RProbeTree, TreeSystem(height)),
+            (IRProbeHQS, HQS(height)),
+        ]:
+            algorithm = factory(system)
+            red = sample_red_matrix(system.n, 0.5, 200, rng=height)
+            _, witness_green = batched_run(
+                algorithm, red, rng=np.random.default_rng(height)
+            )
+            for t in range(red.shape[0]):
+                coloring = Coloring.from_red_row(red[t])
+                assert bool(witness_green[t]) == system.has_live_quorum(coloring)
+
+    def test_ir_does_not_exceed_r_on_family_p(self):
+        """Theorem 4.10's point: the grandchild peek helps on family P."""
+        system = HQS(4)
+        from functools import partial
+
+        sampler = partial(hqs_family_p_matrix, system)
+        est_r = estimate_average_under_batched(
+            RProbeHQS(system), sampler, trials=6000, seed=21
+        )
+        est_ir = estimate_average_under_batched(
+            IRProbeHQS(system), sampler, trials=6000, seed=22
+        )
+        assert est_ir.mean <= est_r.mean + est_ir.ci95 + est_r.ci95
+
+
+class TestBatchedUnderEstimator:
+    def test_matches_sequential_on_family_p(self):
+        from functools import partial
+
+        system = HQS(3)
+        algorithm = RProbeHQS(system)
+        batched = estimate_average_under_batched(
+            algorithm, partial(hqs_family_p_matrix, system), trials=4000, seed=31
+        )
+        sequential = estimate_average_under(
+            algorithm, worst_case_family_sampler(system), trials=4000, seed=32
+        )
+        assert abs(batched.mean - sequential.mean) < 2 * (batched.ci95 + sequential.ci95)
+
+    def test_rejects_zero_trials(self):
+        system = HQS(1)
+        with pytest.raises(ValueError):
+            estimate_average_under_batched(
+                RProbeHQS(system), lambda t, g: np.zeros((t, 3), bool), trials=0
+            )
+
+
+class TestGateKernelRegistration:
+    def test_all_gate_algorithms_supported(self):
+        tree = TreeSystem(2)
+        hqs = HQS(2)
+        for algorithm in (
+            ProbeTree(tree),
+            RProbeTree(tree),
+            ProbeHQS(hqs),
+            RProbeHQS(hqs),
+            IRProbeHQS(hqs),
+        ):
+            assert supports_batched(algorithm)
+
+    def test_estimator_flag_routes_tree_to_kernel(self):
+        from repro.core.batched import estimate_average_probes_batched
+        from repro.core.estimator import estimate_average_probes
+
+        algorithm = ProbeTree(TreeSystem(4))
+        via_flag = estimate_average_probes(algorithm, 0.5, trials=300, seed=8, batched=True)
+        direct = estimate_average_probes_batched(algorithm, 0.5, trials=300, seed=8)
+        assert via_flag.mean == direct.mean

@@ -1,0 +1,116 @@
+"""Tests for the batched ``(p, n)`` sweep runner and its JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    load_sweep_artifact,
+    render_sweep,
+    run_sweep,
+    write_sweep_artifact,
+)
+
+
+class TestRunSweep:
+    def test_grid_shape_and_cell_lookup(self):
+        result = run_sweep("tree", sizes=(3, 5), ps=(0.3, 0.5), trials=300, seed=1)
+        assert len(result.cells) == 4
+        assert result.algorithm == "ProbeTree"
+        cell = result.cell(5, 0.5)
+        assert cell.n == 63 and cell.trials == 300 and cell.batched_kernel
+        with pytest.raises(KeyError):
+            result.cell(4, 0.5)
+
+    def test_means_grow_with_size_and_p(self):
+        result = run_sweep("hqs", sizes=(2, 4), ps=(0.25, 0.5), trials=600, seed=2)
+        assert result.cell(4, 0.5).mean > result.cell(2, 0.5).mean
+        assert result.cell(4, 0.5).mean > result.cell(4, 0.25).mean
+
+    def test_per_cell_streams_are_deterministic_and_independent(self):
+        full = run_sweep("tree", sizes=(3, 5), ps=(0.3, 0.5), trials=400, seed=3)
+        again = run_sweep("tree", sizes=(3, 5), ps=(0.3, 0.5), trials=400, seed=3)
+        assert [c.mean for c in full.cells] == [c.mean for c in again.cells]
+        # Any sub-grid — prefix or not — reproduces its cells: streams are
+        # keyed by the cell's (size, p) values, not by grid position.
+        sub = run_sweep("tree", sizes=(5,), ps=(0.5,), trials=400, seed=3)
+        assert sub.cell(5, 0.5).mean == full.cell(5, 0.5).mean
+        prefix = run_sweep("tree", sizes=(3,), ps=(0.3, 0.5), trials=400, seed=3)
+        assert prefix.cell(3, 0.3).mean == full.cell(3, 0.3).mean
+        assert prefix.cell(3, 0.5).mean == full.cell(3, 0.5).mean
+
+    def test_negative_seed_accepted(self):
+        # random.Random accepts negative seeds, so the sweep path must too.
+        result = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=100, seed=-1)
+        again = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=100, seed=-1)
+        assert result.cell(3, 0.5).mean == again.cell(3, 0.5).mean
+
+    def test_randomized_flag_selects_randomized_algorithm(self):
+        result = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=200, seed=4, randomized=True)
+        assert result.algorithm == "RProbeTree"
+        assert result.randomized
+
+    def test_fallback_for_systems_without_kernel(self):
+        result = run_sweep("wheel", sizes=(6,), ps=(0.5,), trials=50, seed=5)
+        assert not result.cells[0].batched_kernel
+        assert result.cells[0].mean > 0
+
+    def test_rejects_empty_grid_and_zero_trials(self):
+        with pytest.raises(ValueError):
+            run_sweep("tree", sizes=(), ps=(0.5,))
+        with pytest.raises(ValueError):
+            run_sweep("tree", sizes=(3,), ps=(0.5,), trials=0)
+
+
+class TestSweepArtifact:
+    def test_round_trip(self, tmp_path):
+        result = run_sweep("hqs", sizes=(1, 2), ps=(0.5,), trials=200, seed=6)
+        path = write_sweep_artifact(result, tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "p_sweep"
+        assert "created" in payload
+        loaded = load_sweep_artifact(path)
+        assert loaded == result
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "bench"}))
+        with pytest.raises(ValueError):
+            load_sweep_artifact(path)
+
+    def test_render_mentions_every_size(self):
+        result = run_sweep("tree", sizes=(3, 4), ps=(0.5,), trials=200, seed=7)
+        text = render_sweep(result)
+        assert "Tree(h=3)" in text and "Tree(h=4)" in text
+        assert "vectorized kernel" in text
+
+
+class TestSweepCLI:
+    def test_cli_sweep_writes_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "cli_sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--system",
+                "hqs",
+                "--sizes",
+                "1,2",
+                "--ps",
+                "0.3,0.5",
+                "--trials",
+                "150",
+                "--seed",
+                "9",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HQS(h=2)" in out and str(output) in out
+        loaded = load_sweep_artifact(output)
+        assert len(loaded.cells) == 4
