@@ -21,7 +21,11 @@ Sections:
   for Probe_Tree / R_Probe_Tree on ``Tree(h=9)`` (n = 1023) and
   Probe_HQS / IR_Probe_HQS on ``HQS(h=6)`` (n = 729);
 * ``coloring_sampling`` — ``Coloring.random`` at ``n = 2000`` and the
-  ``random_batch`` matrix sampler.
+  ``random_batch`` matrix sampler;
+* ``runner_overhead`` — the unified experiment runner
+  (:mod:`repro.experiments.runner`: registry lookup, parameter resolution,
+  environment metadata, artifact serialization) versus calling the same
+  driver functions directly, on the ``lemmas`` experiment.
 """
 
 from __future__ import annotations
@@ -185,6 +189,43 @@ def bench_coloring_sampling(quick: bool) -> dict:
     }
 
 
+def bench_runner_overhead(quick: bool) -> dict:
+    """Registry dispatch + artifact write versus a direct driver call.
+
+    Uses the ``lemmas`` experiment (pure-python Monte-Carlo, no numpy
+    kernels) so the measured delta is runner machinery, not estimator
+    noise.  The runner path must reproduce the direct rows exactly — the
+    assert pins registry/driver parity inside the benchmark itself.
+    """
+    import tempfile
+
+    from repro.experiments.lemmas import run_urn_experiment, run_walk_experiment
+    from repro.experiments.runner import run_experiment, write_artifact
+
+    trials = 60 if quick else 200
+    direct_seconds, direct_rows = timed(
+        lambda: run_walk_experiment(trials=trials) + run_urn_experiment(trials=trials),
+        repeat=3,
+    )
+    runner_seconds, result = timed(
+        lambda: run_experiment("lemmas", {"trials": trials}), repeat=3
+    )
+    assert list(result.rows) == direct_rows, "runner rows diverge from direct driver"
+    with tempfile.TemporaryDirectory() as tmp:
+        write_seconds, _ = timed(
+            lambda: write_artifact(result, Path(tmp) / "lemmas.json"), repeat=3
+        )
+    return {
+        "experiment": "lemmas",
+        "trials": trials,
+        "rows": len(result.rows),
+        "direct_driver_seconds": direct_seconds,
+        "runner_seconds": runner_seconds,
+        "dispatch_overhead_seconds": runner_seconds - direct_seconds,
+        "artifact_write_seconds": write_seconds,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -207,6 +248,7 @@ def main(argv=None) -> int:
         "batched_montecarlo": bench_batched_montecarlo(args.quick),
         "batched_gates": bench_batched_gates(args.quick),
         "coloring_sampling": bench_coloring_sampling(args.quick),
+        "runner_overhead": bench_runner_overhead(args.quick),
     }
     output = args.output
     if output is None:
@@ -229,6 +271,13 @@ def main(argv=None) -> int:
             f"{case['batched_seconds']*1e3:.1f}ms vs loop "
             f"{case['per_trial_loop_seconds']*1e3:.1f}ms ({case['speedup']:.0f}x)"
         )
+    overhead = snapshot["runner_overhead"]
+    print(
+        f"runner overhead ({overhead['experiment']} x{overhead['trials']}): dispatch "
+        f"{overhead['dispatch_overhead_seconds']*1e3:+.1f}ms on "
+        f"{overhead['direct_driver_seconds']*1e3:.1f}ms direct, artifact write "
+        f"{overhead['artifact_write_seconds']*1e3:.1f}ms"
+    )
     return 0
 
 

@@ -4,31 +4,26 @@ Run with::
 
     python examples/table1_report.py            # quick sizes (~1 minute)
     python examples/table1_report.py --full     # paper-scale sizes
+    python examples/table1_report.py --jobs 4   # fan sections across processes
 
-Prints the measured-vs-paper comparison for every cell of Table 1 plus the
-supporting per-section experiments (Maj3 exact values, crumbling-wall bound,
-tree and HQS exponent fits, randomized lower/upper bounds).
+Everything goes through the experiment registry and the unified runner —
+the same pipeline as ``repro-probe run`` — so this script is just a
+selection of spec ids plus parameter overrides.  It prints the
+measured-vs-paper comparison for every cell of Table 1 and the supporting
+per-section experiments (Maj3 exact values, crumbling-wall bound, tree and
+HQS exponent fits, randomized lower/upper bounds), and can leave JSON
+artifacts behind for later re-rendering with
+``repro.experiments.writer.artifacts_to_markdown``.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.experiments import (
-    Table1Sizes,
-    render_table,
-    render_table1,
-    run_maj3_experiment,
-    run_probe_cw_bound,
-    run_probe_hqs_scaling,
-    run_probe_tree_scaling,
-    run_randomized_cw,
-    run_randomized_hqs,
-    run_randomized_majority,
-    run_randomized_tree,
-    run_table1,
-    violations,
-)
+from repro.experiments import render_table, violations
+from repro.experiments.runner import run_experiments, write_artifacts
+
+REPORT_IDS = ("table1", "maj3", "crumbling-walls", "tree", "hqs", "randomized")
 
 
 def main() -> None:
@@ -38,50 +33,32 @@ def main() -> None:
         action="store_true",
         help="use larger instance sizes and more trials (slower, tighter CIs)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="fan experiment sections across N processes"
+    )
+    parser.add_argument(
+        "--output", default=None, help="also write one JSON artifact per section here"
+    )
     args = parser.parse_args()
 
+    overrides: dict = {"trials": 4000 if args.full else 1000}
     if args.full:
-        sizes = Table1Sizes(maj_n=201, triang_depth=20, tree_height=9, hqs_height=6)
-        trials = 4000
-        scaling_trials = 2500
-    else:
-        sizes = Table1Sizes(maj_n=101, triang_depth=12, tree_height=7, hqs_height=4)
-        trials = 1000
-        scaling_trials = 600
+        overrides.update(maj_n=201, triang_depth=20, tree_height=9, hqs_height=6)
 
-    table1_rows = run_table1(sizes=sizes, trials=trials)
-    print(render_table1(table1_rows))
-    print()
+    results = run_experiments(REPORT_IDS, overrides=overrides, jobs=args.jobs)
 
-    print(render_table(run_maj3_experiment(), "Worked example: Maj3 (Section 2.3, Fig. 4)"))
-    print()
+    all_rows = []
+    for result in results:
+        print(render_table(result.rows, result.title))
+        for line in result.extra:
+            print(f"  {line}")
+        print()
+        all_rows.extend(result.rows)
 
-    cw_rows = run_probe_cw_bound(ps=(0.3, 0.5), trials=trials)
-    print(render_table(cw_rows, "Theorem 3.3: Probe_CW ≤ 2k − 1"))
-    print()
+    if args.output:
+        for path in write_artifacts(results, args.output):
+            print(f"wrote {path}")
 
-    tree_rows, tree_fits = run_probe_tree_scaling(trials=scaling_trials)
-    print(render_table(tree_rows, "Proposition 3.6: Probe_Tree scaling"))
-    for p, fit in tree_fits.items():
-        print(f"  fitted exponent at p={p}: {fit.exponent:.3f} (R² = {fit.r_squared:.4f})")
-    print()
-
-    hqs_rows, hqs_fits = run_probe_hqs_scaling(trials=scaling_trials)
-    print(render_table(hqs_rows, "Theorem 3.8: Probe_HQS scaling"))
-    for p, fit in hqs_fits.items():
-        print(f"  fitted exponent at p={p}: {fit.exponent:.3f} (R² = {fit.r_squared:.4f})")
-    print()
-
-    rand_rows = (
-        run_randomized_majority(trials=trials)
-        + run_randomized_cw(trials=trials)
-        + run_randomized_tree(trials=trials)
-        + run_randomized_hqs(trials=scaling_trials)
-    )
-    print(render_table(rand_rows, "Section 4: randomized worst-case bounds"))
-    print()
-
-    all_rows = table1_rows + cw_rows + tree_rows + hqs_rows + rand_rows
     bad = violations(all_rows)
     if bad:
         print(f"WARNING: {len(bad)} rows violate their paper relation:")

@@ -10,7 +10,16 @@ writing Python:
 * ``repro-probe estimate``         — Monte-Carlo PPC estimate vs the paper bound
 * ``repro-probe sweep``            — batched (p, n) grid sweep + JSON artifact
 * ``repro-probe table1``           — regenerate Table 1
-* ``repro-probe experiment <id>``  — run a named per-theorem experiment
+* ``repro-probe list``             — list the registered experiments
+* ``repro-probe run <id>``         — run registered experiments through the
+  unified runner (``--tag``/``--all`` selection, ``--jobs`` process fan-out,
+  ``--seed``/``--trials``/``--param`` overrides, ``--output`` JSON artifacts)
+
+Experiment dispatch is registry-driven (:mod:`repro.experiments.registry`):
+the CLI holds no per-experiment branches, so registering a new
+:class:`~repro.experiments.registry.ExperimentSpec` is all it takes to make
+a workload runnable here.  ``repro-probe experiment`` remains as a
+deprecated alias of ``run``.
 
 The module is also usable as ``python -m repro.cli ...``.
 """
@@ -34,18 +43,6 @@ from repro.systems import (
     TriangSystem,
     WheelSystem,
     build_system,
-)
-
-EXPERIMENT_IDS = (
-    "maj3",
-    "majority",
-    "crumbling-walls",
-    "tree",
-    "hqs",
-    "randomized",
-    "lemmas",
-    "availability",
-    "ablations",
 )
 
 
@@ -184,60 +181,132 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro import experiments as exp
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import all_specs, all_tags, specs_for_tag
 
-    rows = []
-    extra_lines: list[str] = []
-    if args.id == "maj3":
-        rows = exp.run_maj3_experiment()
-    elif args.id == "majority":
-        rows = exp.run_probabilistic_majority(trials=args.trials)
-    elif args.id == "crumbling-walls":
-        rows = exp.run_probe_cw_bound(trials=args.trials) + exp.run_cw_independence_of_n(
-            trials=args.trials
-        )
-    elif args.id == "tree":
-        rows, fits = exp.run_probe_tree_scaling(trials=args.trials)
-        extra_lines = [
-            f"fitted exponent at p={p}: {fit.exponent:.3f}" for p, fit in fits.items()
-        ]
-    elif args.id == "hqs":
-        rows, fits = exp.run_probe_hqs_scaling(trials=args.trials)
-        rows += exp.run_probe_hqs_optimality()
-        extra_lines = [
-            f"fitted exponent at p={p}: {fit.exponent:.3f}" for p, fit in fits.items()
-        ]
-    elif args.id == "randomized":
-        rows = (
-            exp.run_randomized_majority(trials=args.trials)
-            + exp.run_randomized_cw(trials=args.trials)
-            + exp.run_randomized_tree(trials=args.trials)
-            + exp.run_randomized_hqs(trials=args.trials)
-        )
-    elif args.id == "lemmas":
-        rows = exp.run_walk_experiment(trials=args.trials) + exp.run_urn_experiment(
-            trials=args.trials
-        )
-    elif args.id == "availability":
-        rows = exp.run_availability_experiment(trials=args.trials)
-    elif args.id == "ablations":
-        rows = (
-            exp.run_cw_order_ablation(trials=args.trials)
-            + exp.run_hqs_ablation(trials=args.trials)
-            + exp.run_generic_baseline_ablation(trials=args.trials)
-        )
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown experiment id {args.id!r}")
-
-    print(exp.render_table(rows, f"Experiment {args.id}"))
-    for line in extra_lines:
-        print(line)
-    bad = exp.violations(rows)
-    if bad:
-        print(f"\nWARNING: {len(bad)} rows violate their paper relation")
+    specs = specs_for_tag(args.tag) if args.tag else all_specs()
+    if not specs:
+        print(f"no experiments tagged {args.tag!r}; tags: {', '.join(all_tags())}")
         return 1
-    print(f"\nAll {len(rows)} checked relations consistent with the paper.")
+    width = max(len(spec.id) for spec in specs)
+    tag_width = max(len(",".join(spec.tags)) for spec in specs)
+    print(f"{'id':<{width}}  {'tags':<{tag_width}}  title")
+    print(f"{'-' * width}  {'-' * tag_width}  {'-' * 5}")
+    for spec in specs:
+        print(f"{spec.id:<{width}}  {','.join(spec.tags):<{tag_width}}  {spec.title}")
+        if args.params:
+            for param in spec.params:
+                print(
+                    f"{'':<{width}}    --param {param.name}={param.default!r}"
+                    f" ({param.kind}){': ' + param.help if param.help else ''}"
+                )
+    print(f"\n{len(specs)} experiments; tags: {', '.join(all_tags())}")
+    return 0
+
+
+def _parse_param_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs or ():
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"--param expects name=value, got {pair!r}")
+        overrides[name.strip()] = value
+    return overrides
+
+
+def _selected_specs(args: argparse.Namespace) -> list:
+    from repro.experiments.registry import all_specs, all_tags, get_spec, specs_for_tag
+
+    specs = []
+    if args.all:
+        specs.extend(all_specs())
+    elif args.tag:
+        tagged = specs_for_tag(args.tag)
+        if not tagged:
+            raise SystemExit(
+                f"no experiments tagged {args.tag!r}; tags: {', '.join(all_tags())}"
+            )
+        specs.extend(tagged)
+    for experiment_id in args.ids:
+        try:
+            specs.append(get_spec(experiment_id))
+        except KeyError as error:
+            raise SystemExit(str(error)) from None
+    unique = list({spec.id: spec for spec in specs}.values())
+    if not unique:
+        raise SystemExit("select experiments: give ids, --tag <tag> or --all")
+    return unique
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import render_table
+    from repro.experiments.runner import artifact_path, run_experiments, write_artifact
+
+    if getattr(args, "deprecated_alias", False):
+        print(
+            "note: `repro-probe experiment` is deprecated; use `repro-probe run`",
+            file=sys.stderr,
+        )
+    specs = _selected_specs(args)
+    param_overrides = _parse_param_overrides(args.param)
+    if len(specs) == 1:
+        # Strict resolution surfaces typos in explicit --param pairs for a
+        # single spec; the shared --trials/--seed flags stay lenient (specs
+        # without those parameters, like maj3, simply ignore them).
+        try:
+            specs[0].resolve_params(param_overrides, strict=True)
+        except (KeyError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+    overrides: dict = dict(param_overrides)
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
+    if args.output is not None and len(specs) > 1 and args.output.endswith(".json"):
+        raise SystemExit(
+            f"--output {args.output} is a .json file but {len(specs)} experiments "
+            "were selected; pass a directory instead"
+        )
+
+    try:
+        results = run_experiments(
+            [spec.id for spec in specs], overrides=overrides, jobs=args.jobs
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid parameter value: {error}") from None
+
+    total_rows = 0
+    total_violations = 0
+    for result in results:
+        print(render_table(result.rows, f"Experiment {result.spec_id} — {result.title}"))
+        for line in result.extra:
+            print(line)
+        bad = result.violation_rows
+        total_rows += len(result.rows)
+        total_violations += len(bad)
+        if bad:
+            print(f"WARNING: {len(bad)} rows violate their paper relation")
+        print()
+
+    if args.output is not None:
+        output = Path(args.output)
+        if len(results) == 1 and output.suffix == ".json":
+            paths = [write_artifact(results[0], output)]
+        else:
+            paths = [
+                write_artifact(result, artifact_path(result, output))
+                for result in results
+            ]
+        for path in paths:
+            print(f"wrote {path}")
+
+    if total_violations:
+        print(f"\nWARNING: {total_violations} rows violate their paper relation")
+        return 1
+    print(f"\nAll {total_rows} checked relations consistent with the paper.")
     return 0
 
 
@@ -311,10 +380,52 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=1001)
     table1.set_defaults(func=_cmd_table1)
 
-    experiment = sub.add_parser("experiment", help="run a named per-theorem experiment")
-    experiment.add_argument("id", choices=EXPERIMENT_IDS)
-    experiment.add_argument("--trials", type=int, default=800)
-    experiment.set_defaults(func=_cmd_experiment)
+    listing = sub.add_parser("list", help="list the registered experiments")
+    listing.add_argument("--tag", default=None, help="only experiments with this tag")
+    listing.add_argument(
+        "--params", action="store_true", help="show each experiment's parameter schema"
+    )
+    listing.set_defaults(func=_cmd_list)
+
+    def add_run_arguments(run_parser: argparse.ArgumentParser, ids_nargs: str) -> None:
+        run_parser.add_argument(
+            "ids", nargs=ids_nargs, metavar="id", help="registered experiment id(s)"
+        )
+        run_parser.add_argument("--tag", default=None, help="run every experiment with this tag")
+        run_parser.add_argument(
+            "--all", action="store_true", help="run every registered experiment"
+        )
+        run_parser.add_argument(
+            "--trials", type=int, default=None, help="Monte-Carlo trials override"
+        )
+        run_parser.add_argument("--seed", type=int, default=None, help="experiment seed override")
+        run_parser.add_argument(
+            "--param",
+            action="append",
+            metavar="NAME=VALUE",
+            default=[],
+            help="override a declared parameter (repeatable); see `list --params`",
+        )
+        run_parser.add_argument(
+            "--jobs", type=int, default=1, help="fan experiments out across N processes"
+        )
+        run_parser.add_argument(
+            "--output",
+            default=None,
+            help="write JSON artifact(s): a directory, or a .json path for a single id",
+        )
+
+    run = sub.add_parser(
+        "run", help="run registered experiments through the unified runner"
+    )
+    add_run_arguments(run, "*")
+    run.set_defaults(func=_cmd_run)
+
+    experiment = sub.add_parser(
+        "experiment", help="deprecated alias of `run`"
+    )
+    add_run_arguments(experiment, "+")
+    experiment.set_defaults(func=_cmd_run, deprecated_alias=True)
 
     return parser
 

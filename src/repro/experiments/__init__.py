@@ -4,6 +4,13 @@ Each driver returns a list of :class:`~repro.experiments.report.Row`
 objects; ``render_table`` turns them into plain text.  The mapping from
 driver to paper artifact is documented in DESIGN.md (per-experiment index)
 and EXPERIMENTS.md (measured results).
+
+Drivers are registered declaratively (:mod:`repro.experiments.registry` /
+:mod:`repro.experiments.specs`) and executed through the unified runner
+(:mod:`repro.experiments.runner`), which resolves parameter overrides,
+fans experiments across processes and writes one JSON artifact per run;
+:mod:`repro.experiments.seeding` supplies the per-cell seeded streams
+every driver uses.
 """
 
 from repro.experiments.ablations import (
@@ -40,7 +47,33 @@ from repro.experiments.majority import (
     run_probabilistic_majority,
     run_randomized_majority,
 )
-from repro.experiments.report import Row, render_table, violations
+from repro.experiments.registry import (
+    DriverResult,
+    ExperimentSpec,
+    ParamSpec,
+    all_specs,
+    all_tags,
+    experiment_ids,
+    get_spec,
+    register,
+    specs_for_tag,
+)
+from repro.experiments.report import (
+    Row,
+    render_table,
+    row_from_dict,
+    row_to_dict,
+    violations,
+)
+from repro.experiments.runner import (
+    RunResult,
+    load_artifact,
+    run_experiment,
+    run_experiments,
+    write_artifact,
+    write_artifacts,
+)
+from repro.experiments.seeding import cell_generator, cell_seed
 from repro.experiments.sweep import (
     SweepCell,
     SweepResult,
@@ -85,7 +118,26 @@ __all__ = [
     "run_randomized_majority",
     "Row",
     "render_table",
+    "row_from_dict",
+    "row_to_dict",
     "violations",
+    "DriverResult",
+    "ExperimentSpec",
+    "ParamSpec",
+    "all_specs",
+    "all_tags",
+    "experiment_ids",
+    "get_spec",
+    "register",
+    "specs_for_tag",
+    "RunResult",
+    "load_artifact",
+    "run_experiment",
+    "run_experiments",
+    "write_artifact",
+    "write_artifacts",
+    "cell_generator",
+    "cell_seed",
     "SweepCell",
     "SweepResult",
     "load_sweep_artifact",

@@ -29,6 +29,7 @@ from repro.core.oracle import ProbeOracle
 from repro.core.witness import Witness
 from repro.core.coloring import Color
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.crumbling_walls import TriangSystem
 from repro.systems.hqs import HQS
 
@@ -88,8 +89,12 @@ def run_cw_order_ablation(
     ]
     rows: list[Row] = []
     for p in ps:
+        # One stream per (p) cell, shared by all variants: common random
+        # numbers keep the variant comparison paired while cells stay
+        # independent of each other.
+        p_seed = cell_seed(seed, system.n, p)
         for label, algorithm in variants:
-            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=seed)
+            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=p_seed)
             rows.append(
                 Row(
                     experiment="ablation-cw-order",
@@ -121,8 +126,9 @@ def run_hqs_ablation(
             ("R_Probe_HQS (random 2-of-3)", RProbeHQS(system), None),
             ("IR_Probe_HQS (grandchild peek)", IRProbeHQS(system), None),
         ]
+        height_seed = cell_seed(seed, height, p)
         for label, algorithm, paper_value in variants:
-            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=seed)
+            estimate = estimate_average_probes(algorithm, p, trials=trials, seed=height_seed)
             rows.append(
                 Row(
                     experiment="ablation-hqs",
@@ -150,8 +156,9 @@ def run_generic_baseline_ablation(
     ]
     for specialised, generic in cases:
         for p in (0.3, 0.5):
-            spec = estimate_average_probes(specialised, p, trials=trials, seed=seed)
-            gen = estimate_average_probes(generic, p, trials=trials, seed=seed)
+            pair_seed = cell_seed(seed, specialised.system.name, p)
+            spec = estimate_average_probes(specialised, p, trials=trials, seed=pair_seed)
+            gen = estimate_average_probes(generic, p, trials=trials, seed=pair_seed)
             rows.append(
                 Row(
                     experiment="ablation-generic",

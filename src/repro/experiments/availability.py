@@ -20,6 +20,7 @@ from repro.analysis.availability import (
 )
 from repro.core.metrics import availability_exact, availability_monte_carlo
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.crumbling_walls import TriangSystem
 from repro.systems.hqs import HQS
 from repro.systems.majority import MajoritySystem
@@ -52,7 +53,7 @@ def run_availability_experiment(
         for p in ps:
             exact = availability_exact(system, p)
             mc = availability_monte_carlo(
-                system, p, trials=trials, seed=seed, batched=batched
+                system, p, trials=trials, seed=cell_seed(seed, system.name, p), batched=batched
             )
             rows.append(
                 Row(

@@ -21,6 +21,7 @@ from repro.core.estimator import (
 )
 from repro.core.coloring import Coloring
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.crumbling_walls import CrumblingWall, TriangSystem, uniform_wall
 
 
@@ -46,7 +47,11 @@ def run_probe_cw_bound(
         k = wall.num_rows
         for p in ps:
             estimate = estimate_average_probes(
-                algorithm, p, trials=trials, seed=seed, batched=batched
+                algorithm,
+                p,
+                trials=trials,
+                seed=cell_seed(seed, wall.name, wall.n, p),
+                batched=batched,
             )
             rows.append(
                 Row(
@@ -72,7 +77,7 @@ def run_wheel_and_triang_corollaries(
     for n in (10, 50, 200):
         wall = CrumblingWall([1, n - 1], name=f"Wheel({n})")
         estimate = estimate_average_probes(
-            ProbeCW(wall), 0.5, trials=trials, seed=seed, batched=batched
+            ProbeCW(wall), 0.5, trials=trials, seed=cell_seed(seed, wall.name, n), batched=batched
         )
         rows.append(
             Row(
@@ -90,7 +95,7 @@ def run_wheel_and_triang_corollaries(
     for depth in (8, 15, 25):
         triang = TriangSystem(depth)
         estimate = estimate_average_probes(
-            ProbeCW(triang), 0.5, trials=trials, seed=seed, batched=batched
+            ProbeCW(triang), 0.5, trials=trials, seed=cell_seed(seed, triang.name, depth), batched=batched
         )
         rows.append(
             Row(
@@ -132,7 +137,7 @@ def run_cw_independence_of_n(
     for width in widths_per_row:
         wall = uniform_wall(rows=rows_count, width=width)
         estimate = estimate_average_probes(
-            ProbeCW(wall), 0.5, trials=trials, seed=seed, batched=batched
+            ProbeCW(wall), 0.5, trials=trials, seed=cell_seed(seed, rows_count, width), batched=batched
         )
         rows.append(
             Row(
@@ -165,7 +170,7 @@ def run_randomized_cw(
         # Upper bound: worst case is attained on the hard inputs with one
         # green per row (forcing the scan to climb to the top row).
         hard_estimate = estimate_average_under(
-            algorithm, cw_hard_sampler(triang), trials=trials, seed=seed + depth
+            algorithm, cw_hard_sampler(triang), trials=trials, seed=cell_seed(seed, triang.name, depth)
         )
         row_bound = probe_cw_row_bound(triang.widths)
         rows.append(
@@ -201,7 +206,7 @@ def run_randomized_cw(
         algorithm = RProbeCW(wheel_wall)
         worst = Coloring(n, red=[1])
         estimate = estimate_expected_probes_on_batched(
-            algorithm, worst, trials=trials, seed=seed + n
+            algorithm, worst, trials=trials, seed=cell_seed(seed, "wheel", n)
         )
         rows.append(
             Row(

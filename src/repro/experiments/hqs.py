@@ -28,6 +28,7 @@ from repro.core.coloring import Coloring, as_numpy_generator
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.core.exact import ExactSolver
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.hqs import HQS
 
 
@@ -63,7 +64,7 @@ def run_probe_hqs_scaling(
         for height in heights:
             system = HQS(height)
             estimate = estimate_average_probes(
-                ProbeHQS(system), p, trials=trials, seed=seed, batched=batched
+                ProbeHQS(system), p, trials=trials, seed=cell_seed(seed, system.n, p), batched=batched
             )
             sizes.append(float(system.n))
             costs.append(estimate.mean)

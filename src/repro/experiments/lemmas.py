@@ -19,6 +19,7 @@ from repro.analysis.lemmas import (
 from repro.analysis.walks import GridRandomWalk
 from repro.core.estimator import Estimate
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 
 
 def run_walk_experiment(
@@ -32,7 +33,9 @@ def run_walk_experiment(
     for n in sizes:
         for p in ps:
             walk = GridRandomWalk(n, p)
-            simulated = walk.simulate_expected_exit_time(trials=trials, seed=seed)
+            simulated = walk.simulate_expected_exit_time(
+                trials=trials, seed=cell_seed(seed, n, p)
+            )
             exact = grid_walk_exit_time_exact(n, p)
             rows.append(
                 Row(
@@ -98,7 +101,9 @@ def run_urn_experiment(
     rows: list[Row] = []
     for r, g in cases:
         j = (r + 1) // 2
-        sim_j = simulate_urn_jth_red(r, g, j, trials=trials, seed=seed)
+        sim_j = simulate_urn_jth_red(
+            r, g, j, trials=trials, seed=cell_seed(seed, r, g, "jth")
+        )
         rows.append(
             Row(
                 experiment="lemma2.8-2.9-urn",
@@ -111,7 +116,9 @@ def run_urn_experiment(
                 note=f"±{sim_j.ci95:.2f}",
             )
         )
-        sim_both = simulate_urn_both_colors(r, g, trials=trials, seed=seed)
+        sim_both = simulate_urn_both_colors(
+            r, g, trials=trials, seed=cell_seed(seed, r, g, "both")
+        )
         rows.append(
             Row(
                 experiment="lemma2.8-2.9-urn",

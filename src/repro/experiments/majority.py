@@ -27,6 +27,7 @@ from repro.analysis.yao import majority_hard_sampler, majority_lower_bound
 from repro.core.coloring import Coloring
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.majority import MajoritySystem
 
 DEFAULT_SIZES = (11, 25, 51, 101, 201)
@@ -42,8 +43,10 @@ def run_probabilistic_majority(
 ) -> list[Row]:
     """Measured PPC of Probe_Maj versus Proposition 3.2.
 
-    Uses the vectorized estimator by default; pass ``batched=False`` to
-    reproduce the historical per-trial sampling streams.
+    Uses the vectorized estimator by default; pass ``batched=False`` for
+    the per-trial path.  Every ``(n, p)`` cell samples from its own stream
+    derived from ``(seed, n, p)`` (see :mod:`repro.experiments.seeding`),
+    so cells are independent and reproduce regardless of grid shape.
     """
     rows: list[Row] = []
     for n in sizes:
@@ -51,7 +54,7 @@ def run_probabilistic_majority(
         algorithm = ProbeMaj(system)
         for p in ps:
             estimate = estimate_average_probes(
-                algorithm, p, trials=trials, seed=seed, batched=batched
+                algorithm, p, trials=trials, seed=cell_seed(seed, n, p), batched=batched
             )
             rows.append(
                 Row(
@@ -79,7 +82,7 @@ def majority_sqrt_deficit_fit(
     for n in sizes:
         algorithm = ProbeMaj(MajoritySystem(n))
         estimate = estimate_average_probes(
-            algorithm, 0.5, trials=trials, seed=seed, batched=batched
+            algorithm, 0.5, trials=trials, seed=cell_seed(seed, n, 0.5), batched=batched
         )
         costs.append(estimate.mean)
     return fit_sqrt_correction([float(n) for n in sizes], costs)
@@ -99,7 +102,7 @@ def run_randomized_majority(
 
         # Worst-case input family: exactly k+1 red elements (Thm 4.2 proof).
         worst_input = Coloring(n, range(1, k + 2))
-        rng = random.Random(seed + n)
+        rng = random.Random(cell_seed(seed, n, "worst"))
         samples = [
             algorithm.run_on(worst_input, rng=rng).probes for _ in range(trials)
         ]
@@ -107,7 +110,10 @@ def run_randomized_majority(
 
         # Yao lower bound: expected probes on the hard distribution.
         lower_estimate = estimate_average_under(
-            algorithm, majority_hard_sampler(system), trials=trials, seed=seed + n
+            algorithm,
+            majority_hard_sampler(system),
+            trials=trials,
+            seed=cell_seed(seed, n, "yao"),
         )
 
         exact_value = majority_lower_bound(n)

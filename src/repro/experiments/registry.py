@@ -1,0 +1,194 @@
+"""Declarative experiment registry.
+
+Every per-theorem driver is registered as an :class:`ExperimentSpec` — an
+id, a human title, tags, a typed parameter schema with defaults and a
+driver callable — so the runner (:mod:`repro.experiments.runner`), the CLI
+(``repro-probe list`` / ``repro-probe run``) and the Markdown report writer
+all resolve experiments the same way.  Adding a new workload is a
+registration in :mod:`repro.experiments.specs`, not a new module plus a CLI
+branch.
+
+The driver contract: ``spec.driver(**params)`` receives exactly the
+declared parameters (defaults merged with any overrides) and returns a
+:class:`DriverResult` — the report rows plus optional free-form extra lines
+(fit summaries and the like).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.report import Row
+
+#: Parameter kinds understood by the CLI's ``--param`` override parser.
+PARAM_KINDS = ("int", "float", "str", "bool", "int_list", "float_list", "seed")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of an experiment.
+
+    ``kind`` drives CLI string parsing (see :func:`parse_param_value`);
+    ``"seed"`` behaves like ``int`` but is also settable through the
+    shared ``--seed`` flag.  ``default`` is used when no override is given.
+    """
+
+    name: str
+    kind: str
+    default: Any
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ValueError(f"unknown parameter kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DriverResult:
+    """What a registered driver returns: rows plus free-form extra lines."""
+
+    rows: tuple[Row, ...]
+    extra: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+        object.__setattr__(self, "extra", tuple(self.extra))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: id, title, tags, parameter schema, driver."""
+
+    id: str
+    title: str
+    driver: Callable[..., DriverResult]
+    params: tuple[ParamSpec, ...] = ()
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def param(self, name: str) -> ParamSpec:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"experiment {self.id!r} has no parameter {name!r}")
+
+    def defaults(self) -> dict[str, Any]:
+        return {spec.name: spec.default for spec in self.params}
+
+    def resolve_params(
+        self, overrides: Mapping[str, Any] | None = None, strict: bool = True
+    ) -> dict[str, Any]:
+        """Merge ``overrides`` into the declared defaults.
+
+        With ``strict=True`` unknown parameter names raise ``KeyError``;
+        with ``strict=False`` they are ignored (used when one shared
+        override set — e.g. ``--trials`` — is applied across many specs
+        that declare different schemas).  String override values for
+        non-string parameters are parsed according to the parameter's
+        declared kind, so CLI ``--param name=value`` pairs can be applied
+        unmodified.
+        """
+        resolved = self.defaults()
+        for name, value in (overrides or {}).items():
+            if name not in resolved:
+                if strict:
+                    raise KeyError(
+                        f"experiment {self.id!r} has no parameter {name!r}; "
+                        f"declared: {', '.join(sorted(resolved)) or '(none)'}"
+                    )
+                continue
+            spec = self.param(name)
+            if isinstance(value, str) and spec.kind != "str":
+                value = parse_param_value(spec, value)
+            resolved[name] = value
+        return resolved
+
+    def run(self, overrides: Mapping[str, Any] | None = None, strict: bool = True):
+        """Resolve parameters and invoke the driver."""
+        params = self.resolve_params(overrides, strict=strict)
+        result = self.driver(**params)
+        if not isinstance(result, DriverResult):
+            raise TypeError(
+                f"driver for {self.id!r} returned {type(result).__name__}, "
+                "expected DriverResult"
+            )
+        return params, result
+
+
+def parse_param_value(spec: ParamSpec, text: str) -> Any:
+    """Parse a CLI ``--param name=value`` string according to the schema."""
+    kind = spec.kind
+    if kind in ("int", "seed"):
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "str":
+        return text
+    if kind == "bool":
+        lowered = text.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"cannot parse {text!r} as bool for {spec.name!r}")
+    if kind == "int_list":
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    if kind == "float_list":
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    raise ValueError(f"unknown parameter kind {kind!r}")  # pragma: no cover
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_DEFAULTS_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register ``spec``; duplicate ids are an error."""
+    if spec.id in _REGISTRY:
+        raise ValueError(f"experiment id {spec.id!r} already registered")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def _ensure_default_specs() -> None:
+    """Load the built-in registrations exactly once (import side effect)."""
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        _DEFAULTS_LOADED = True
+        import repro.experiments.specs  # noqa: F401  (registers on import)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered spec by id."""
+    _ensure_default_specs()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def all_specs() -> tuple[ExperimentSpec, ...]:
+    """Every registered spec, sorted by id."""
+    _ensure_default_specs()
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """The sorted registered ids."""
+    return tuple(spec.id for spec in all_specs())
+
+
+def specs_for_tag(tag: str) -> tuple[ExperimentSpec, ...]:
+    """Registered specs carrying ``tag``."""
+    return tuple(spec for spec in all_specs() if tag in spec.tags)
+
+
+def all_tags() -> tuple[str, ...]:
+    """Every tag in use, sorted."""
+    tags: set[str] = set()
+    for spec in all_specs():
+        tags.update(spec.tags)
+    return tuple(sorted(tags))

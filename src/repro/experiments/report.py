@@ -8,7 +8,8 @@ one code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 
@@ -91,3 +92,38 @@ def render_table(rows: list[Row], title: str | None = None) -> str:
 def violations(rows: list[Row]) -> list[Row]:
     """Rows whose stated paper relation does not hold."""
     return [row for row in rows if row.satisfied is False]
+
+
+def row_to_dict(row: Row) -> dict[str, Any]:
+    """JSON-ready representation of one row (tuple params become lists)."""
+    payload = asdict(row)
+    payload["params"] = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in row.params.items()
+    }
+    return payload
+
+
+def row_from_dict(payload: Mapping[str, Any]) -> Row:
+    """Invert :func:`row_to_dict`.
+
+    JSON has no tuple type, so list-valued params are restored as tuples —
+    exactly inverting the serialization, which keeps ``formatted_params``
+    (and therefore table/Markdown renderings) byte-identical across an
+    artifact round trip.
+    """
+    params = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.get("params", {}).items()
+    }
+    return Row(
+        experiment=payload["experiment"],
+        system=payload["system"],
+        quantity=payload["quantity"],
+        measured=payload["measured"],
+        paper=payload.get("paper"),
+        relation=payload.get("relation", "~"),
+        params=params,
+        note=payload.get("note", ""),
+        tolerance=payload.get("tolerance", 0.0),
+    )

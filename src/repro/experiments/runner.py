@@ -1,0 +1,180 @@
+"""Unified experiment runner: resolve specs, run, fan out, write artifacts.
+
+One pipeline for every registered experiment
+(:mod:`repro.experiments.registry`):
+
+* :func:`run_experiment` resolves an :class:`ExperimentSpec`, merges
+  parameter overrides into the declared schema and invokes the driver;
+* :func:`run_experiments` runs a selection of specs, optionally fanning
+  them out across worker processes (``jobs > 1``) — results are returned
+  in request order and are bit-identical to a sequential run, because
+  every spec derives its own per-cell seeded streams
+  (:mod:`repro.experiments.seeding`) and no state is shared;
+* :func:`write_artifact` / :func:`load_artifact` serialize a run as one
+  JSON artifact with a common schema (kind ``"experiment"``): rows +
+  resolved params + environment metadata.  Artifacts are deliberately free
+  of wall-clock fields so that re-runs at the same seed — sequential or
+  parallel — are byte-identical (see README, "Artifact schema").
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.registry import get_spec
+from repro.experiments.report import Row, row_from_dict, row_to_dict, violations
+
+#: Version of the unified artifact JSON schema.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: ``kind`` field of unified experiment artifacts.
+ARTIFACT_KIND = "experiment"
+
+
+def environment_metadata() -> dict[str, str]:
+    """Deterministic (per host) environment fingerprint stored in artifacts."""
+    import numpy
+
+    from repro import __version__
+
+    return {
+        "package": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+    }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A completed experiment run: resolved inputs, rows and metadata."""
+
+    spec_id: str
+    title: str
+    tags: tuple[str, ...]
+    params: dict[str, Any]
+    rows: tuple[Row, ...]
+    extra: tuple[str, ...]
+    environment: dict[str, str]
+
+    @property
+    def violation_rows(self) -> list[Row]:
+        return violations(list(self.rows))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready artifact payload (deterministic: no wall-clock fields)."""
+        return {
+            "kind": ARTIFACT_KIND,
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "id": self.spec_id,
+            "title": self.title,
+            "tags": list(self.tags),
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+            "environment": dict(self.environment),
+            "rows": [row_to_dict(row) for row in self.rows],
+            "extra": list(self.extra),
+            "violations": len(self.violation_rows),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        if payload.get("kind") != ARTIFACT_KIND:
+            raise ValueError(f"not an experiment artifact (kind={payload.get('kind')!r})")
+        return cls(
+            spec_id=payload["id"],
+            title=payload["title"],
+            tags=tuple(payload.get("tags", ())),
+            params={k: _untuple(v) for k, v in payload.get("params", {}).items()},
+            rows=tuple(row_from_dict(row) for row in payload.get("rows", ())),
+            extra=tuple(payload.get("extra", ())),
+            environment=dict(payload.get("environment", {})),
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    return list(value) if isinstance(value, tuple) else value
+
+
+def _untuple(value: Any) -> Any:
+    """Invert :func:`_jsonable`: JSON arrays come back as tuples."""
+    return tuple(value) if isinstance(value, list) else value
+
+
+def run_experiment(
+    experiment_id: str,
+    overrides: Mapping[str, Any] | None = None,
+    strict: bool = True,
+) -> RunResult:
+    """Resolve and run one registered experiment.
+
+    ``overrides`` replace declared parameter defaults; with ``strict=False``
+    override names a spec does not declare are ignored, so one shared
+    override set (e.g. ``trials=20``) can be applied across many specs.
+    """
+    spec = get_spec(experiment_id)
+    params, result = spec.run(overrides, strict=strict)
+    return RunResult(
+        spec_id=spec.id,
+        title=spec.title,
+        tags=spec.tags,
+        params=params,
+        rows=result.rows,
+        extra=result.extra,
+        environment=environment_metadata(),
+    )
+
+
+def _run_for_pool(experiment_id: str, overrides: dict[str, Any] | None) -> RunResult:
+    """Top-level worker entry point (must be picklable for process pools)."""
+    return run_experiment(experiment_id, overrides, strict=False)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    overrides: Mapping[str, Any] | None = None,
+    jobs: int = 1,
+) -> list[RunResult]:
+    """Run several experiments, optionally across ``jobs`` processes.
+
+    Results come back in request order.  Parallel runs are bit-identical to
+    sequential ones: specs share no RNG state, and every Monte-Carlo cell
+    draws from its own parameter-keyed stream.
+    """
+    ids = list(experiment_ids)
+    for experiment_id in ids:
+        get_spec(experiment_id)  # fail fast on unknown ids, before forking
+    shared = dict(overrides or {})
+    if jobs <= 1 or len(ids) <= 1:
+        return [_run_for_pool(experiment_id, shared) for experiment_id in ids]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = [pool.submit(_run_for_pool, experiment_id, shared) for experiment_id in ids]
+        return [future.result() for future in futures]
+
+
+def artifact_path(result: RunResult, directory: str | Path) -> Path:
+    """Canonical artifact location for ``result`` under ``directory``."""
+    return Path(directory) / f"{result.spec_id}.json"
+
+
+def write_artifact(result: RunResult, path: str | Path) -> Path:
+    """Write one run's JSON artifact and return its path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    return destination
+
+
+def write_artifacts(results: Sequence[RunResult], directory: str | Path) -> list[Path]:
+    """Write one ``<id>.json`` artifact per result under ``directory``."""
+    return [write_artifact(result, artifact_path(result, directory)) for result in results]
+
+
+def load_artifact(path: str | Path) -> RunResult:
+    """Load an artifact written by :func:`write_artifact`."""
+    return RunResult.from_dict(json.loads(Path(path).read_text()))

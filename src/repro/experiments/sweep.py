@@ -34,6 +34,7 @@ from repro.core.batched import (
     supports_batched,
 )
 from repro.core.estimator import Estimate
+from repro.experiments.seeding import cell_generator
 from repro.systems import build_system
 
 
@@ -91,16 +92,10 @@ class SweepResult:
 def _cell_generator(seed: int, size: int, p: float) -> np.random.Generator:
     """The seeded per-cell stream: keyed by sweep seed and the cell's
     ``(size, p)`` values, so a cell reproduces bit-identically no matter
-    which grid it is part of.  Seed and keys are encoded as unsigned
-    64-bit words (two's complement for negative ints, IEEE-754 bits for
-    ``p``) since ``SeedSequence`` rejects negative entropy."""
-    size_key = int(size) & 0xFFFFFFFFFFFFFFFF
-    p_key = int(np.float64(p).view(np.uint64))
-    return np.random.default_rng(
-        np.random.SeedSequence(
-            entropy=int(seed) & 0xFFFFFFFFFFFFFFFF, spawn_key=(size_key, p_key)
-        )
-    )
+    which grid it is part of.  Delegates to the shared
+    :mod:`repro.experiments.seeding` helpers (same key encoding as before:
+    two's complement for ints, IEEE-754 bits for ``p``)."""
+    return cell_generator(seed, int(size), float(p))
 
 
 def run_sweep(

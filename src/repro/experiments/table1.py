@@ -36,6 +36,7 @@ from repro.analysis.yao import (
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.experiments.hqs import probe_hqs_expected_exact, worst_case_family_sampler
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.crumbling_walls import TriangSystem
 from repro.systems.hqs import HQS
 from repro.systems.majority import MajoritySystem
@@ -82,9 +83,14 @@ def run_table1(
 def _maj_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
     n = sizes.maj_n
     system = MajoritySystem(n)
-    ppc = estimate_average_probes(ProbeMaj(system), 0.5, trials=trials, seed=seed)
+    ppc = estimate_average_probes(
+        ProbeMaj(system), 0.5, trials=trials, seed=cell_seed(seed, "maj-ppc", n)
+    )
     pcr = estimate_average_under(
-        RProbeMaj(system), majority_hard_sampler(system), trials=trials, seed=seed
+        RProbeMaj(system),
+        majority_hard_sampler(system),
+        trials=trials,
+        seed=cell_seed(seed, "maj-pcr", n),
     )
     exact_ppc = majority_expected_probes_exact(n, 0.5)
     exact_pcr = majority_lower_bound(n)
@@ -99,7 +105,8 @@ def _maj_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
             paper=exact_pcr, relation="~", params={"n": n},
             note="n-(n-1)/(n+3), Thm 4.2"),
         Row("table1", "Maj", "randomized (upper n-1+o(1))", pcr.mean,
-            paper=float(n), relation="<=", params={"n": n}),
+            paper=float(n), relation="<=", params={"n": n},
+            tolerance=pcr.ci95),
     ]
 
 
@@ -107,22 +114,30 @@ def _triang_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
     depth = sizes.triang_depth
     system = TriangSystem(depth)
     n, k = system.n, depth
-    ppc = estimate_average_probes(ProbeCW(system), 0.5, trials=trials, seed=seed)
+    ppc = estimate_average_probes(
+        ProbeCW(system), 0.5, trials=trials, seed=cell_seed(seed, "triang-ppc", n)
+    )
     pcr = estimate_average_under(
-        RProbeCW(system), cw_hard_sampler(system), trials=trials, seed=seed
+        RProbeCW(system),
+        cw_hard_sampler(system),
+        trials=trials,
+        seed=cell_seed(seed, "triang-pcr", n),
     )
     return [
         Row("table1", "Triang", "probabilistic p=1/2 (lower 2k-Θ(√k))", ppc.mean,
             paper=generic_lower_bound_ppc(k, 0.5), relation=">=",
-            params={"n": n, "k": k}),
+            params={"n": n, "k": k}, tolerance=ppc.ci95),
         Row("table1", "Triang", "probabilistic p=1/2 (upper 2k-1)", ppc.mean,
-            paper=2.0 * k - 1.0, relation="<=", params={"n": n, "k": k}),
+            paper=2.0 * k - 1.0, relation="<=", params={"n": n, "k": k},
+            tolerance=ppc.ci95),
         Row("table1", "Triang", "randomized (lower (n+k)/2)", pcr.mean,
-            paper=cw_lower_bound(system), relation=">=", params={"n": n, "k": k}),
+            paper=cw_lower_bound(system), relation=">=", params={"n": n, "k": k},
+            tolerance=pcr.ci95),
         Row("table1", "Triang", "randomized (upper (n+k)/2+log k)", pcr.mean,
             paper=probe_cw_row_bound(system.widths), relation="<=",
             params={"n": n, "k": k},
-            note="Thm 4.4 per-row bound (≤ (n+k)/2 + log k)"),
+            note="Thm 4.4 per-row bound (≤ (n+k)/2 + log k)",
+            tolerance=pcr.ci95),
     ]
 
 
@@ -130,9 +145,14 @@ def _tree_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
     height = sizes.tree_height
     system = TreeSystem(height)
     n = system.n
-    ppc = estimate_average_probes(ProbeTree(system), 0.5, trials=trials, seed=seed)
+    ppc = estimate_average_probes(
+        ProbeTree(system), 0.5, trials=trials, seed=cell_seed(seed, "tree-ppc", n)
+    )
     pcr = estimate_average_under(
-        RProbeTree(system), tree_hard_sampler(system), trials=trials, seed=seed
+        RProbeTree(system),
+        tree_hard_sampler(system),
+        trials=trials,
+        seed=cell_seed(seed, "tree-pcr", n),
     )
     return [
         Row("table1", "Tree", "probabilistic p=1/2 (no lower bound in paper)", ppc.mean,
@@ -140,12 +160,13 @@ def _tree_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
         Row("table1", "Tree", "probabilistic p=1/2 (upper O(n^0.585))", ppc.mean,
             paper=3.0 * float(n) ** 0.585, relation="<=",
             params={"n": n, "h": height},
-            note="constant instantiated as 3"),
+            note="constant instantiated as 3", tolerance=ppc.ci95),
         Row("table1", "Tree", "randomized (lower 2n/3)", pcr.mean,
-            paper=tree_lower_bound(n), relation=">=", params={"n": n, "h": height}),
+            paper=tree_lower_bound(n), relation=">=", params={"n": n, "h": height},
+            tolerance=pcr.ci95),
         Row("table1", "Tree", "randomized (upper 5n/6)", pcr.mean,
             paper=5.0 * n / 6.0 + 1.0 / 6.0, relation="<=",
-            params={"n": n, "h": height}),
+            params={"n": n, "h": height}, tolerance=pcr.ci95),
     ]
 
 
@@ -153,25 +174,32 @@ def _hqs_cells(sizes: Table1Sizes, trials: int, seed: int) -> list[Row]:
     height = sizes.hqs_height
     system = HQS(height)
     n = system.n
-    ppc = estimate_average_probes(ProbeHQS(system), 0.5, trials=trials, seed=seed)
+    ppc = estimate_average_probes(
+        ProbeHQS(system), 0.5, trials=trials, seed=cell_seed(seed, "hqs-ppc", n)
+    )
     pcr = estimate_average_under(
-        IRProbeHQS(system), worst_case_family_sampler(system), trials=trials, seed=seed
+        IRProbeHQS(system),
+        worst_case_family_sampler(system),
+        trials=trials,
+        seed=cell_seed(seed, "hqs-pcr", n),
     )
     exact_ppc = probe_hqs_expected_exact(height, 0.5)  # = 2.5^h = n^0.834
     return [
         Row("table1", "HQS", "probabilistic p=1/2 (lower Ω(n^0.834))", ppc.mean,
             paper=0.9 * exact_ppc, relation=">=", params={"n": n, "h": height},
-            note="lower bound = optimal value 2.5^h (Thm 3.9), slack 10%"),
+            note="lower bound = optimal value 2.5^h (Thm 3.9), slack 10%",
+            tolerance=ppc.ci95),
         Row("table1", "HQS", "probabilistic p=1/2 (upper O(n^0.834))", ppc.mean,
             paper=1.1 * exact_ppc, relation="<=", params={"n": n, "h": height},
-            note="upper bound = 2.5^h (Thm 3.8), slack 10%"),
+            note="upper bound = 2.5^h (Thm 3.8), slack 10%", tolerance=ppc.ci95),
         Row("table1", "HQS", "randomized (lower Ω(n^0.834))", pcr.mean,
             paper=0.9 * exact_ppc, relation=">=", params={"n": n, "h": height},
-            note="Cor 4.13"),
+            note="Cor 4.13", tolerance=pcr.ci95),
         Row("table1", "HQS", "randomized (upper O(n^0.887))", pcr.mean,
             paper=1.2 * (189.5 / 27.0) ** (height / 2.0) * 2.0, relation="<=",
             params={"n": n, "h": height},
-            note="Thm 4.10 recursion value, constant instantiated"),
+            note="Thm 4.10 recursion value, constant instantiated",
+            tolerance=pcr.ci95),
     ]
 
 

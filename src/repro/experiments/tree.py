@@ -21,6 +21,7 @@ from repro.analysis.bounds import tree_ppc_exponent
 from repro.analysis.yao import tree_hard_matrix, tree_hard_sampler, tree_lower_bound
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.experiments.report import Row
+from repro.experiments.seeding import cell_seed
 from repro.systems.tree import TreeSystem
 
 DEFAULT_HEIGHTS = (3, 4, 5, 6, 7, 8)
@@ -55,7 +56,7 @@ def run_probe_tree_scaling(
         for height in heights:
             system = TreeSystem(height)
             estimate = estimate_average_probes(
-                ProbeTree(system), p, trials=trials, seed=seed, batched=batched
+                ProbeTree(system), p, trials=trials, seed=cell_seed(seed, system.n, p), batched=batched
             )
             sizes.append(float(system.n))
             costs.append(estimate.mean)

@@ -1,11 +1,18 @@
 """Name-and-size-knob factory for the paper's systems.
 
-Shared by the CLI and the sweep runner, so library code never has to
-import :mod:`repro.cli` to turn a ``("tree", 7)``-style specification into
-a system.
+Shared by the CLI, the sweep runner and the experiment registry, so
+library code never has to import :mod:`repro.cli` to turn a
+``("tree", 7)``-style specification into a system.
+
+Like the experiment registry (:mod:`repro.experiments.registry`), the
+factory is registration-driven: each system family maps a CLI name (plus
+aliases) to a builder taking the integer size knob.  New families register
+a builder instead of growing an ``if`` ladder.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from repro.systems.base import QuorumSystem
 from repro.systems.crumbling_walls import CrumblingWall, TriangSystem
@@ -15,8 +22,47 @@ from repro.systems.majority import MajoritySystem
 from repro.systems.tree import TreeSystem
 from repro.systems.wheel import WheelSystem
 
+#: Canonical CLI name -> builder taking the size knob.
+_BUILDERS: dict[str, Callable[[int], QuorumSystem]] = {}
+
+#: Alias -> canonical CLI name.
+_ALIASES: dict[str, str] = {}
+
+
+def register_system_builder(
+    name: str,
+    builder: Callable[[int], QuorumSystem],
+    aliases: tuple[str, ...] = (),
+) -> None:
+    """Register a system family under ``name`` (plus ``aliases``)."""
+    key = name.lower()
+    if key in _BUILDERS or key in _ALIASES:
+        raise ValueError(f"system name {name!r} already registered")
+    _BUILDERS[key] = builder
+    for alias in aliases:
+        alias_key = alias.lower()
+        if alias_key in _BUILDERS or alias_key in _ALIASES:
+            raise ValueError(f"system alias {alias!r} already registered")
+        _ALIASES[alias_key] = key
+
+
+register_system_builder(
+    "maj", lambda size: MajoritySystem(size if size % 2 == 1 else size + 1),
+    aliases=("majority",),
+)
+register_system_builder("wheel", lambda size: WheelSystem(max(size, 3)))
+register_system_builder("triang", lambda size: TriangSystem(max(size, 1)))
+register_system_builder(
+    "cw",
+    lambda size: CrumblingWall([1] + [max(size, 2)] * max(size - 1, 1)),
+    aliases=("wall",),
+)
+register_system_builder("tree", lambda size: TreeSystem(max(size, 0)))
+register_system_builder("hqs", lambda size: HQS(max(size, 0)))
+register_system_builder("grid", lambda size: GridSystem(max(size, 1)))
+
 #: The CLI names accepted by :func:`build_system`.
-SYSTEM_CHOICES = ("maj", "wheel", "triang", "cw", "tree", "hqs", "grid")
+SYSTEM_CHOICES = tuple(_BUILDERS)
 
 
 def build_system(name: str, size: int) -> QuorumSystem:
@@ -28,20 +74,10 @@ def build_system(name: str, size: int) -> QuorumSystem:
     Majority size is bumped to ``size + 1``).
     """
     key = name.lower()
-    if key in ("maj", "majority"):
-        return MajoritySystem(size if size % 2 == 1 else size + 1)
-    if key == "wheel":
-        return WheelSystem(max(size, 3))
-    if key == "triang":
-        return TriangSystem(max(size, 1))
-    if key in ("cw", "wall"):
-        return CrumblingWall([1] + [max(size, 2)] * max(size - 1, 1))
-    if key == "tree":
-        return TreeSystem(max(size, 0))
-    if key == "hqs":
-        return HQS(max(size, 0))
-    if key == "grid":
-        return GridSystem(max(size, 1))
-    raise ValueError(
-        f"unknown system {name!r}; choose from maj, wheel, triang, cw, tree, hqs, grid"
-    )
+    key = _ALIASES.get(key, key)
+    builder = _BUILDERS.get(key)
+    if builder is None:
+        raise ValueError(
+            f"unknown system {name!r}; choose from {', '.join(SYSTEM_CHOICES)}"
+        )
+    return builder(size)

@@ -8,7 +8,7 @@ import pytest
 
 from repro.algorithms.crumbling_walls import ProbeCW, RProbeCW, probe_cw_row_bound
 from repro.analysis.lemmas import expected_trials_both_colors
-from repro.core.coloring import Color, Coloring
+from repro.core.coloring import Coloring
 from repro.core.estimator import (
     estimate_average_probes,
     estimate_expected_probes_on,

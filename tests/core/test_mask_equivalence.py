@@ -15,7 +15,6 @@ This module pins that down three ways:
 
 from __future__ import annotations
 
-import itertools
 import math
 import random
 from functools import lru_cache

@@ -2,12 +2,39 @@
 
 from __future__ import annotations
 
-from repro.experiments.report import Row
+from repro.experiments.report import Row, violations
 from repro.experiments.writer import (
+    artifact_to_markdown,
+    artifacts_to_markdown,
     build_markdown_report,
     rows_to_markdown,
+    run_result_to_markdown,
     write_markdown_report,
 )
+
+
+class TestViolations:
+    def test_empty_for_no_rows(self):
+        assert violations([]) == []
+
+    def test_flags_only_broken_relations(self):
+        ok_row = Row("e", "s", "ok", measured=9.0, paper=10.0, relation="<=")
+        bad_row = Row("e", "s", "bad", measured=12.0, paper=10.0, relation="<=")
+        shape_row = Row("e", "s", "shape", measured=12.0, paper=10.0, relation="~")
+        unchecked = Row("e", "s", "unchecked", measured=12.0, paper=None)
+        assert violations([ok_row, bad_row, shape_row, unchecked]) == [bad_row]
+
+    def test_tolerance_excuses_boundary_noise(self):
+        tight = Row("e", "s", "q", measured=10.5, paper=10.0, relation="<=")
+        slack = Row("e", "s", "q", measured=10.5, paper=10.0, relation="<=", tolerance=0.6)
+        assert violations([tight]) == [tight]
+        assert violations([slack]) == []
+
+    def test_equality_relation_both_directions(self):
+        low = Row("e", "s", "q", measured=8.0, paper=10.0, relation="==")
+        high = Row("e", "s", "q", measured=12.0, paper=10.0, relation="==")
+        close = Row("e", "s", "q", measured=10.1, paper=10.0, relation="==")
+        assert violations([low, high, close]) == [low, high]
 
 
 class TestRowsToMarkdown:
@@ -34,6 +61,33 @@ class TestRowsToMarkdown:
     def test_pipe_characters_escaped_in_quantity(self):
         rows = [Row("e", "s", "a|b", measured=1.0)]
         assert "a/b" in rows_to_markdown(rows, "t")
+
+
+class TestArtifactRendering:
+    def test_run_result_section_includes_extra_lines(self):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment("tree", {"trials": 15})
+        section = run_result_to_markdown(result)
+        assert section.startswith(f"## {result.title}")
+        assert "fitted exponent" in section
+
+    def test_artifact_to_markdown_matches_live_rendering(self, tmp_path):
+        from repro.experiments.runner import run_experiment, write_artifact
+
+        result = run_experiment("lemmas", {"trials": 40})
+        path = write_artifact(result, tmp_path / "lemmas.json")
+        assert artifact_to_markdown(path) == run_result_to_markdown(result)
+
+    def test_artifacts_to_markdown_document(self, tmp_path):
+        from repro.experiments.runner import run_experiments, write_artifacts
+
+        paths = write_artifacts(
+            run_experiments(["maj3", "lemmas"], {"trials": 40}), tmp_path
+        )
+        text = artifacts_to_markdown(sorted(paths))
+        assert text.startswith("# Probe-complexity reproduction report")
+        assert "Maj3 worked example" in text and "Technical lemmas" in text
 
 
 class TestFullReport:

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import EXPERIMENT_IDS, build_parser, build_system, main
+from repro.cli import build_parser, build_system, main
+from repro.experiments.registry import experiment_ids
 from repro.systems import (
     HQS,
     CrumblingWall,
@@ -53,13 +54,37 @@ class TestParser:
         assert args_dict["p"] == 0.5
         assert not args_dict["randomized"]
 
-    def test_experiment_choices(self):
+    def test_run_accepts_any_registered_id(self):
         parser = build_parser()
-        for experiment_id in EXPERIMENT_IDS:
-            args = parser.parse_args(["experiment", experiment_id])
-            assert args.id == experiment_id
+        for experiment_id in experiment_ids():
+            args = parser.parse_args(["run", experiment_id])
+            assert args.ids == [experiment_id]
+
+    def test_run_unknown_id_rejected_at_dispatch(self):
         with pytest.raises(SystemExit):
-            parser.parse_args(["experiment", "nonexistent"])
+            main(["run", "nonexistent"])
+
+    def test_run_requires_a_selection(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_rejects_unknown_param_for_single_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", "lemmas", "--param", "bogus=1"])
+
+    def test_shared_flags_ignored_by_specs_without_them(self, capsys):
+        # maj3 declares neither trials nor seed; the shared flags must not
+        # make the single-spec run fail (parity with the old CLI).
+        assert main(["run", "maj3", "--trials", "50", "--seed", "7"]) == 0
+        assert "consistent with the paper" in capsys.readouterr().out
+
+    def test_run_bad_param_value_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["run", "maj3", "lemmas", "--param", "trials=abc"])
+
+    def test_run_many_rejects_json_output_path(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "maj3", "lemmas", "--output", str(tmp_path / "out.json")])
 
 
 class TestCommands:
@@ -129,12 +154,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 1" in out and "Triang" in out
 
-    def test_experiment_maj3(self, capsys):
-        assert main(["experiment", "maj3"]) == 0
+    def test_list_shows_registered_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "tree" in out and "maj3" not in out
+
+    def test_run_maj3(self, capsys):
+        assert main(["run", "maj3"]) == 0
         out = capsys.readouterr().out
         assert "consistent with the paper" in out
 
-    def test_experiment_lemmas(self, capsys):
-        assert main(["experiment", "lemmas", "--trials", "300"]) == 0
+    def test_run_lemmas_with_trials(self, capsys):
+        assert main(["run", "lemmas", "--trials", "300"]) == 0
         out = capsys.readouterr().out
         assert "lemma2.4-walk" in out
+
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        output = tmp_path / "lemmas.json"
+        assert main(
+            ["run", "lemmas", "--trials", "100", "--seed", "7", "--output", str(output)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.experiments.runner import load_artifact
+
+        result = load_artifact(output)
+        assert result.spec_id == "lemmas"
+        assert result.params["seed"] == 7 and result.params["trials"] == 100
+        assert result.rows
+
+    def test_run_seed_changes_measurements(self, tmp_path):
+        from repro.experiments.runner import load_artifact
+
+        paths = []
+        for seed in (1, 2):
+            path = tmp_path / f"lemmas-{seed}.json"
+            main(["run", "lemmas", "--trials", "60", "--seed", str(seed), "--output", str(path)])
+            paths.append(path)
+        first, second = (load_artifact(path) for path in paths)
+        assert [row.measured for row in first.rows] != [row.measured for row in second.rows]
+
+    def test_run_many_with_output_directory(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "maj3", "lemmas",
+                "--trials", "80",
+                "--output", str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "artifacts" / "maj3.json").exists()
+        assert (tmp_path / "artifacts" / "lemmas.json").exists()
+
+    def test_run_tag_selection(self, capsys):
+        assert main(["run", "--tag", "worked-example"]) == 0
+        out = capsys.readouterr().out
+        assert "Maj3 worked example" in out
+
+    def test_experiment_is_deprecated_alias_of_run(self, capsys):
+        assert main(["experiment", "maj3"]) == 0
+        captured = capsys.readouterr()
+        assert "consistent with the paper" in captured.out
+        assert "deprecated" in captured.err
