@@ -22,6 +22,11 @@ Sections:
   Probe_HQS / IR_Probe_HQS on ``HQS(h=6)`` (n = 729);
 * ``coloring_sampling`` — ``Coloring.random`` at ``n = 2000`` and the
   ``random_batch`` matrix sampler;
+* ``distribution_sampling`` — every registered
+  :class:`~repro.core.distributions.ColoringSource` at ``n ≈ 1000``:
+  the vectorized ``sample_matrix`` batch versus the per-trial scalar
+  path each scenario used before the unified source layer
+  (``FailureModel.sample_coloring`` / the ``*_hard_sampler`` closures);
 * ``runner_overhead`` — the unified experiment runner
   (:mod:`repro.experiments.runner`: registry lookup, parameter resolution,
   environment metadata, artifact serialization) versus calling the same
@@ -189,6 +194,86 @@ def bench_coloring_sampling(quick: bool) -> dict:
     }
 
 
+def bench_distribution_sampling(quick: bool) -> list[dict]:
+    """Batched versus per-trial sampling for every registered source.
+
+    ``batched_seconds`` times ``source.sample_matrix`` (one call for the
+    whole batch); ``per_trial_seconds`` times the scalar path each
+    scenario used before the unified source layer — the
+    ``FailureModel.sample_coloring`` loop for the failure models and the
+    hoisted sampler closures for the Yao/HQS hard families — which is the
+    loop the batched consumers replace.
+    """
+    from repro.analysis.yao import (
+        cw_hard_sampler,
+        majority_hard_sampler,
+        tree_hard_sampler,
+    )
+    from repro.core.distributions import build_source
+    from repro.experiments.hqs import worst_case_family_sampler
+    from repro.simulation.failures import (
+        AdversarialFailures,
+        BernoulliFailures,
+        CorrelatedGroupFailures,
+        FixedCountFailures,
+    )
+
+    trials = 200 if quick else 1000
+    p = 0.3
+    maj = MajoritySystem(1001)
+    triang = TriangSystem(45)  # n = 1035
+    tree = TreeSystem(9)  # n = 1023
+    hqs = HQS(6)  # n = 729
+    reds = round(p * maj.n)
+
+    def model_loop(model, n):
+        rng = random.Random(11)
+        return lambda: [model.sample_coloring(n, rng) for _ in range(trials)]
+
+    def sampler_loop(sampler):
+        rng = random.Random(13)
+        return lambda: [sampler(rng) for _ in range(trials)]
+
+    cases = [
+        ("bernoulli", maj, model_loop(BernoulliFailures(p), maj.n)),
+        ("fixed_count", maj, model_loop(FixedCountFailures(reds), maj.n)),
+        (
+            "correlated_groups",
+            triang,
+            model_loop(CorrelatedGroupFailures(triang.rows, p), triang.n),
+        ),
+        (
+            "adversarial",
+            maj,
+            model_loop(AdversarialFailures(range(1, reds + 1)), maj.n),
+        ),
+        ("majority_hard", maj, sampler_loop(majority_hard_sampler(maj))),
+        ("cw_hard", triang, sampler_loop(cw_hard_sampler(triang))),
+        ("tree_hard", tree, sampler_loop(tree_hard_sampler(tree))),
+        ("hqs_family_p", hqs, sampler_loop(worst_case_family_sampler(hqs))),
+    ]
+    results = []
+    for name, system, per_trial in cases:
+        source = build_source(name, system, p)
+        batched_seconds, red = timed(
+            lambda: source.sample_matrix(system.n, trials, rng=17), repeat=3
+        )
+        assert red.shape == (trials, system.n)
+        per_trial_seconds, _ = timed(per_trial)
+        results.append(
+            {
+                "source": name,
+                "system": system.name,
+                "n": system.n,
+                "trials": trials,
+                "batched_seconds": batched_seconds,
+                "per_trial_seconds": per_trial_seconds,
+                "speedup": per_trial_seconds / batched_seconds,
+            }
+        )
+    return results
+
+
 def bench_runner_overhead(quick: bool) -> dict:
     """Registry dispatch + artifact write versus a direct driver call.
 
@@ -248,6 +333,7 @@ def main(argv=None) -> int:
         "batched_montecarlo": bench_batched_montecarlo(args.quick),
         "batched_gates": bench_batched_gates(args.quick),
         "coloring_sampling": bench_coloring_sampling(args.quick),
+        "distribution_sampling": bench_distribution_sampling(args.quick),
         "runner_overhead": bench_runner_overhead(args.quick),
     }
     output = args.output
@@ -270,6 +356,12 @@ def main(argv=None) -> int:
             f"{case['algorithm']} n={case['n']} x{case['trials']}: batched "
             f"{case['batched_seconds']*1e3:.1f}ms vs loop "
             f"{case['per_trial_loop_seconds']*1e3:.1f}ms ({case['speedup']:.0f}x)"
+        )
+    for case in snapshot["distribution_sampling"]:
+        print(
+            f"sample {case['source']} n={case['n']} x{case['trials']}: batched "
+            f"{case['batched_seconds']*1e3:.1f}ms vs per-trial "
+            f"{case['per_trial_seconds']*1e3:.1f}ms ({case['speedup']:.0f}x)"
         )
     overhead = snapshot["runner_overhead"]
     print(

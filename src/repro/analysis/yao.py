@@ -13,16 +13,22 @@ expectation.  The paper uses three such distributions:
   every height-1 bottom subtree exactly two of the three nodes are red,
   uniformly and independently; the value is ``2(n + 1)/3``.
 
-Each distribution comes in three forms:
+Each distribution comes in four forms:
 
+* a :class:`~repro.core.distributions.ColoringSource`
+  (``MajorityHardSource`` / ``CWHardSource`` / ``TreeHardSource``),
+  registered in the coloring-source registry as ``majority_hard`` /
+  ``cw_hard`` / ``tree_hard`` so experiment drivers, the sweep runner and
+  the CLI resolve it by name like any other scenario;
 * a *sampler* closure (``*_hard_sampler``) drawing one
-  :class:`~repro.core.coloring.Coloring` per call, for per-trial
-  Monte-Carlo loops — all row/subtree precomputation is hoisted out of the
-  closure so the per-sample cost is the draw itself;
+  :class:`~repro.core.coloring.Coloring` per call over a
+  ``random.Random``, for the historical per-trial Monte-Carlo loops — all
+  row/subtree precomputation is hoisted out of the closure so the
+  per-sample cost is the draw itself;
 * a *matrix sampler* (``*_hard_matrix``) drawing a whole trial batch as a
   ``(trials, n)`` numpy bool red matrix, the native input of the batched
   kernels in :mod:`repro.core.batched` /
-  :mod:`repro.core.batched_gates`;
+  :mod:`repro.core.batched_gates` — now a thin delegate of the source;
 * an explicit :class:`~repro.core.coloring.ColoringDistribution`
   (``*_hard_distribution``) for exact best-deterministic computations on
   small systems via
@@ -36,7 +42,13 @@ import random
 
 import numpy as np
 
-from repro.core.coloring import Coloring, ColoringDistribution, as_numpy_generator
+from repro.core.coloring import Coloring, ColoringDistribution
+from repro.core.distributions import (
+    ColoringSource,
+    FixedCountSource,
+    register_source,
+    require_system,
+)
 from repro.systems.crumbling_walls import CrumblingWall
 from repro.systems.majority import MajoritySystem
 from repro.systems.tree import TreeSystem
@@ -55,21 +67,24 @@ def majority_hard_sampler(system: MajoritySystem):
     return sample
 
 
+class MajorityHardSource(FixedCountSource):
+    """Theorem 4.2 hard distribution as a registered coloring source.
+
+    Uniform over colorings with exactly ``k + 1`` red elements — the
+    exact-count source with the count pinned to the quorum size.
+    """
+
+    name = "majority_hard"
+
+    def __init__(self, system: MajoritySystem) -> None:
+        super().__init__(system.n, system.quorum_size)
+
+
 def majority_hard_matrix(
     system: MajoritySystem, trials: int, rng=None
 ) -> np.ndarray:
-    """Batched Theorem 4.2 sampler: ``trials`` uniform ``(k + 1)``-red rows.
-
-    Each row of the returned ``(trials, n)`` bool matrix marks a uniformly
-    chosen ``k + 1``-subset red (a per-trial uniform permutation truncated
-    to its first ``k + 1`` positions).
-    """
-    generator = as_numpy_generator(rng)
-    n, reds = system.n, system.quorum_size
-    order = generator.random((trials, n)).argsort(axis=1)
-    red = np.zeros((trials, n), dtype=bool)
-    np.put_along_axis(red, order[:, :reds], True, axis=1)
-    return red
+    """Batched Theorem 4.2 sampler: ``trials`` uniform ``(k + 1)``-red rows."""
+    return MajorityHardSource(system).sample_matrix(system.n, trials, rng)
 
 
 def majority_hard_distribution(system: MajoritySystem) -> ColoringDistribution:
@@ -104,16 +119,37 @@ def cw_hard_sampler(system: CrumblingWall):
     return sample
 
 
+class CWHardSource(ColoringSource):
+    """Theorem 4.6 hard distribution as a registered coloring source.
+
+    All elements red except exactly one uniformly chosen green per wall
+    row; the sorted column arrays are precomputed once at construction.
+    """
+
+    name = "cw_hard"
+
+    def __init__(self, system: CrumblingWall) -> None:
+        self._n = system.n
+        self._columns = [
+            np.asarray(sorted(row), dtype=np.intp) - 1 for row in system.rows
+        ]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _sample_matrix(self, trials, generator):
+        red = np.ones((trials, self._n), dtype=bool)
+        rows_idx = np.arange(trials)
+        for columns in self._columns:
+            green = columns[generator.integers(columns.size, size=trials)]
+            red[rows_idx, green] = False
+        return red
+
+
 def cw_hard_matrix(system: CrumblingWall, trials: int, rng=None) -> np.ndarray:
     """Batched Theorem 4.6 sampler: all red except one uniform green per row."""
-    generator = as_numpy_generator(rng)
-    red = np.ones((trials, system.n), dtype=bool)
-    rows_idx = np.arange(trials)
-    for row in system.rows:
-        columns = np.asarray(sorted(row), dtype=np.intp) - 1
-        green = columns[generator.integers(columns.size, size=trials)]
-        red[rows_idx, green] = False
-    return red
+    return CWHardSource(system).sample_matrix(system.n, trials, rng)
 
 
 def cw_hard_distribution(system: CrumblingWall) -> ColoringDistribution:
@@ -169,20 +205,42 @@ def tree_hard_sampler(system: TreeSystem):
     return sample
 
 
+class TreeHardSource(ColoringSource):
+    """Theorem 4.8 hard distribution as a registered coloring source.
+
+    Every node above the bottom height-1 subtrees is green; each bottom
+    ``(root, left, right)`` trio has exactly two red members, the green one
+    chosen uniformly and independently per subtree.  The trios are derived
+    once at construction.
+    """
+
+    name = "tree_hard"
+
+    def __init__(self, system: TreeSystem) -> None:
+        self._n = system.n
+        self._trios = np.asarray(_tree_hard_trios(system), dtype=np.intp) - 1  # (m, 3)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _sample_matrix(self, trials, generator):
+        trios = self._trios
+        red = np.zeros((trials, self._n), dtype=bool)
+        red[:, trios.ravel()] = True
+        choice = generator.integers(3, size=(trials, trios.shape[0]))
+        green = trios[np.arange(trios.shape[0])[None, :], choice]  # (trials, m)
+        red[np.arange(trials)[:, None], green] = False
+        return red
+
+
 def tree_hard_matrix(system: TreeSystem, trials: int, rng=None) -> np.ndarray:
     """Batched Theorem 4.8 sampler.
 
     Starts all green, reddens every bottom-subtree trio and then clears one
     uniformly chosen member per ``(trial, trio)``.
     """
-    generator = as_numpy_generator(rng)
-    trios = np.asarray(_tree_hard_trios(system), dtype=np.intp) - 1  # (m, 3)
-    red = np.zeros((trials, system.n), dtype=bool)
-    red[:, trios.ravel()] = True
-    choice = generator.integers(3, size=(trials, trios.shape[0]))
-    green = trios[np.arange(trios.shape[0])[None, :], choice]  # (trials, m)
-    red[np.arange(trials)[:, None], green] = False
-    return red
+    return TreeHardSource(system).sample_matrix(system.n, trials, rng)
 
 
 def tree_hard_distribution(system: TreeSystem) -> ColoringDistribution:
@@ -209,6 +267,29 @@ def tree_subtree_expected_probes() -> float:
     or third.
     """
     return (3 + 3 + 2) / 3.0
+
+
+register_source(
+    "majority_hard",
+    lambda system, p: MajorityHardSource(
+        require_system(system, MajoritySystem, "majority_hard")
+    ),
+    "Thm 4.2 hard distribution: uniform colorings with exactly k+1 reds",
+)
+register_source(
+    "cw_hard",
+    lambda system, p: CWHardSource(
+        require_system(system, CrumblingWall, "cw_hard")
+    ),
+    "Thm 4.6 hard distribution: one uniform green per wall row, rest red",
+)
+register_source(
+    "tree_hard",
+    lambda system, p: TreeHardSource(
+        require_system(system, TreeSystem, "tree_hard")
+    ),
+    "Thm 4.8 hard distribution: two of three red in every bottom subtree",
+)
 
 
 # -- generic helpers ---------------------------------------------------------------------------

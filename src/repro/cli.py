@@ -4,6 +4,7 @@ Provides a small set of subcommands so the experiments can be driven without
 writing Python:
 
 * ``repro-probe systems``          — list the built-in systems and their metrics
+* ``repro-probe distributions``    — list the registered coloring sources
 * ``repro-probe figures``          — render the paper's Figures 1–3 as ASCII
 * ``repro-probe maj3``             — the Section 2.3 worked example, exact
 * ``repro-probe probe``            — run one probing episode on a random coloring
@@ -20,6 +21,13 @@ the CLI holds no per-experiment branches, so registering a new
 :class:`~repro.experiments.registry.ExperimentSpec` is all it takes to make
 a workload runnable here.  ``repro-probe experiment`` remains as a
 deprecated alias of ``run``.
+
+Input scenarios are likewise registry-driven
+(:mod:`repro.core.distributions`): ``estimate``/``sweep`` accept
+``--distribution <name>`` and registered experiments accept
+``--param distribution=<name>``, so any registered coloring source — the
+i.i.d. model, exact-count, correlated groups, the Yao hard families —
+drives the batched kernels without new CLI surface.
 
 The module is also usable as ``python -m repro.cli ...``.
 """
@@ -70,6 +78,23 @@ def _cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distributions(args: argparse.Namespace) -> int:
+    from repro.core.distributions import source_specs
+
+    specs = source_specs()
+    width = max(len(spec.name) for spec in specs)
+    print(f"{'name':<{width}}  description")
+    print(f"{'-' * width}  {'-' * 11}")
+    for spec in specs:
+        aliases = f" (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.name:<{width}}  {spec.description}{aliases}")
+    print(
+        f"\n{len(specs)} sources; use `estimate`/`sweep --distribution <name>` "
+        "or `run ... --param distribution=<name>`"
+    )
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.figures import render_all_figures
 
@@ -113,18 +138,41 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         if args.randomized
         else default_deterministic_algorithm(system)
     )
+    from repro.core.distributions import build_source, canonical_source_name
+
+    try:
+        distribution = canonical_source_name(args.distribution)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    bernoulli = distribution == "bernoulli"
+    source = None
+    if not bernoulli:
+        try:
+            source = build_source(distribution, system, args.p)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
     estimate = estimate_average_probes(
-        algorithm, args.p, trials=args.trials, seed=args.seed, batched=args.batched
+        algorithm,
+        args.p,
+        trials=args.trials,
+        seed=args.seed,
+        batched=args.batched,
+        source=source,
     )
     print(f"system    : {system.name} (n={system.n})")
     print(f"algorithm : {algorithm.name}")
     print(f"p         : {args.p}")
+    if not bernoulli:
+        print(f"inputs    : {distribution}")
     if args.batched:
         from repro.core.batched import supports_batched
 
         kind = "vectorized kernel" if supports_batched(algorithm) else "per-trial fallback"
         print(f"estimator : batched ({kind})")
     print(f"avg probes: {estimate.mean:.3f} ± {estimate.ci95:.3f} ({estimate.trials} trials)")
+    if not bernoulli:
+        print("paper bounds: stated for the i.i.d. model only")
+        return 0
     try:
         from repro.analysis.bounds import Direction, Model, bounds_for
 
@@ -152,16 +200,27 @@ def _parse_float_list(text: str) -> list[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import render_sweep, run_sweep, write_sweep_artifact
 
-    result = run_sweep(
-        args.system,
-        sizes=args.sizes,
-        ps=args.ps,
-        trials=args.trials,
-        seed=args.seed,
-        randomized=args.randomized,
-    )
+    try:
+        result = run_sweep(
+            args.system,
+            sizes=args.sizes,
+            ps=args.ps,
+            trials=args.trials,
+            seed=args.seed,
+            randomized=args.randomized,
+            distribution=args.distribution,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     print(render_sweep(result))
-    output = args.output or f"sweep_{args.system}{'_rand' if args.randomized else ''}.json"
+    # The default artifact name encodes every result-changing axis so two
+    # sweeps of the same system cannot silently overwrite each other.
+    inputs_suffix = (
+        "" if result.distribution == "bernoulli" else f"_{result.distribution}"
+    )
+    output = args.output or (
+        f"sweep_{args.system}{'_rand' if args.randomized else ''}{inputs_suffix}.json"
+    )
     path = write_sweep_artifact(result, output)
     print(f"wrote {path}")
     return 0
@@ -319,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("systems", help="list built-in systems").set_defaults(func=_cmd_systems)
+    sub.add_parser(
+        "distributions", help="list the registered coloring sources"
+    ).set_defaults(func=_cmd_distributions)
     sub.add_parser("figures", help="render Figures 1-3").set_defaults(func=_cmd_figures)
     sub.add_parser("maj3", help="the Maj3 worked example").set_defaults(func=_cmd_maj3)
 
@@ -342,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the vectorized (numpy) Monte-Carlo estimator",
     )
+    estimate.add_argument(
+        "--distribution",
+        default="bernoulli",
+        help="registered coloring source for the inputs (see `distributions`)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     sweep = sub.add_parser(
@@ -364,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trials", type=int, default=1000)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--randomized", action="store_true")
+    sweep.add_argument(
+        "--distribution",
+        default="bernoulli",
+        help="registered coloring source for the cell inputs (see `distributions`)",
+    )
     sweep.add_argument(
         "--output",
         default=None,

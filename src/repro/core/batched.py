@@ -54,6 +54,11 @@ from repro.core.batched_gates import (
     r_probe_tree_kernel,
 )
 from repro.core.coloring import Coloring, as_numpy_generator as as_generator
+from repro.core.distributions import (
+    BernoulliSource,
+    ColoringSource,
+    sample_bernoulli_matrix,
+)
 from repro.core.estimator import Estimate
 
 #: A batched kernel: ``(algorithm, red, rng) -> (probes, witness_green)``
@@ -83,8 +88,14 @@ def kernel_for(algorithm: ProbingAlgorithm) -> BatchedKernel | None:
 
 
 def sample_red_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
-    """Sample ``trials`` i.i.d. colorings as a ``(trials, n)`` bool matrix."""
-    return Coloring.random_batch(n, p, trials, rng)
+    """Sample ``trials`` i.i.d. colorings as a ``(trials, n)`` bool matrix.
+
+    Alias of :func:`repro.core.distributions.sample_bernoulli_matrix` (the
+    single i.i.d. implementation); prefer drawing through a
+    :class:`~repro.core.distributions.ColoringSource` so non-i.i.d.
+    scenarios reach the same kernels.
+    """
+    return sample_bernoulli_matrix(n, p, trials, rng)
 
 
 def supports_batched(algorithm: ProbingAlgorithm) -> bool:
@@ -277,10 +288,29 @@ def estimate_average_probes_batched(
     loop (identical probe-count distribution) but orders of magnitude
     faster on large universes.
     """
+    return estimate_average_source_batched(
+        algorithm, BernoulliSource(algorithm.system.n, p), trials=trials, seed=seed
+    )
+
+
+def estimate_average_source_batched(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource,
+    trials: int = 1000,
+    seed: int | None = None,
+) -> Estimate:
+    """Estimate expected probes when inputs come from a
+    :class:`~repro.core.distributions.ColoringSource`.
+
+    The whole trial batch is drawn with ``source.sample_matrix`` and
+    evaluated through the algorithm's vectorized kernel, so *any*
+    registered scenario — exact-count, correlated groups, the Yao hard
+    families — runs at batched speed, not just the i.i.d. model.
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
     generator = as_generator(seed)
-    red = sample_red_matrix(algorithm.system.n, p, trials, generator)
+    red = source.sample_matrix(algorithm.system.n, trials, generator)
     probes, _ = batched_or_sequential_run(algorithm, red, generator)
     return Estimate.from_samples(probes)
 

@@ -1,0 +1,487 @@
+"""Unified coloring sources: one distribution abstraction, batched sampling.
+
+The paper evaluates probe complexity under several input regimes — i.i.d.
+Bernoulli failures, exact-count and adversarial red sets, and the Section-4
+Yao hard distributions — and the repo historically grew a separate
+representation for each ("where do colorings come from"): the scalar
+:class:`~repro.core.coloring.ColoringDistribution`, the
+:class:`~repro.simulation.failures.FailureModel` hierarchy, the i.i.d.-only
+matrix samplers and the ad-hoc ``*_hard_matrix`` functions.  Only the
+i.i.d. model could reach the vectorized kernels of
+:mod:`repro.core.batched`.
+
+This module unifies them behind one protocol:
+
+* :class:`ColoringSource` — a distribution over colorings of a fixed
+  universe with **both** a scalar ``sample(rng) -> Coloring`` and a batched
+  ``sample_matrix(n, trials, rng) -> (trials, n) bool ndarray`` (the native
+  input of the batched kernels).  ``rng`` is anything
+  :func:`~repro.core.coloring.as_numpy_generator` accepts — ``None``, an
+  int seed, a ``random.Random``, a numpy ``Generator`` or a per-cell
+  stream from :mod:`repro.core.seeding`.
+* concrete sources for every failure scenario the repo knows: Bernoulli
+  (the single i.i.d. sampler implementation — ``Coloring.random_batch``
+  and ``repro.core.batched.sample_red_matrix`` both delegate here),
+  exact-count, correlated whole-group failures, fixed adversarial sets and
+  finite explicit distributions (vectorized CDF inversion).  The Yao/HQS
+  hard families register their sources from :mod:`repro.analysis.yao` and
+  :mod:`repro.experiments.hqs`.
+* a name-keyed registry mirroring
+  :func:`repro.core.batched.register_kernel` and
+  :func:`repro.systems.factory.register_system_builder`: a factory
+  ``(system, p) -> ColoringSource`` per name, so experiment drivers, the
+  sweep runner and the CLI resolve ``distribution="fixed_count"``-style
+  parameters uniformly.  ``p`` is the scenario's intensity knob — failure
+  probability for Bernoulli, ``round(p * n)`` failures for exact-count and
+  adversarial sources, the group-failure probability for correlated groups
+  — so one ``(p, size)`` grid sweeps any registered scenario.
+
+Making a new failure scenario batched-fast everywhere is now a
+:func:`register_source` call away.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.coloring import Coloring, ColoringDistribution, as_numpy_generator
+
+
+def sample_bernoulli_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
+    """Sample ``trials`` i.i.d. colorings as a ``(trials, n)`` bool matrix.
+
+    The canonical i.i.d. matrix sampler: ``Coloring.random_batch`` and
+    ``repro.core.batched.sample_red_matrix`` are aliases of this function,
+    which keeps the RNG consumption (one uniform per matrix entry)
+    identical across every historical call site.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"failure probability must be in [0, 1], got {p}")
+    if trials < 0:
+        raise ValueError("batch size must be nonnegative")
+    return as_numpy_generator(rng).random((trials, n)) < p
+
+
+class ColoringSource(ABC):
+    """A distribution over colorings of a fixed universe ``{1..n}``.
+
+    Subclasses implement :meth:`_sample_matrix`; the public
+    :meth:`sample_matrix` validates the universe size and coerces ``rng``.
+    The default scalar :meth:`sample` draws a one-row matrix, so every
+    source is automatically usable by per-trial consumers (the sequential
+    estimators, the simulated cluster); sources with a cheaper scalar draw
+    override it.
+    """
+
+    #: Registry-style label recorded in artifacts (subclasses override).
+    name: str = "source"
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Size of the universe the source draws over."""
+
+    @abstractmethod
+    def _sample_matrix(self, trials: int, generator: np.random.Generator) -> np.ndarray:
+        """Draw ``trials`` colorings as a ``(trials, n)`` bool red matrix."""
+
+    def sample_matrix(self, n: int, trials: int, rng=None) -> np.ndarray:
+        """Draw ``trials`` colorings as a ``(trials, n)`` bool red matrix.
+
+        ``n`` must match the source's universe — call sites pass their
+        system's size, so a source/system mismatch fails loudly instead of
+        producing a silently misshapen batch.
+        """
+        if n != self.n:
+            raise ValueError(
+                f"{self.name} source draws over n={self.n}, "
+                f"but a matrix for n={n} was requested"
+            )
+        if trials < 0:
+            raise ValueError("batch size must be nonnegative")
+        return self._sample_matrix(trials, as_numpy_generator(rng))
+
+    def sample(self, rng=None) -> Coloring:
+        """Draw one coloring."""
+        return Coloring.from_red_row(self.sample_matrix(self.n, 1, rng)[0])
+
+
+class BernoulliSource(ColoringSource):
+    """The paper's probabilistic model: each element red with probability ``p``."""
+
+    name = "bernoulli"
+
+    def __init__(self, n: int, p: float) -> None:
+        if n < 0:
+            raise ValueError(f"universe size must be nonnegative, got {n}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"failure probability must be in [0, 1], got {p}")
+        self._n = n
+        self._p = p
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def _sample_matrix(self, trials, generator):
+        return generator.random((trials, self._n)) < self._p
+
+    def sample(self, rng=None) -> Coloring:
+        generator = as_numpy_generator(rng)
+        return Coloring.from_red_row(generator.random(self._n) < self._p)
+
+
+class FixedCountSource(ColoringSource):
+    """Exactly ``count`` uniformly chosen elements are red.
+
+    This is the Theorem 4.2 hard-distribution shape (``count = k + 1`` on
+    Majority) and the exact-count failure scenario.  The batched draw keys
+    every element with an i.i.d. uniform and marks the ``count`` smallest
+    keys per row red (``argpartition``, O(n) per row).
+    """
+
+    name = "fixed_count"
+
+    def __init__(self, n: int, count: int) -> None:
+        if not 0 <= count <= n:
+            raise ValueError(f"red count {count} outside 0..{n}")
+        self._n = n
+        self._count = count
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _sample_matrix(self, trials, generator):
+        red = np.zeros((trials, self._n), dtype=bool)
+        if self._count == 0 or trials == 0:
+            return red
+        if self._count == self._n:
+            red[:] = True
+            return red
+        keys = generator.random((trials, self._n))
+        chosen = np.argpartition(keys, self._count - 1, axis=1)[:, : self._count]
+        np.put_along_axis(red, chosen, True, axis=1)
+        return red
+
+    def sample(self, rng=None) -> Coloring:
+        generator = as_numpy_generator(rng)
+        row = np.zeros(self._n, dtype=bool)
+        row[generator.permutation(self._n)[: self._count]] = True
+        return Coloring.from_red_row(row)
+
+
+class CorrelatedGroupsSource(ColoringSource):
+    """Whole groups of elements fail together, each with probability ``group_p``.
+
+    The batched draw is one Bernoulli per ``(trial, group)`` expanded
+    through a group-membership matrix (a BLAS matmul), so correlated
+    scenarios cost barely more than i.i.d. ones.  Elements outside every
+    group never fail.
+    """
+
+    name = "correlated_groups"
+
+    def __init__(self, n: int, groups: Iterable[Iterable[int]], group_p: float) -> None:
+        if not 0.0 <= group_p <= 1.0:
+            raise ValueError(
+                f"group failure probability must be in [0, 1], got {group_p}"
+            )
+        self._n = n
+        self._groups = [frozenset(group) for group in groups]
+        self._group_p = group_p
+        membership = np.zeros((len(self._groups), n), dtype=np.float32)
+        for index, group in enumerate(self._groups):
+            for element in group:
+                if not 1 <= element <= n:
+                    raise ValueError(
+                        f"group element {element} outside universe 1..{n}"
+                    )
+                membership[index, element - 1] = 1.0
+        self._membership = membership
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def groups(self) -> list[frozenset[int]]:
+        return list(self._groups)
+
+    @property
+    def group_p(self) -> float:
+        return self._group_p
+
+    def _sample_matrix(self, trials, generator):
+        if not self._groups:
+            return np.zeros((trials, self._n), dtype=bool)
+        fails = generator.random((trials, len(self._groups))) < self._group_p
+        return (fails.astype(np.float32) @ self._membership) > 0.5
+
+    def sample(self, rng=None) -> Coloring:
+        generator = as_numpy_generator(rng)
+        if not self._groups:
+            return Coloring.all_green(self._n)
+        fails = generator.random(len(self._groups)) < self._group_p
+        row = (fails.astype(np.float32) @ self._membership) > 0.5
+        return Coloring.from_red_row(row)
+
+
+class AdversarialSource(ColoringSource):
+    """A fixed, adversarially chosen red set (the worst-case model)."""
+
+    name = "adversarial"
+
+    def __init__(self, n: int, failed: Iterable[int]) -> None:
+        self._n = n
+        self._failed = frozenset(failed)
+        row = np.zeros(n, dtype=bool)
+        for element in self._failed:
+            if not 1 <= element <= n:
+                raise ValueError(f"failed element {element} outside universe 1..{n}")
+            row[element - 1] = True
+        self._row = row
+        self._coloring = Coloring(n, self._failed)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def failed(self) -> frozenset[int]:
+        return self._failed
+
+    def _sample_matrix(self, trials, generator):
+        return np.tile(self._row, (trials, 1))
+
+    def sample(self, rng=None) -> Coloring:
+        return self._coloring
+
+
+class FiniteSource(ColoringSource):
+    """A finite explicit distribution, sampled by vectorized CDF inversion.
+
+    Wraps a :class:`~repro.core.coloring.ColoringDistribution` (the
+    Yao-style small-system representation): the support is packed once
+    into a ``(support, n)`` bool matrix and batches are drawn with one
+    ``searchsorted`` over the precomputed CDF — O(log support) per trial
+    instead of the scalar path's linear scan of old.
+    """
+
+    name = "finite"
+
+    def __init__(self, distribution: ColoringDistribution) -> None:
+        self._distribution = distribution
+        self._n = distribution.n
+        support = distribution.support
+        self._support = support
+        rows = np.zeros((len(support), self._n), dtype=bool)
+        for index, weighted in enumerate(support):
+            for element in weighted.coloring.red_elements:
+                rows[index, element - 1] = True
+        self._rows = rows
+        self._cdf_list = distribution.cdf
+        self._cdf = np.asarray(self._cdf_list, dtype=np.float64)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def distribution(self) -> ColoringDistribution:
+        return self._distribution
+
+    def _sample_matrix(self, trials, generator):
+        draws = generator.random(trials)
+        indices = np.searchsorted(self._cdf, draws, side="left")
+        indices = np.minimum(indices, len(self._cdf) - 1)
+        return self._rows[indices]
+
+    def sample(self, rng=None) -> Coloring:
+        generator = as_numpy_generator(rng)
+        index = bisect_left(self._cdf_list, float(generator.random()))
+        return self._support[min(index, len(self._cdf_list) - 1)].coloring
+
+
+# -- registry ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A registered coloring-source family: name, factory, description.
+
+    The factory receives the quorum system the experiment runs on and the
+    intensity knob ``p`` (the grid's failure-probability axis) and returns
+    a ready :class:`ColoringSource` for that system's universe.
+    """
+
+    name: str
+    factory: Callable[[Any, float], ColoringSource]
+    description: str = ""
+    aliases: tuple[str, ...] = field(default=())
+
+
+_SOURCES: dict[str, SourceSpec] = {}
+_ALIASES: dict[str, str] = {}
+_DEFAULTS_LOADED = False
+
+
+def register_source(
+    name: str,
+    factory: Callable[[Any, float], ColoringSource],
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+) -> SourceSpec:
+    """Register a coloring-source factory under ``name`` (plus ``aliases``).
+
+    Mirrors :func:`repro.systems.factory.register_system_builder`:
+    duplicate names are an error, lookups are case-insensitive.
+    """
+    key = name.lower()
+    if key in _SOURCES or key in _ALIASES:
+        raise ValueError(f"coloring source {name!r} already registered")
+    alias_keys = []
+    for alias in aliases:
+        alias_key = alias.lower()
+        if alias_key == key or alias_key in alias_keys:
+            raise ValueError(f"coloring-source alias {alias!r} duplicates the name")
+        if alias_key in _SOURCES or alias_key in _ALIASES:
+            raise ValueError(f"coloring-source alias {alias!r} already registered")
+        alias_keys.append(alias_key)
+    # All keys validated before any mutation: a rejected registration
+    # leaves the registry untouched.
+    spec = SourceSpec(name=key, factory=factory, description=description, aliases=aliases)
+    _SOURCES[key] = spec
+    for alias_key in alias_keys:
+        _ALIASES[alias_key] = key
+    return spec
+
+
+def _ensure_default_sources() -> None:
+    """Load the hard-family registrations exactly once (import side effect).
+
+    The Yao / HQS hard distributions live in higher layers
+    (:mod:`repro.analysis.yao`, :mod:`repro.experiments.hqs`) and register
+    themselves on import, exactly like the default
+    :class:`~repro.experiments.registry.ExperimentSpec` registrations.
+    """
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        _DEFAULTS_LOADED = True
+        import repro.analysis.yao  # noqa: F401  (registers on import)
+        import repro.experiments.hqs  # noqa: F401  (registers on import)
+
+
+def source_specs() -> tuple[SourceSpec, ...]:
+    """Every registered source family, sorted by name."""
+    _ensure_default_sources()
+    return tuple(_SOURCES[key] for key in sorted(_SOURCES))
+
+
+def source_names() -> tuple[str, ...]:
+    """The sorted registered source names."""
+    return tuple(spec.name for spec in source_specs())
+
+
+def canonical_source_name(name: str) -> str:
+    """Resolve ``name`` (any case, possibly an alias) to its registered name.
+
+    Consumers that special-case a source — e.g. "does the paper bound
+    apply", which is a statement about ``bernoulli`` — must compare
+    canonical names, not raw strings, so aliases like ``iid`` behave
+    identically to the name they resolve to.
+    """
+    _ensure_default_sources()
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _SOURCES:
+        raise ValueError(
+            f"unknown coloring source {name!r}; "
+            f"choose from {', '.join(source_names())}"
+        )
+    return key
+
+
+def build_source(name: str, system, p: float) -> ColoringSource:
+    """Build the registered source ``name`` for ``system`` at intensity ``p``."""
+    return _SOURCES[canonical_source_name(name)].factory(system, p)
+
+
+def require_system(system, cls: type, source_name: str):
+    """Shared type guard for sources tied to a system family.
+
+    The hard-distribution factories (Theorems 4.2/4.6/4.8, Lemma 4.11)
+    only make sense on their own system class; registry factories call
+    this to fail loudly on a mismatched ``--param distribution=...``.
+    """
+    if not isinstance(system, cls):
+        raise ValueError(
+            f"the {source_name} source requires a {cls.__name__}, "
+            f"got {type(system).__name__}"
+        )
+    return system
+
+
+def _scaled_count(system, p: float) -> int:
+    """The exact-count knob derived from the grid's ``p`` axis."""
+    return min(system.n, max(0, round(p * system.n)))
+
+
+def _default_groups(system) -> list[frozenset[int]]:
+    """Correlated-failure groups for a system.
+
+    Structured systems group naturally (a crumbling-wall row is a rack);
+    anything else is split into contiguous blocks of ``~sqrt(n)`` elements.
+    ``rows`` is only trusted when it actually is a collection of element
+    groups — e.g. ``GridSystem.rows`` is the row *count*, not a grouping.
+    """
+    rows = getattr(system, "rows", None)
+    if isinstance(rows, Iterable) and not isinstance(rows, (str, bytes)):
+        rows = list(rows)
+        if rows and all(isinstance(row, Iterable) for row in rows):
+            return [frozenset(row) for row in rows]
+    block = max(1, round(float(system.n) ** 0.5))
+    elements = list(range(1, system.n + 1))
+    return [
+        frozenset(elements[start : start + block])
+        for start in range(0, system.n, block)
+    ]
+
+
+register_source(
+    "bernoulli",
+    lambda system, p: BernoulliSource(system.n, p),
+    "i.i.d. failures: every element red with probability p (the paper's model)",
+    aliases=("iid",),
+)
+register_source(
+    "fixed_count",
+    lambda system, p: FixedCountSource(system.n, _scaled_count(system, p)),
+    "exactly round(p*n) uniformly chosen elements fail",
+)
+register_source(
+    "correlated_groups",
+    lambda system, p: CorrelatedGroupsSource(system.n, _default_groups(system), p),
+    "whole groups (system rows, else ~sqrt(n) blocks) fail together w.p. p",
+)
+register_source(
+    "adversarial",
+    lambda system, p: AdversarialSource(
+        system.n, range(1, _scaled_count(system, p) + 1)
+    ),
+    "a fixed adversarial red set: the first round(p*n) elements",
+)

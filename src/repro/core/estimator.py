@@ -75,17 +75,23 @@ class Estimate:
 
 def estimate_average_probes(
     algorithm: ProbingAlgorithm,
-    p: float,
+    p: float | None = None,
     trials: int = 1000,
     seed: int | None = None,
     validate: bool = False,
     batched: bool = False,
+    source=None,
 ) -> Estimate:
-    """Estimate the expected probe count in the i.i.d. failure model.
+    """Estimate the expected probe count under an input distribution.
 
-    Each trial draws a fresh coloring (every element red with probability
-    ``p``) and a fresh stream of algorithm randomness, then runs the
-    algorithm and records the number of probes.
+    With a bare ``p``, each trial draws a fresh coloring from the i.i.d.
+    model (every element red with probability ``p``) and a fresh stream of
+    algorithm randomness — the historical behavior, seeded-stream
+    compatible with every earlier release.  Passing a
+    :class:`~repro.core.distributions.ColoringSource` as ``source``
+    instead draws the trial inputs from that source, so any registered
+    scenario (exact-count, correlated groups, the Yao hard families)
+    estimates through the same entry point; ``p`` is ignored then.
 
     With ``batched=True`` the whole batch is evaluated through the
     vectorized kernels of :mod:`repro.core.batched` (falling back to the
@@ -95,12 +101,37 @@ def estimate_average_probes(
     """
     if trials < 1:
         raise ValueError("need at least one trial")
+    if source is None and p is None:
+        raise ValueError("pass a failure probability p or a ColoringSource")
     if batched:
         if validate:
             raise ValueError("validate=True requires the sequential path")
+        if source is not None:
+            from repro.core.batched import estimate_average_source_batched
+
+            return estimate_average_source_batched(
+                algorithm, source, trials=trials, seed=seed
+            )
         from repro.core.batched import estimate_average_probes_batched
 
         return estimate_average_probes_batched(algorithm, p, trials=trials, seed=seed)
+    if source is not None:
+        from repro.core.coloring import as_numpy_generator
+
+        if source.n != algorithm.system.n:
+            raise ValueError(
+                f"source draws over n={source.n}, "
+                f"algorithm runs on n={algorithm.system.n}"
+            )
+        generator = as_numpy_generator(seed)
+        algorithm_rng = random.Random(int(generator.integers(2**63)))
+        samples = []
+        for _ in range(trials):
+            run = algorithm.run_on(
+                source.sample(generator), rng=algorithm_rng, validate=validate
+            )
+            samples.append(run.probes)
+        return Estimate.from_samples(samples)
     rng = random.Random(seed)
     samples = []
     n = algorithm.system.n

@@ -73,12 +73,13 @@ def availability_monte_carlo(
         import numpy as np
 
         from repro.algorithms import default_deterministic_algorithm
-        from repro.core.batched import batched_or_sequential_run, sample_red_matrix
+        from repro.core.batched import batched_or_sequential_run
         from repro.core.coloring import as_numpy_generator
+        from repro.core.distributions import sample_bernoulli_matrix
 
         algorithm = default_deterministic_algorithm(system)
         generator = as_numpy_generator(seed)
-        red = sample_red_matrix(system.n, p, trials, generator)
+        red = sample_bernoulli_matrix(system.n, p, trials, generator)
         _, witness_green = batched_or_sequential_run(algorithm, red, generator)
         return Estimate.from_samples(np.where(witness_green, 0.0, 1.0))
     rng = random.Random(seed)

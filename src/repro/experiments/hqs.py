@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence
-from functools import partial
 
 import numpy as np
 
@@ -24,7 +23,14 @@ from repro.analysis.bounds import (
     HQS_PPC_EXPONENT,
 )
 from repro.analysis.fitting import PowerLawFit, fit_power_law
-from repro.core.coloring import Coloring, as_numpy_generator
+from repro.core.coloring import Coloring
+from repro.core.distributions import (
+    ColoringSource,
+    build_source,
+    canonical_source_name,
+    register_source,
+    require_system,
+)
 from repro.core.estimator import estimate_average_probes, estimate_average_under
 from repro.core.exact import ExactSolver
 from repro.experiments.report import Row
@@ -54,8 +60,17 @@ def run_probe_hqs_scaling(
     trials: int = 1500,
     seed: int = 37,
     batched: bool = True,
+    distribution: str = "bernoulli",
 ) -> tuple[list[Row], dict[float, PowerLawFit]]:
-    """Measured Probe_HQS averages vs ``2.5^h`` and the exponent fits."""
+    """Measured Probe_HQS averages vs ``2.5^h`` and the exponent fits.
+
+    ``distribution`` names a registered coloring source
+    (:func:`repro.core.distributions.build_source`); the recursion values
+    of Theorem 3.8 only apply to the default i.i.d. model, so non-Bernoulli
+    runs report measurements (and fits) without a paper reference.
+    """
+    distribution = canonical_source_name(distribution)
+    bernoulli = distribution == "bernoulli"
     rows: list[Row] = []
     fits: dict[float, PowerLawFit] = {}
     for p in ps:
@@ -64,7 +79,12 @@ def run_probe_hqs_scaling(
         for height in heights:
             system = HQS(height)
             estimate = estimate_average_probes(
-                ProbeHQS(system), p, trials=trials, seed=cell_seed(seed, system.n, p), batched=batched
+                ProbeHQS(system),
+                p,
+                trials=trials,
+                seed=cell_seed(seed, system.n, p),
+                batched=batched,
+                source=None if bernoulli else build_source(distribution, system, p),
             )
             sizes.append(float(system.n))
             costs.append(estimate.mean)
@@ -74,15 +94,27 @@ def run_probe_hqs_scaling(
                     system=system.name,
                     quantity="avg probes (Probe_HQS)",
                     measured=estimate.mean,
-                    paper=probe_hqs_expected_exact(height, p),
+                    paper=probe_hqs_expected_exact(height, p) if bernoulli else None,
                     relation="~",
                     params={"n": system.n, "h": height, "p": p},
-                    note=f"recursion value; ±{estimate.ci95:.2f}",
+                    note=(
+                        f"recursion value; ±{estimate.ci95:.2f}"
+                        if bernoulli
+                        else f"{distribution} inputs; ±{estimate.ci95:.2f}"
+                    ),
                 )
             )
         fit = fit_power_law(sizes, costs)
         fits[p] = fit
-        paper_exponent = HQS_PPC_EXPONENT if abs(p - 0.5) < 1e-9 else None
+        paper_exponent = (
+            HQS_PPC_EXPONENT if bernoulli and abs(p - 0.5) < 1e-9 else None
+        )
+        if paper_exponent is not None:
+            fit_note_suffix = ""
+        elif bernoulli:
+            fit_note_suffix = "; paper predicts < 0.834 for biased p"
+        else:
+            fit_note_suffix = f"; {distribution} inputs"
         rows.append(
             Row(
                 experiment="thm3.8-hqs",
@@ -92,8 +124,7 @@ def run_probe_hqs_scaling(
                 paper=paper_exponent,
                 relation="~",
                 params={"heights": tuple(heights), "p": p},
-                note=f"R^2 = {fit.r_squared:.4f}"
-                + ("" if paper_exponent else "; paper predicts < 0.834 for biased p"),
+                note=f"R^2 = {fit.r_squared:.4f}{fit_note_suffix}",
             )
         )
     return rows, fits
@@ -170,24 +201,48 @@ def worst_case_family_sampler(system: HQS):
     return sample
 
 
-def hqs_family_p_matrix(system: HQS, trials: int, rng=None) -> np.ndarray:
-    """Batched sampler over the worst-case family ``P`` of Lemma 4.11.
+class HQSFamilyPSource(ColoringSource):
+    """The worst-case family ``P`` of Lemma 4.11 as a registered source.
 
     Assigns gate values top-down over whole trial batches: the root value
     is a fair coin per trial, and at every gate a uniformly chosen minority
     child flips its parent's value.  The leaf level is the red matrix.
     """
-    generator = as_numpy_generator(rng)
-    value = generator.random((trials, 1)) < 0.5
-    for _ in range(system.height):
-        gates = value.shape[1]
-        minority = generator.integers(3, size=(trials, gates))
-        child_value = np.repeat(value, 3, axis=1)
-        is_minority = np.tile(np.arange(3), gates)[None, :] == np.repeat(
-            minority, 3, axis=1
-        )
-        value = child_value ^ is_minority
-    return value
+
+    name = "hqs_family_p"
+
+    def __init__(self, system: HQS) -> None:
+        self._n = system.n
+        self._height = system.height
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _sample_matrix(self, trials, generator):
+        value = generator.random((trials, 1)) < 0.5
+        for _ in range(self._height):
+            gates = value.shape[1]
+            minority = generator.integers(3, size=(trials, gates))
+            child_value = np.repeat(value, 3, axis=1)
+            is_minority = np.tile(np.arange(3), gates)[None, :] == np.repeat(
+                minority, 3, axis=1
+            )
+            value = child_value ^ is_minority
+        return value
+
+
+register_source(
+    "hqs_family_p",
+    lambda system, p: HQSFamilyPSource(require_system(system, HQS, "hqs_family_p")),
+    "Lemma 4.11 worst-case family P: one minority child per HQS gate",
+    aliases=("hqs_hard",),
+)
+
+
+def hqs_family_p_matrix(system: HQS, trials: int, rng=None) -> np.ndarray:
+    """Batched sampler over the worst-case family ``P`` of Lemma 4.11."""
+    return HQSFamilyPSource(system).sample_matrix(system.n, trials, rng)
 
 
 def run_randomized_hqs(
@@ -204,14 +259,14 @@ def run_randomized_hqs(
     for height in heights:
         system = HQS(height)
         if batched:
-            from repro.core.batched import estimate_average_under_batched
+            from repro.core.batched import estimate_average_source_batched
 
-            matrix_sampler = partial(hqs_family_p_matrix, system)
-            est_r = estimate_average_under_batched(
-                RProbeHQS(system), matrix_sampler, trials=trials, seed=seed + height
+            source = HQSFamilyPSource(system)
+            est_r = estimate_average_source_batched(
+                RProbeHQS(system), source, trials=trials, seed=seed + height
             )
-            est_ir = estimate_average_under_batched(
-                IRProbeHQS(system), matrix_sampler, trials=trials, seed=seed + height
+            est_ir = estimate_average_source_batched(
+                IRProbeHQS(system), source, trials=trials, seed=seed + height
             )
         else:
             sampler = worst_case_family_sampler(system)

@@ -65,6 +65,15 @@ def _seed_param() -> ParamSpec:
     )
 
 
+def _distribution_param() -> ParamSpec:
+    return ParamSpec(
+        "distribution",
+        "str",
+        "bernoulli",
+        "registered coloring source (see `repro-probe distributions`)",
+    )
+
+
 def _fit_lines(fits) -> tuple[str, ...]:
     return tuple(
         f"fitted exponent at p={p}: {fit.exponent:.3f}" for p, fit in fits.items()
@@ -85,14 +94,21 @@ def _drive_crumbling_walls(trials: int, seed: int | None) -> DriverResult:
     return DriverResult(rows=rows)
 
 
-def _drive_tree(trials: int, seed: int | None) -> DriverResult:
-    rows, fits = run_probe_tree_scaling(trials=trials, **_seed_kw(seed))
+def _drive_tree(trials: int, seed: int | None, distribution: str) -> DriverResult:
+    rows, fits = run_probe_tree_scaling(
+        trials=trials, distribution=distribution, **_seed_kw(seed)
+    )
     return DriverResult(rows=rows, extra=_fit_lines(fits))
 
 
-def _drive_hqs(trials: int, seed: int | None) -> DriverResult:
-    rows, fits = run_probe_hqs_scaling(trials=trials, **_seed_kw(seed))
-    rows += run_probe_hqs_optimality()
+def _drive_hqs(trials: int, seed: int | None, distribution: str) -> DriverResult:
+    from repro.core.distributions import canonical_source_name
+
+    rows, fits = run_probe_hqs_scaling(
+        trials=trials, distribution=distribution, **_seed_kw(seed)
+    )
+    if canonical_source_name(distribution) == "bernoulli":
+        rows += run_probe_hqs_optimality()
     return DriverResult(rows=rows, extra=_fit_lines(fits))
 
 
@@ -145,6 +161,7 @@ def _drive_sweep(
     trials: int,
     seed: int | None,
     randomized: bool,
+    distribution: str,
 ) -> DriverResult:
     result = run_sweep(
         system,
@@ -153,6 +170,7 @@ def _drive_sweep(
         trials=trials,
         seed=0 if seed is None else seed,
         randomized=randomized,
+        distribution=distribution,
     )
     rows = [
         Row(
@@ -187,6 +205,7 @@ def _sweep_spec(system: str, sizes: tuple[int, ...], ps: tuple[float, ...], tag:
             ParamSpec("trials", "int", 1000, "Monte-Carlo trials per cell"),
             ParamSpec("seed", "seed", None, "sweep seed (default 0)"),
             ParamSpec("randomized", "bool", False, "use the randomized algorithm"),
+            _distribution_param(),
         ),
         tags=("sweep", "scaling", tag),
         description="Batched Monte-Carlo grid over (p, size), per-cell seeded streams.",
@@ -228,7 +247,7 @@ register(
         id="tree",
         title="Proposition 3.6: Probe_Tree scaling",
         driver=_drive_tree,
-        params=(_trials_param(), _seed_param()),
+        params=(_trials_param(), _seed_param(), _distribution_param()),
         tags=("probabilistic", "scaling", "tree"),
         description="O(n^{log2(1+p)}) power law with exponent fits.",
     )
@@ -238,7 +257,7 @@ register(
         id="hqs",
         title="Theorem 3.8: Probe_HQS scaling + optimality",
         driver=_drive_hqs,
-        params=(_trials_param(), _seed_param()),
+        params=(_trials_param(), _seed_param(), _distribution_param()),
         tags=("probabilistic", "scaling", "hqs"),
         description="2.5^h growth, exponent fits and exact-solver optimality check.",
     )

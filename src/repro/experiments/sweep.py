@@ -11,6 +11,13 @@ Every cell draws from its own seeded stream (a ``SeedSequence`` keyed by
 the sweep seed and the cell's ``(size, p)`` values), so results are
 independent of grid iteration order and any sub-grid — prefix or not —
 can be reproduced in isolation.
+
+Cell inputs come from a registered coloring source
+(:mod:`repro.core.distributions`): the default ``bernoulli`` reproduces
+the paper's i.i.d. model, while ``distribution="fixed_count"``,
+``"correlated_groups"``, ``"cw_hard"``-style names sweep any other
+registered scenario batched, with the ``p`` axis as the scenario's
+intensity knob.
 """
 
 from __future__ import annotations
@@ -28,11 +35,8 @@ from repro.algorithms import (
     default_deterministic_algorithm,
     default_randomized_algorithm,
 )
-from repro.core.batched import (
-    batched_or_sequential_run,
-    sample_red_matrix,
-    supports_batched,
-)
+from repro.core.batched import batched_or_sequential_run, supports_batched
+from repro.core.distributions import build_source, canonical_source_name
 from repro.core.estimator import Estimate
 from repro.experiments.seeding import cell_generator
 from repro.systems import build_system
@@ -66,6 +70,7 @@ class SweepResult:
     trials: int
     seed: int
     cells: tuple[SweepCell, ...]
+    distribution: str = "bernoulli"
 
     def cell(self, size: int, p: float) -> SweepCell:
         """The cell measured at ``(size, p)``."""
@@ -81,6 +86,7 @@ class SweepResult:
             "system": self.system,
             "algorithm": self.algorithm,
             "randomized": self.randomized,
+            "distribution": self.distribution,
             "sizes": list(self.sizes),
             "ps": list(self.ps),
             "trials": self.trials,
@@ -105,6 +111,7 @@ def run_sweep(
     trials: int = 1000,
     seed: int = 0,
     randomized: bool = False,
+    distribution: str = "bernoulli",
 ) -> SweepResult:
     """Run a batched Monte-Carlo sweep over the ``(sizes, ps)`` grid.
 
@@ -112,6 +119,10 @@ def run_sweep(
     :func:`repro.systems.build_system` (size knob = tree/HQS height,
     universe size for Majority, ...).  ``randomized`` selects the paper's
     randomized algorithm for the system instead of the deterministic one.
+    ``distribution`` names a registered coloring source
+    (:func:`repro.core.distributions.build_source`) drawn batched in every
+    cell — ``fixed_count``, ``correlated_groups``, the Yao hard families —
+    with the grid's ``p`` axis as the scenario's intensity knob.
     Algorithms without a registered kernel transparently fall back to the
     per-trial loop, so the sweep works — slowly — for any system.
     """
@@ -119,6 +130,9 @@ def run_sweep(
         raise ValueError("need at least one trial")
     if not sizes or not ps:
         raise ValueError("sweep needs at least one size and one p")
+    # Canonical name: aliases like "iid" render and serialize as the
+    # source they resolve to, so artifact consumers compare one spelling.
+    distribution = canonical_source_name(distribution)
     cells: list[SweepCell] = []
     algorithm_name = ""
     for size in sizes:
@@ -130,9 +144,10 @@ def run_sweep(
         )
         algorithm_name = algorithm.name
         for p in ps:
+            source = build_source(distribution, system, p)
             generator = _cell_generator(seed, size, p)
             start = time.perf_counter()
-            red = sample_red_matrix(system.n, p, trials, generator)
+            red = source.sample_matrix(system.n, trials, generator)
             probes, _ = batched_or_sequential_run(algorithm, red, generator)
             elapsed = time.perf_counter() - start
             estimate = Estimate.from_samples(probes)
@@ -159,12 +174,19 @@ def run_sweep(
         trials=trials,
         seed=seed,
         cells=tuple(cells),
+        distribution=distribution,
     )
 
 
 def render_sweep(result: SweepResult) -> str:
     """Plain-text table of a sweep: one row per size, one column per p."""
-    header = f"{result.algorithm} sweep ({result.trials} trials/cell, seed {result.seed})"
+    inputs = (
+        "" if result.distribution == "bernoulli" else f", {result.distribution} inputs"
+    )
+    header = (
+        f"{result.algorithm} sweep "
+        f"({result.trials} trials/cell, seed {result.seed}{inputs})"
+    )
     lines = [header, ""]
     lines.append(
         f"{'system':<16} {'n':>6} " + " ".join(f"p={p:<11g}" for p in result.ps)
@@ -211,4 +233,5 @@ def load_sweep_artifact(path: str | Path) -> SweepResult:
         trials=payload["trials"],
         seed=payload["seed"],
         cells=cells,
+        distribution=payload.get("distribution", "bernoulli"),
     )

@@ -15,7 +15,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.coloring import Color, Coloring
+from repro.core.seeding import cell_sequence
 from repro.simulation.events import EventSimulator
 from repro.simulation.failures import CrashRecoveryProcess, FailureModel
 from repro.simulation.latency import ConstantLatency, LatencyModel
@@ -50,7 +53,14 @@ class SimulatedCluster:
         events are scheduled on the internal event simulator and node states
         evolve over simulated time.
     seed:
-        Seed for all cluster-internal randomness.
+        Seed for all cluster-internal randomness.  The initial failure
+        snapshot is drawn from its own parameter-keyed stream
+        (:func:`repro.core.seeding.cell_sequence` on ``(seed,
+        "initial-failures")``) through the failure model's
+        :class:`~repro.core.distributions.ColoringSource`, independent of
+        the latency/dynamics stream — so the same seed reproduces the same
+        snapshot no matter how many latency draws follow, cell-by-cell
+        like the experiment drivers.
     """
 
     def __init__(
@@ -71,7 +81,12 @@ class SimulatedCluster:
         self._dynamics = dynamics
         self._total_probes = 0
         if failure_model is not None:
-            for e in failure_model.sample_failed(n, self._rng):
+            snapshot_rng = np.random.default_rng(
+                cell_sequence(seed, "initial-failures")
+                if seed is not None
+                else None
+            )
+            for e in failure_model.as_source(n).sample(snapshot_rng).red_elements:
                 self._nodes[e].up = False
         if dynamics is not None:
             for e in range(1, n + 1):

@@ -9,6 +9,12 @@ application examples, :class:`CrashRecoveryProcess` additionally drives
 crash/repair dynamics over simulated time, and
 :class:`CorrelatedGroupFailures` fails whole groups (a rack, a wall row, a
 subtree) together to illustrate behaviour outside the i.i.d. assumption.
+
+Every model also converts to a batched
+:class:`~repro.core.distributions.ColoringSource` via :meth:`FailureModel.as_source`,
+so cluster-style scenarios reach the vectorized kernels of
+:mod:`repro.core.batched` instead of per-trial Python loops; custom
+subclasses inherit a (slow but correct) scalar-loop fallback source.
 """
 
 from __future__ import annotations
@@ -18,6 +24,13 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 
 from repro.core.coloring import Coloring
+from repro.core.distributions import (
+    AdversarialSource,
+    BernoulliSource,
+    ColoringSource,
+    CorrelatedGroupsSource,
+    FixedCountSource,
+)
 
 
 class FailureModel(ABC):
@@ -31,6 +44,47 @@ class FailureModel(ABC):
         """Draw a full coloring (red = failed)."""
         return Coloring(n, self.sample_failed(n, rng))
 
+    def as_source(self, n: int) -> ColoringSource:
+        """This model as a :class:`~repro.core.distributions.ColoringSource`.
+
+        The built-in models return their vectorized counterpart; the base
+        implementation wraps :meth:`sample_failed` in a per-trial loop so
+        any custom model still plugs into batched consumers (slowly).
+        """
+        return _ScalarModelSource(self, n)
+
+
+class _ScalarModelSource(ColoringSource):
+    """Fallback source looping a model's scalar :meth:`sample_failed`."""
+
+    name = "failure_model"
+
+    def __init__(self, model: FailureModel, n: int) -> None:
+        self._model = model
+        self._n = n
+        self.name = f"failure_model:{type(model).__name__}"
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _sample_matrix(self, trials, generator):
+        import numpy as np
+
+        rng = random.Random(int(generator.integers(2**63)))
+        red = np.zeros((trials, self._n), dtype=bool)
+        for t in range(trials):
+            for element in self._model.sample_failed(self._n, rng):
+                red[t, element - 1] = True
+        return red
+
+    def sample(self, rng=None):
+        from repro.core.coloring import as_numpy_generator
+
+        generator = as_numpy_generator(rng)
+        scalar_rng = random.Random(int(generator.integers(2**63)))
+        return self._model.sample_coloring(self._n, scalar_rng)
+
 
 class BernoulliFailures(FailureModel):
     """Each node fails independently with probability ``p`` (the paper's model)."""
@@ -42,6 +96,9 @@ class BernoulliFailures(FailureModel):
 
     def sample_failed(self, n: int, rng: random.Random) -> frozenset[int]:
         return frozenset(e for e in range(1, n + 1) if rng.random() < self.p)
+
+    def as_source(self, n: int) -> ColoringSource:
+        return BernoulliSource(n, self.p)
 
 
 class FixedCountFailures(FailureModel):
@@ -57,6 +114,11 @@ class FixedCountFailures(FailureModel):
             raise ValueError(f"cannot fail {self.count} of {n} nodes")
         return frozenset(rng.sample(range(1, n + 1), self.count))
 
+    def as_source(self, n: int) -> ColoringSource:
+        if self.count > n:
+            raise ValueError(f"cannot fail {self.count} of {n} nodes")
+        return FixedCountSource(n, self.count)
+
 
 class AdversarialFailures(FailureModel):
     """A fixed, adversarially chosen set of failed nodes."""
@@ -68,6 +130,9 @@ class AdversarialFailures(FailureModel):
         if any(not 1 <= e <= n for e in self.failed):
             raise ValueError("failed set contains elements outside the universe")
         return self.failed
+
+    def as_source(self, n: int) -> ColoringSource:
+        return AdversarialSource(n, self.failed)
 
 
 class CorrelatedGroupFailures(FailureModel):
@@ -93,6 +158,9 @@ class CorrelatedGroupFailures(FailureModel):
             if rng.random() < self.group_p:
                 failed.update(group)
         return frozenset(failed)
+
+    def as_source(self, n: int) -> ColoringSource:
+        return CorrelatedGroupsSource(n, self.groups, self.group_p)
 
 
 class CrashRecoveryProcess:

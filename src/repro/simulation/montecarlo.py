@@ -14,7 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProbingAlgorithm
+from repro.core.distributions import BernoulliSource, ColoringSource
 from repro.core.estimator import Estimate
+from repro.core.seeding import cell_seed
 from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
 from repro.simulation.failures import FailureModel
 from repro.simulation.latency import ConstantLatency, LatencyModel
@@ -58,22 +60,27 @@ def run_cluster_trials(
     Returns estimates of the probe count and elapsed simulated time, plus
     the empirical availability failure rate (fraction of trials whose
     witness was red), which should match ``F_p(S)``.
+
+    Each trial derives its cluster seed and algorithm stream from the
+    batch seed keyed by the trial index (:func:`repro.core.seeding.cell_seed`),
+    so any single trial reproduces in isolation — cell-by-cell, like the
+    experiment drivers — instead of depending on every earlier trial's
+    draws.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
-    master = random.Random(seed)
     latency = latency or ConstantLatency(1.0)
     results: list[TrialResult] = []
     system = algorithm.system
-    for _ in range(trials):
+    for trial in range(trials):
         cluster = SimulatedCluster(
             system.n,
             failure_model=failure_model,
             latency=latency,
-            seed=master.randrange(2**63),
+            seed=cell_seed(seed, trial, "cluster"),
         )
         oracle = ClusterProbeOracle(cluster)
-        rng = random.Random(master.randrange(2**63))
+        rng = random.Random(cell_seed(seed, trial, "algorithm"))
         run = algorithm.run(oracle, rng=rng)
         if validate:
             run.witness.validate(system, cluster.snapshot_coloring())
@@ -97,29 +104,45 @@ def run_cluster_trials(
 
 def run_batched_trials(
     algorithm: ProbingAlgorithm,
-    p: float,
+    p: float | None = None,
     trials: int = 500,
     latency: LatencyModel | None = None,
     seed: int | None = None,
+    source: ColoringSource | FailureModel | None = None,
 ) -> BatchResult:
-    """Vectorized counterpart of :func:`run_cluster_trials` for i.i.d. failures.
+    """Vectorized counterpart of :func:`run_cluster_trials`.
 
     Samples the whole failure batch as one boolean matrix and evaluates the
     algorithm through the registered kernels of :mod:`repro.core.batched`
     — including the level-synchronous Tree/HQS gate kernels of
     :mod:`repro.core.batched_gates` — falling back to a per-trial loop for
     algorithms without a kernel.
-    The elapsed-time estimate uses the latency model's *mean* per probe —
-    the batched path trades per-probe latency sampling for throughput; use
-    :func:`run_cluster_trials` when latency jitter matters.
+
+    Snapshots come from ``source`` — a
+    :class:`~repro.core.distributions.ColoringSource` or a
+    :class:`~repro.simulation.failures.FailureModel` (converted via
+    :meth:`~repro.simulation.failures.FailureModel.as_source`) — so
+    exact-count, correlated-group and adversarial clusters run batched,
+    not just the i.i.d. model; a bare ``p`` remains shorthand for
+    Bernoulli failures.  The elapsed-time estimate uses the latency
+    model's *mean* per probe — the batched path trades per-probe latency
+    sampling for throughput; use :func:`run_cluster_trials` when latency
+    jitter matters.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
-    from repro.core.batched import as_generator, batched_or_sequential_run, sample_red_matrix
+    from repro.core.batched import as_generator, batched_or_sequential_run
+
+    if source is None:
+        if p is None:
+            raise ValueError("pass a failure probability p or a source")
+        source = BernoulliSource(algorithm.system.n, p)
+    elif isinstance(source, FailureModel):
+        source = source.as_source(algorithm.system.n)
 
     latency = latency or ConstantLatency(1.0)
     generator = as_generator(seed)
-    red = sample_red_matrix(algorithm.system.n, p, trials, generator)
+    red = source.sample_matrix(algorithm.system.n, trials, generator)
     probes, witness_green = batched_or_sequential_run(algorithm, red, generator)
     probe_estimate = Estimate.from_samples(probes)
     per_probe = latency.mean()

@@ -195,3 +195,39 @@ class TestSamplersAndBatchResult:
         assert math.isclose(result.elapsed.mean, result.probes.mean)
         balanced = run_batched_trials(algorithm, p=0.5, trials=2000, seed=29)
         assert abs(balanced.availability_failure_rate - 0.5) < 0.05
+
+
+class TestRunBatchedTrialsSources:
+    def test_failure_model_snapshots_run_batched(self):
+        from repro.simulation.failures import FixedCountFailures
+
+        system = MajoritySystem(15)
+        result = run_batched_trials(
+            ProbeMaj(system),
+            source=FixedCountFailures(8),
+            trials=400,
+            seed=7,
+        )
+        # 8 of 15 failed: no live quorum exists in any trial.
+        assert result.availability_failure_rate == 1.0
+        assert result.trials == 400
+
+    def test_source_path_matches_p_shorthand(self):
+        from repro.core.distributions import BernoulliSource
+
+        system = MajoritySystem(15)
+        via_p = run_batched_trials(ProbeMaj(system), p=0.3, trials=300, seed=5)
+        via_source = run_batched_trials(
+            ProbeMaj(system),
+            source=BernoulliSource(system.n, 0.3),
+            trials=300,
+            seed=5,
+        )
+        assert via_p.probes == via_source.probes
+        assert via_p.availability_failure_rate == via_source.availability_failure_rate
+
+    def test_requires_p_or_source(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_batched_trials(ProbeMaj(MajoritySystem(5)), trials=10)

@@ -1,0 +1,338 @@
+"""Tests for the unified coloring-source layer (:mod:`repro.core.distributions`).
+
+Covers the registry contract, the scalar/batched agreement of every
+registered source (exact invariants where the distribution has them,
+frequency checks otherwise) and the source-aware estimator entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProbeMaj, ProbeTree
+from repro.core.batched import (
+    estimate_average_source_batched,
+    sample_red_matrix,
+)
+from repro.core.coloring import (
+    Coloring,
+    ColoringDistribution,
+    WeightedColoring,
+)
+from repro.core.distributions import (
+    AdversarialSource,
+    BernoulliSource,
+    ColoringSource,
+    CorrelatedGroupsSource,
+    FiniteSource,
+    FixedCountSource,
+    build_source,
+    canonical_source_name,
+    register_source,
+    sample_bernoulli_matrix,
+    source_names,
+    source_specs,
+)
+from repro.core.estimator import estimate_average_probes
+from repro.systems import HQS, MajoritySystem, TreeSystem, TriangSystem
+
+
+def _column_frequencies(source: ColoringSource, trials: int, seed: int):
+    """Per-element red frequencies of the scalar and batched paths."""
+    generator = np.random.default_rng(seed)
+    scalar = np.zeros(source.n, dtype=float)
+    for _ in range(trials):
+        coloring = source.sample(generator)
+        for element in coloring.red_elements:
+            scalar[element - 1] += 1.0
+    scalar /= trials
+    batched = source.sample_matrix(source.n, trials, np.random.default_rng(seed + 1))
+    return scalar, batched.mean(axis=0)
+
+
+class TestRegistry:
+    def test_all_expected_sources_registered(self):
+        names = source_names()
+        for expected in (
+            "bernoulli",
+            "fixed_count",
+            "correlated_groups",
+            "adversarial",
+            "majority_hard",
+            "cw_hard",
+            "tree_hard",
+            "hqs_family_p",
+        ):
+            assert expected in names
+
+    def test_unknown_name_lists_known_sources(self):
+        with pytest.raises(ValueError, match="bernoulli"):
+            build_source("no_such_source", MajoritySystem(5), 0.5)
+
+    def test_aliases_resolve(self):
+        system = HQS(2)
+        assert build_source("hqs_hard", system, 0.5).name == "hqs_family_p"
+        assert build_source("iid", system, 0.5).name == "bernoulli"
+
+    def test_canonical_source_name_resolves_aliases_and_case(self):
+        assert canonical_source_name("iid") == "bernoulli"
+        assert canonical_source_name("Bernoulli") == "bernoulli"
+        assert canonical_source_name("HQS_HARD") == "hqs_family_p"
+        with pytest.raises(ValueError, match="coloring source"):
+            canonical_source_name("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_source("bernoulli", lambda system, p: None)
+
+    def test_rejected_registration_leaves_registry_untouched(self):
+        names_before = source_names()
+        with pytest.raises(ValueError, match="alias"):
+            register_source(
+                "brand_new_source", lambda system, p: None, aliases=("iid",)
+            )
+        assert source_names() == names_before
+
+    def test_specs_carry_descriptions(self):
+        for spec in source_specs():
+            assert spec.description
+
+    def test_hard_families_require_their_system(self):
+        with pytest.raises(ValueError, match="majority_hard"):
+            build_source("majority_hard", TreeSystem(2), 0.5)
+        with pytest.raises(ValueError, match="tree_hard"):
+            build_source("tree_hard", MajoritySystem(5), 0.5)
+        with pytest.raises(ValueError, match="cw_hard"):
+            build_source("cw_hard", MajoritySystem(5), 0.5)
+        with pytest.raises(ValueError, match="hqs_family_p"):
+            build_source("hqs_family_p", MajoritySystem(5), 0.5)
+
+
+def _registered_cases():
+    """One ``(name, system, p)`` instance per registered source family."""
+    return [
+        ("bernoulli", MajoritySystem(21), 0.3),
+        ("fixed_count", MajoritySystem(21), 0.3),
+        ("correlated_groups", TriangSystem(4), 0.4),
+        ("adversarial", MajoritySystem(21), 0.3),
+        ("majority_hard", MajoritySystem(9), 0.5),
+        ("cw_hard", TriangSystem(4), 0.5),
+        ("tree_hard", TreeSystem(3), 0.5),
+        ("hqs_family_p", HQS(2), 0.5),
+    ]
+
+
+class TestSourceContract:
+    @pytest.mark.parametrize(
+        "name,system,p", _registered_cases(), ids=lambda case: str(case)[:24]
+    )
+    def test_matrix_shape_dtype_and_scalar_universe(self, name, system, p):
+        source = build_source(name, system, p)
+        assert source.n == system.n
+        red = source.sample_matrix(system.n, 50, rng=7)
+        assert red.shape == (50, system.n) and red.dtype == np.bool_
+        coloring = source.sample(11)
+        assert coloring.n == system.n
+
+    @pytest.mark.parametrize(
+        "name,system,p", _registered_cases(), ids=lambda case: str(case)[:24]
+    )
+    def test_universe_mismatch_rejected(self, name, system, p):
+        source = build_source(name, system, p)
+        with pytest.raises(ValueError):
+            source.sample_matrix(system.n + 1, 10, rng=1)
+
+    @pytest.mark.parametrize(
+        "name,system,p", _registered_cases(), ids=lambda case: str(case)[:24]
+    )
+    def test_scalar_and_batched_column_frequencies_agree(self, name, system, p):
+        source = build_source(name, system, p)
+        trials = 1500
+        scalar, batched = _column_frequencies(source, trials, seed=5)
+        # Each column frequency is a binomial proportion; 5 sigma + slack.
+        stderr = np.sqrt(np.maximum(batched * (1 - batched), 0.25 / trials) / trials)
+        assert (np.abs(scalar - batched) < 5.0 * stderr + 0.05).all()
+
+
+class TestBernoulliSource:
+    def test_is_the_single_iid_sampler_implementation(self):
+        # Dedup satellite: all four historical entry points draw the same
+        # stream for the same seed.
+        reference = sample_bernoulli_matrix(12, 0.3, 40, rng=9)
+        assert (Coloring.random_batch(12, 0.3, 40, rng=9) == reference).all()
+        assert (sample_red_matrix(12, 0.3, 40, rng=9) == reference).all()
+        source = BernoulliSource(12, 0.3)
+        assert (source.sample_matrix(12, 40, rng=9) == reference).all()
+
+    def test_extremes(self):
+        assert not BernoulliSource(8, 0.0).sample_matrix(8, 20, rng=1).any()
+        assert BernoulliSource(8, 1.0).sample_matrix(8, 20, rng=1).all()
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliSource(5, 1.5)
+        with pytest.raises(ValueError):
+            sample_bernoulli_matrix(5, -0.1, 4)
+
+
+class TestFixedCountSource:
+    def test_every_row_has_exactly_count_reds(self):
+        source = FixedCountSource(30, 11)
+        red = source.sample_matrix(30, 500, rng=3)
+        assert (red.sum(axis=1) == 11).all()
+        for seed in range(20):
+            assert len(source.sample(seed).red_elements) == 11
+
+    def test_subsets_are_uniform_over_elements(self):
+        source = FixedCountSource(10, 3)
+        red = source.sample_matrix(10, 6000, rng=5)
+        frequency = red.mean(axis=0)
+        assert np.abs(frequency - 0.3).max() < 0.03
+
+    def test_edge_counts(self):
+        assert not FixedCountSource(6, 0).sample_matrix(6, 10, rng=1).any()
+        assert FixedCountSource(6, 6).sample_matrix(6, 10, rng=1).all()
+        with pytest.raises(ValueError):
+            FixedCountSource(6, 7)
+
+
+class TestCorrelatedGroupsSource:
+    def test_groups_fail_atomically_in_both_paths(self):
+        groups = [{1, 2, 3}, {4, 5}, {7, 8}]
+        source = CorrelatedGroupsSource(8, groups, 0.5)
+        red = source.sample_matrix(8, 400, rng=2)
+        for group in groups:
+            columns = np.asarray(sorted(group)) - 1
+            per_row = red[:, columns].sum(axis=1)
+            assert set(per_row.tolist()) <= {0, len(group)}
+        assert not red[:, 5].any()  # element 6 is in no group
+        for seed in range(30):
+            failed = source.sample(seed).red_elements
+            for group in groups:
+                assert failed & group in (frozenset(), frozenset(group))
+
+    def test_group_failure_rate(self):
+        source = CorrelatedGroupsSource(6, [{1, 2}, {3, 4, 5}], 0.25)
+        red = source.sample_matrix(6, 8000, rng=4)
+        rate = red[:, 0].mean()
+        assert abs(rate - 0.25) < 0.02
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CorrelatedGroupsSource(5, [{1}], 1.5)
+        with pytest.raises(ValueError):
+            CorrelatedGroupsSource(5, [{9}], 0.5)
+
+    def test_registry_factory_uses_rows_when_they_are_groups(self):
+        wall = TriangSystem(3)
+        source = build_source("correlated_groups", wall, 0.5)
+        assert {frozenset(row) for row in wall.rows} == set(source.groups)
+
+    def test_registry_factory_falls_back_on_non_group_rows(self):
+        from repro.systems import GridSystem
+
+        # GridSystem.rows is a row *count*, not a grouping: the factory
+        # must fall back to contiguous blocks instead of crashing.
+        grid = GridSystem(5)
+        source = build_source("correlated_groups", grid, 0.5)
+        assert sorted(e for group in source.groups for e in group) == list(
+            range(1, grid.n + 1)
+        )
+        red = source.sample_matrix(grid.n, 50, rng=1)
+        assert red.shape == (50, grid.n)
+
+
+class TestAdversarialSource:
+    def test_every_draw_is_the_fixed_set(self):
+        source = AdversarialSource(7, {2, 5})
+        red = source.sample_matrix(7, 25, rng=1)
+        expected = np.zeros(7, dtype=bool)
+        expected[[1, 4]] = True
+        assert (red == expected).all()
+        assert source.sample().red_elements == {2, 5}
+
+    def test_matrix_rows_are_independent_copies(self):
+        red = AdversarialSource(4, {1}).sample_matrix(4, 3, rng=1)
+        red[0, 3] = True  # must not alias other rows
+        assert not red[1, 3] and not red[2, 3]
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialSource(4, {5})
+
+
+class TestFiniteSource:
+    def _distribution(self):
+        colorings = [Coloring(4, red) for red in ([], [1], [1, 2], [1, 2, 3])]
+        weights = [0.4, 0.3, 0.2, 0.1]
+        return ColoringDistribution(
+            4,
+            [WeightedColoring(c, w) for c, w in zip(colorings, weights)],
+        )
+
+    def test_matrix_rows_stay_in_support_with_right_frequencies(self):
+        distribution = self._distribution()
+        source = FiniteSource(distribution)
+        trials = 8000
+        red = source.sample_matrix(4, trials, rng=6)
+        support = {w.coloring: w.probability for w in distribution.support}
+        counts: dict[Coloring, int] = {}
+        for t in range(trials):
+            coloring = Coloring.from_red_row(red[t])
+            assert coloring in support
+            counts[coloring] = counts.get(coloring, 0) + 1
+        for coloring, probability in support.items():
+            stderr = np.sqrt(probability * (1 - probability) / trials)
+            assert abs(counts.get(coloring, 0) / trials - probability) < 5 * stderr + 1e-3
+
+    def test_scalar_sample_matches_distribution_sample(self):
+        distribution = self._distribution()
+        source = FiniteSource(distribution)
+        for seed in range(25):
+            assert len(source.sample(seed).red_elements) <= 3
+
+    def test_cdf_is_monotone_and_normalized(self):
+        cdf = self._distribution().cdf
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert abs(cdf[-1] - 1.0) < 1e-12
+
+
+class TestSourceAwareEstimators:
+    def test_batched_and_scalar_estimates_agree(self):
+        system = MajoritySystem(21)
+        source = FixedCountSource(system.n, 8)
+        batched = estimate_average_source_batched(
+            ProbeMaj(system), source, trials=3000, seed=11
+        )
+        scalar = estimate_average_probes(
+            ProbeMaj(system), source=source, trials=3000, seed=13
+        )
+        assert abs(batched.mean - scalar.mean) < batched.ci95 + scalar.ci95 + 0.2
+
+    def test_estimate_average_probes_requires_p_or_source(self):
+        with pytest.raises(ValueError):
+            estimate_average_probes(ProbeMaj(MajoritySystem(5)))
+
+    def test_estimate_rejects_mismatched_source(self):
+        with pytest.raises(ValueError):
+            estimate_average_probes(
+                ProbeMaj(MajoritySystem(5)),
+                source=BernoulliSource(7, 0.5),
+                trials=10,
+            )
+
+    def test_source_path_matches_p_path_for_bernoulli_batched(self):
+        # Same seed, same stream: the p shorthand is the Bernoulli source.
+        system = TreeSystem(4)
+        via_p = estimate_average_probes(
+            ProbeTree(system), 0.4, trials=500, seed=3, batched=True
+        )
+        via_source = estimate_average_probes(
+            ProbeTree(system),
+            source=BernoulliSource(system.n, 0.4),
+            trials=500,
+            seed=3,
+            batched=True,
+        )
+        assert via_p == via_source

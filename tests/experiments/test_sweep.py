@@ -114,3 +114,71 @@ class TestSweepCLI:
         assert "HQS(h=2)" in out and str(output) in out
         loaded = load_sweep_artifact(output)
         assert len(loaded.cells) == 4
+
+
+class TestSweepDistributions:
+    def test_non_iid_sweep_runs_batched(self):
+        result = run_sweep(
+            "tree",
+            sizes=(3, 4),
+            ps=(0.3, 0.5),
+            trials=200,
+            seed=6,
+            distribution="fixed_count",
+        )
+        assert result.distribution == "fixed_count"
+        assert all(cell.batched_kernel for cell in result.cells)
+        # fixed_count at higher p fails more nodes -> more probes on Tree.
+        assert result.cell(4, 0.5).mean > result.cell(4, 0.3).mean
+
+    def test_hard_family_sweep_ignores_p_axis(self):
+        result = run_sweep(
+            "tree", sizes=(3,), ps=(0.2, 0.5), trials=300, seed=7,
+            distribution="tree_hard",
+        )
+        low, high = result.cell(3, 0.2), result.cell(3, 0.5)
+        # The Thm 4.8 distribution has no p knob: both cells draw the same
+        # family (different streams), so the means must agree statistically.
+        assert abs(low.mean - high.mean) < low.ci95 + high.ci95 + 0.5
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="coloring source"):
+            run_sweep("tree", sizes=(3,), ps=(0.5,), trials=50, distribution="nope")
+
+    def test_artifact_roundtrip_preserves_distribution(self, tmp_path):
+        result = run_sweep(
+            "hqs", sizes=(2,), ps=(0.5,), trials=100, seed=8,
+            distribution="hqs_family_p",
+        )
+        path = write_sweep_artifact(result, tmp_path / "sweep.json")
+        loaded = load_sweep_artifact(path)
+        assert loaded == result
+        assert loaded.distribution == "hqs_family_p"
+
+    def test_legacy_artifact_without_distribution_field_loads(self, tmp_path):
+        result = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=50, seed=9)
+        path = write_sweep_artifact(result, tmp_path / "legacy.json")
+        payload = json.loads(path.read_text())
+        del payload["distribution"]
+        path.write_text(json.dumps(payload))
+        loaded = load_sweep_artifact(path)
+        assert loaded.distribution == "bernoulli"
+        assert loaded.cells == result.cells
+
+    def test_bernoulli_sweep_unchanged_by_distribution_layer(self):
+        # The default distribution reproduces the historical stream.
+        explicit = run_sweep(
+            "tree", sizes=(3,), ps=(0.5,), trials=200, seed=3,
+            distribution="bernoulli",
+        )
+        default = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=200, seed=3)
+        assert explicit.cell(3, 0.5).mean == default.cell(3, 0.5).mean
+
+    def test_alias_normalizes_to_canonical_name(self):
+        # "iid" is the bernoulli alias: same stream, canonical artifact name.
+        aliased = run_sweep(
+            "tree", sizes=(3,), ps=(0.5,), trials=200, seed=3, distribution="iid"
+        )
+        default = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=200, seed=3)
+        assert aliased.distribution == "bernoulli"
+        assert aliased.cell(3, 0.5).mean == default.cell(3, 0.5).mean

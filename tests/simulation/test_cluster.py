@@ -9,7 +9,12 @@ import pytest
 from repro.algorithms import ProbeCW, ProbeMaj
 from repro.core.coloring import Color, Coloring
 from repro.simulation.cluster import ClusterProbeOracle, SimulatedCluster
-from repro.simulation.failures import AdversarialFailures, BernoulliFailures, CrashRecoveryProcess
+from repro.simulation.failures import (
+    AdversarialFailures,
+    BernoulliFailures,
+    CorrelatedGroupFailures,
+    CrashRecoveryProcess,
+)
 from repro.simulation.latency import ConstantLatency, UniformLatency
 from repro.simulation.montecarlo import run_cluster_trials
 from repro.systems import MajoritySystem, TriangSystem
@@ -113,3 +118,46 @@ class TestMonteCarloBatches:
     def test_requires_positive_trials(self):
         with pytest.raises(ValueError):
             run_cluster_trials(ProbeMaj(MajoritySystem(3)), BernoulliFailures(0.5), trials=0)
+
+
+class TestSeededStreams:
+    def test_initial_snapshot_reproduces_per_seed(self):
+        # The snapshot comes from its own parameter-keyed stream, so the
+        # same seed gives the same initial failures regardless of the
+        # latency model consuming the main cluster stream differently.
+        first = SimulatedCluster(
+            30, failure_model=BernoulliFailures(0.4), seed=21
+        ).snapshot_coloring()
+        again = SimulatedCluster(
+            30,
+            failure_model=BernoulliFailures(0.4),
+            latency=UniformLatency(0.1, 2.0),
+            seed=21,
+        ).snapshot_coloring()
+        assert first == again
+        different = SimulatedCluster(
+            30, failure_model=BernoulliFailures(0.4), seed=22
+        ).snapshot_coloring()
+        assert first != different
+
+    def test_run_cluster_trials_reproduces_per_seed(self):
+        def batch():
+            return run_cluster_trials(
+                ProbeMaj(MajoritySystem(9)),
+                BernoulliFailures(0.3),
+                trials=40,
+                seed=17,
+            )
+
+        first, again = batch(), batch()
+        assert first.probes == again.probes
+        assert first.elapsed == again.elapsed
+        assert first.availability_failure_rate == again.availability_failure_rate
+
+    def test_non_iid_models_draw_through_their_source(self):
+        cluster = SimulatedCluster(
+            10,
+            failure_model=CorrelatedGroupFailures([{1, 2, 3}, {4, 5, 6}], 1.0),
+            seed=5,
+        )
+        assert cluster.live_elements() == {7, 8, 9, 10}

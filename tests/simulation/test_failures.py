@@ -11,6 +11,7 @@ from repro.simulation.failures import (
     BernoulliFailures,
     CorrelatedGroupFailures,
     CrashRecoveryProcess,
+    FailureModel,
     FixedCountFailures,
 )
 
@@ -107,3 +108,43 @@ class TestCrashRecoveryProcess:
             CrashRecoveryProcess(crash_rate=-1.0, recovery_rate=1.0)
         with pytest.raises(ValueError):
             CrashRecoveryProcess(crash_rate=1.0, recovery_rate=0.0)
+
+
+class TestAsSource:
+    """Every failure model converts to a vectorized ColoringSource."""
+
+    def test_bernoulli_source_rate(self):
+        source = BernoulliFailures(0.25).as_source(40)
+        red = source.sample_matrix(40, 2000, rng=1)
+        assert abs(red.mean() - 0.25) < 0.02
+
+    def test_fixed_count_source_exact_rows(self):
+        source = FixedCountFailures(4).as_source(12)
+        red = source.sample_matrix(12, 300, rng=2)
+        assert (red.sum(axis=1) == 4).all()
+        with pytest.raises(ValueError):
+            FixedCountFailures(5).as_source(3)
+
+    def test_adversarial_source_constant_rows(self):
+        source = AdversarialFailures({2, 5}).as_source(6)
+        red = source.sample_matrix(6, 20, rng=3)
+        assert (red.sum(axis=1) == 2).all()
+        assert red[:, 1].all() and red[:, 4].all()
+
+    def test_correlated_source_atomic_groups(self):
+        source = CorrelatedGroupFailures([{1, 2, 3}, {4, 5}], group_p=0.5).as_source(6)
+        red = source.sample_matrix(6, 200, rng=4)
+        assert set(red[:, :3].sum(axis=1).tolist()) <= {0, 3}
+        assert set(red[:, 3:5].sum(axis=1).tolist()) <= {0, 2}
+        assert not red[:, 5].any()
+
+    def test_custom_model_gets_scalar_fallback_source(self):
+        class EveryThird(FailureModel):
+            def sample_failed(self, n, rng):
+                return frozenset(range(3, n + 1, 3))
+
+        source = EveryThird().as_source(9)
+        red = source.sample_matrix(9, 10, rng=5)
+        assert (red.sum(axis=1) == 3).all()
+        assert red[:, [2, 5, 8]].all()
+        assert source.sample(6).red_elements == {3, 6, 9}

@@ -221,3 +221,68 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "consistent with the paper" in captured.out
         assert "deprecated" in captured.err
+
+
+class TestDistributionsCLI:
+    def test_distributions_listing(self, capsys):
+        assert main(["distributions"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bernoulli", "fixed_count", "cw_hard", "hqs_family_p"):
+            assert name in out
+
+    def test_estimate_with_distribution(self, capsys):
+        code = main(
+            [
+                "estimate", "--system", "maj", "--size", "21", "--p", "0.4",
+                "--batched", "--trials", "200", "--seed", "1",
+                "--distribution", "fixed_count",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inputs    : fixed_count" in out
+        assert "i.i.d. model only" in out
+
+    def test_estimate_unknown_distribution_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "estimate", "--system", "maj", "--size", "9",
+                    "--distribution", "unknown_source",
+                ]
+            )
+
+    def test_sweep_with_distribution(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "sweep", "--system", "tree", "--sizes", "3", "--ps", "0.5",
+                "--trials", "100", "--seed", "2",
+                "--distribution", "tree_hard",
+                "--output", str(tmp_path / "s.json"),
+            ]
+        )
+        assert code == 0
+        assert "tree_hard inputs" in capsys.readouterr().out
+
+    def test_sweep_default_artifact_name_encodes_distribution(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        args = ["sweep", "--system", "tree", "--sizes", "3", "--ps", "0.5", "--trials", "50"]
+        assert main(args) == 0
+        assert main(args + ["--distribution", "tree_hard"]) == 0
+        capsys.readouterr()
+        # A non-bernoulli sweep must not clobber the default artifact.
+        assert (tmp_path / "sweep_tree.json").exists()
+        assert (tmp_path / "sweep_tree_tree_hard.json").exists()
+
+    def test_run_experiment_with_distribution_param(self, capsys):
+        code = main(
+            [
+                "run", "sweep-tree", "--trials", "50",
+                "--param", "sizes=3", "--param", "ps=0.5",
+                "--param", "distribution=fixed_count",
+            ]
+        )
+        assert code == 0
