@@ -1,0 +1,201 @@
+"""Diff two ``BENCH_*.json`` snapshots and gate on perf regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.2]
+    python benchmarks/compare_bench.py --quick OLD.json NEW.json   # CI gate
+
+Walks both snapshots, pairs up every *shared* performance metric by its
+path (sections keyed recursively; list entries matched by their
+``algorithm``/``source``/``system``/``experiment`` label when present,
+else by index) and classifies metrics by name:
+
+* ``*seconds*`` — wall-clock timings, lower is better;
+* ``speedup`` / ``*_ratio`` — throughput ratios, higher is better.
+
+Any shared metric that regressed by more than ``--threshold`` (default
+20%) fails the comparison and the script exits nonzero, printing one line
+per regression.  Metrics present in only one snapshot are reported but
+never fail the gate (sections come and go as the suite grows).  Timings
+below ``--min-seconds`` (default 5 ms) in *both* snapshots are skipped —
+at that scale the numbers are scheduler noise, not signal.
+
+``--quick`` is the CI profile: it raises the default threshold to 100%
+(committed snapshots may come from different container hosts, so only
+egregious — >2x — regressions should block) and refuses to compare a
+``--quick`` benchmark run against a full one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Identifying fields used to pair entries of benchmark-case lists.
+_CASE_KEYS = ("algorithm", "source", "experiment", "system", "name")
+
+#: Snapshot bookkeeping fields that are never performance metrics.
+_SKIP_KEYS = {"date", "quick", "python", "machine"}
+
+
+def flatten(node, prefix: str = "") -> dict[str, float]:
+    """Flatten a snapshot into ``{metric path: numeric value}``."""
+    metrics: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in _SKIP_KEYS and not prefix:
+                continue
+            metrics.update(flatten(value, f"{prefix}{key}" if not prefix else f"{prefix}.{key}"))
+    elif isinstance(node, list):
+        seen: set[str] = set()
+        for index, entry in enumerate(node):
+            label = str(index)
+            if isinstance(entry, dict):
+                # Compose the label from every identifying field so two
+                # cases sharing e.g. an algorithm name but differing in
+                # system/size pair up correctly across snapshots.
+                parts = [str(entry[key]) for key in _CASE_KEYS if key in entry]
+                if parts:
+                    label = "/".join(parts)
+            if label in seen:
+                label = f"{label}#{index}"
+            seen.add(label)
+            metrics.update(flatten(entry, f"{prefix}[{label}]"))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        metrics[prefix] = float(node)
+    return metrics
+
+
+def classify(path: str) -> str | None:
+    """``"time"`` (lower better), ``"ratio"`` (higher better) or ``None``."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "seconds" in leaf:
+        return "time"
+    if leaf == "speedup" or leaf.endswith("_ratio"):
+        return "ratio"
+    return None
+
+
+def _ratio_built_on_noise(
+    path: str, old: dict[str, float], new: dict[str, float], min_seconds: float
+) -> bool:
+    """True when a ratio metric's sibling timings include a sub-floor one.
+
+    A speedup computed from a 30-microsecond numpy call is scheduler noise
+    squared; if *any* timing in the ratio's own benchmark case sits below
+    the noise floor in either snapshot, the ratio inherits that noise and
+    must not gate.
+    """
+    prefix = path.rsplit(".", 1)[0] + "."
+    for sibling in old:
+        if (
+            sibling.startswith(prefix)
+            and classify(sibling) == "time"
+            and sibling in new
+            and (old[sibling] < min_seconds or new[sibling] < min_seconds)
+        ):
+            return True
+    return False
+
+
+def compare(
+    old: dict[str, float],
+    new: dict[str, float],
+    threshold: float,
+    min_seconds: float,
+) -> tuple[list[str], list[str]]:
+    """Return ``(regressions, notes)`` comparing shared perf metrics."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    shared = sorted(set(old) & set(new))
+    compared = 0
+    for path in shared:
+        kind = classify(path)
+        if kind is None:
+            continue
+        before, after = old[path], new[path]
+        if kind == "time" and before < min_seconds and after < min_seconds:
+            continue
+        if kind == "ratio" and _ratio_built_on_noise(path, old, new, min_seconds):
+            continue
+        if before <= 0 or after <= 0:
+            continue
+        compared += 1
+        change = (after / before - 1.0) if kind == "time" else (before / after - 1.0)
+        if change > threshold:
+            direction = "slower" if kind == "time" else "lower"
+            regressions.append(
+                f"REGRESSION {path}: {before:.6g} -> {after:.6g} "
+                f"({change * 100.0:+.0f}% {direction})"
+            )
+    only_old = sorted(key for key in set(old) - set(new) if classify(key))
+    only_new = sorted(key for key in set(new) - set(old) if classify(key))
+    notes.append(f"{compared} shared performance metrics compared")
+    if only_old:
+        notes.append(f"{len(only_old)} metrics only in OLD (dropped sections ok)")
+    if only_new:
+        notes.append(f"{len(only_new)} metrics only in NEW (new sections ok)")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fail on regressions beyond this fraction (default 0.2; 1.0 with --quick)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="skip timings below this in both snapshots (noise floor)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI profile: lenient threshold, require matching quick flags",
+    )
+    args = parser.parse_args(argv)
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 1.0 if args.quick else 0.2
+
+    old_payload = json.loads(args.old.read_text())
+    new_payload = json.loads(args.new.read_text())
+    if args.quick and old_payload.get("quick") != new_payload.get("quick"):
+        print(
+            "compare_bench: refusing to compare a --quick snapshot against a "
+            f"full one ({args.old.name} quick={old_payload.get('quick')}, "
+            f"{args.new.name} quick={new_payload.get('quick')})"
+        )
+        return 2
+
+    regressions, notes = compare(
+        flatten(old_payload), flatten(new_payload), threshold, args.min_seconds
+    )
+    print(
+        f"compare_bench: {args.old.name} ({old_payload.get('date')}) -> "
+        f"{args.new.name} ({new_payload.get('date')}), "
+        f"threshold {threshold * 100.0:.0f}%"
+    )
+    for note in notes:
+        print(f"  {note}")
+    for line in regressions:
+        print(f"  {line}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regressed metrics")
+        return 1
+    print("OK: no shared metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

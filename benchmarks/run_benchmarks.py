@@ -31,6 +31,16 @@ Sections:
   (:mod:`repro.experiments.runner`: registry lookup, parameter resolution,
   environment metadata, artifact serialization) versus calling the same
   driver functions directly, on the ``lemmas`` experiment.
+* ``streaming_engine`` — the chunked streaming engine
+  (:mod:`repro.core.engine`) versus the one-shot batched path at equal
+  trials (chunking overhead must stay bounded: ``chunked_vs_one_shot``
+  ratios ≥ ~0.9x), the sharded (2-job) run, and the adaptive ``target_ci``
+  mode on Maj(1001) near the critical ``p = 1/2``: a fixed-trial baseline
+  sized for the near-critical cell wastes trials at easy ``p``; the
+  adaptive run hits the same tolerance with fewer total trials.
+
+Use ``benchmarks/compare_bench.py`` to diff two snapshots and flag >20%
+regressions in any shared metric.
 """
 
 from __future__ import annotations
@@ -311,6 +321,130 @@ def bench_runner_overhead(quick: bool) -> dict:
     }
 
 
+def bench_streaming_engine(quick: bool) -> dict:
+    """Chunked/sharded/adaptive engine versus the one-shot batched path.
+
+    ``chunked_vs_one_shot`` cases must hold the acceptance bar (≥ ~0.9x
+    one-shot throughput at equal trials; the assert below pins mean
+    byte-identity, the ratio records the overhead).  The ``target_ci``
+    case sizes a fixed-trial baseline to reach a tolerance at the critical
+    ``p = 1/2`` of Maj(1001) and then lets the adaptive mode run a
+    two-point grid {easy p, critical p} at that tolerance: the easy cell
+    stops early, so the adaptive total stays below two fixed cells.
+    """
+    from functools import partial
+
+    from repro.algorithms import RProbeCW
+    from repro.core.batched import estimate_average_source_batched
+    from repro.core.distributions import BernoulliSource
+    from repro.core.engine import stream_probes
+
+    trials = 2000 if quick else 20000
+    chunk = 512 if quick else 2048
+    maj = MajoritySystem(1001)
+    cases = []
+    for name, algorithm, p in (
+        ("ProbeMaj", ProbeMaj(maj), 0.5),
+        ("RProbeCW", RProbeCW(TriangSystem(45)), 0.5),
+    ):
+        source = BernoulliSource(algorithm.system.n, p)
+        one_shot_seconds, one_shot = timed(
+            partial(
+                estimate_average_source_batched, algorithm, source, trials=trials, seed=1
+            ),
+            repeat=3,
+        )
+        chunked_seconds, chunked = timed(
+            partial(
+                stream_probes, algorithm, source, trials=trials, chunk_size=chunk, seed=1
+            ),
+            repeat=3,
+        )
+        if not algorithm.randomized:
+            # Deterministic kernels under stream-aligned sources: the
+            # chunked mean must be byte-identical to the one-shot path.
+            assert chunked.mean == one_shot.mean, (chunked.mean, one_shot.mean)
+        # Time the sharded run against a pre-warmed shared pool (best of
+        # 3), so the metric measures sharded throughput, not the one-off
+        # worker spawn cost — which varies wildly across CI hosts and
+        # would make the compare_bench gate flaky.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            stream_probes(
+                algorithm, source, trials=chunk, chunk_size=chunk, seed=1,
+                jobs=2, executor=pool,
+            )  # warm the workers
+            sharded_seconds, sharded = timed(
+                partial(
+                    stream_probes,
+                    algorithm,
+                    source,
+                    trials=trials,
+                    chunk_size=chunk,
+                    seed=1,
+                    jobs=2,
+                    executor=pool,
+                ),
+                repeat=3,
+            )
+        assert sharded.mean == chunked.mean, "sharded run diverged from sequential"
+        cases.append(
+            {
+                "algorithm": name,
+                "system": algorithm.system.name,
+                "n": algorithm.system.n,
+                "trials": trials,
+                "chunk_size": chunk,
+                "one_shot_seconds": one_shot_seconds,
+                "chunked_seconds": chunked_seconds,
+                "sharded_2_jobs_seconds": sharded_seconds,
+                "chunked_throughput_ratio": one_shot_seconds / chunked_seconds,
+            }
+        )
+
+    # Adaptive mode: fixed baseline sized for the near-critical p.  The
+    # probe-count variance of Probe_Maj peaks on the shoulders of the
+    # p = 1/2 transition (at exactly 1/2 the scan saturates near n, which
+    # clamps the variance), so "near critical" is p = 0.45.
+    algorithm = ProbeMaj(maj)
+    fixed_trials = 4000 if quick else 40000
+    critical_p, easy_p = 0.45, 0.2
+    fixed_critical = stream_probes(
+        algorithm, p=critical_p, trials=fixed_trials, chunk_size=chunk, seed=2
+    )
+    tolerance = fixed_critical.ci95 * 1.02
+    adaptive = {}
+    for label, p in (("critical", critical_p), ("easy", easy_p)):
+        result = stream_probes(
+            algorithm,
+            p=p,
+            target_ci=tolerance,
+            chunk_size=chunk,
+            max_trials=4 * fixed_trials,
+            seed=2,
+        )
+        adaptive[label] = result
+    total_adaptive = sum(r.n_trials_used for r in adaptive.values())
+    return {
+        "chunked_vs_one_shot": cases,
+        "target_ci": {
+            "system": maj.name,
+            "n": maj.n,
+            "tolerance_ci95": tolerance,
+            "fixed_trials_per_cell": fixed_trials,
+            "fixed_grid_trials": 2 * fixed_trials,
+            "critical_p": critical_p,
+            "easy_p": easy_p,
+            "adaptive_trials_critical": adaptive["critical"].n_trials_used,
+            "adaptive_trials_easy": adaptive["easy"].n_trials_used,
+            "adaptive_grid_trials": total_adaptive,
+            "reached_tolerance": all(r.reached_target for r in adaptive.values()),
+            "trials_saved_ratio": (2 * fixed_trials) / total_adaptive,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -335,6 +469,7 @@ def main(argv=None) -> int:
         "coloring_sampling": bench_coloring_sampling(args.quick),
         "distribution_sampling": bench_distribution_sampling(args.quick),
         "runner_overhead": bench_runner_overhead(args.quick),
+        "streaming_engine": bench_streaming_engine(args.quick),
     }
     output = args.output
     if output is None:
@@ -369,6 +504,21 @@ def main(argv=None) -> int:
         f"{overhead['dispatch_overhead_seconds']*1e3:+.1f}ms on "
         f"{overhead['direct_driver_seconds']*1e3:.1f}ms direct, artifact write "
         f"{overhead['artifact_write_seconds']*1e3:.1f}ms"
+    )
+    engine = snapshot["streaming_engine"]
+    for case in engine["chunked_vs_one_shot"]:
+        print(
+            f"engine {case['algorithm']} n={case['n']} x{case['trials']} "
+            f"chunk {case['chunk_size']}: chunked {case['chunked_seconds']*1e3:.1f}ms "
+            f"vs one-shot {case['one_shot_seconds']*1e3:.1f}ms "
+            f"({case['chunked_throughput_ratio']:.2f}x throughput)"
+        )
+    adaptive = engine["target_ci"]
+    print(
+        f"engine target_ci on {adaptive['system']} @ ci95<={adaptive['tolerance_ci95']:.3f}: "
+        f"adaptive {adaptive['adaptive_grid_trials']} trials vs fixed grid "
+        f"{adaptive['fixed_grid_trials']} ({adaptive['trials_saved_ratio']:.2f}x fewer, "
+        f"reached={adaptive['reached_tolerance']})"
     )
     return 0
 

@@ -29,6 +29,13 @@ Input scenarios are likewise registry-driven
 i.i.d. model, exact-count, correlated groups, the Yao hard families —
 drives the batched kernels without new CLI surface.
 
+Monte-Carlo estimation runs through the streaming engine
+(:mod:`repro.core.engine`): ``estimate`` and ``sweep`` accept
+``--chunk-size`` (trials per chunk; memory stays O(chunk)),
+``--target-ci`` (adaptive stopping at a 95% CI half-width tolerance),
+``--max-trials`` (the adaptive cap) and ``--jobs`` (shard chunks across
+worker processes, byte-identical to sequential).
+
 The module is also usable as ``python -m repro.cli ...``.
 """
 
@@ -151,24 +158,63 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             source = build_source(distribution, system, args.p)
         except ValueError as error:
             raise SystemExit(str(error)) from None
-    estimate = estimate_average_probes(
-        algorithm,
-        args.p,
-        trials=args.trials,
-        seed=args.seed,
-        batched=args.batched,
-        source=source,
+    _reject_trials_with_target_ci(args)
+    streaming = (
+        args.target_ci is not None
+        or args.chunk_size is not None
+        or args.max_trials is not None
+        or args.jobs > 1
     )
+    stream_result = None
+    if streaming or args.batched:
+        from repro.core.engine import stream_probes
+
+        try:
+            stream_result = stream_probes(
+                algorithm,
+                source,
+                p=args.p,
+                trials=args.trials,
+                target_ci=args.target_ci,
+                chunk_size=args.chunk_size,
+                max_trials=args.max_trials,
+                seed=args.seed,
+                jobs=args.jobs,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        estimate = stream_result.estimate
+    else:
+        estimate = estimate_average_probes(
+            algorithm,
+            args.p,
+            trials=args.trials,
+            seed=args.seed,
+            source=source,
+        )
     print(f"system    : {system.name} (n={system.n})")
     print(f"algorithm : {algorithm.name}")
     print(f"p         : {args.p}")
     if not bernoulli:
         print(f"inputs    : {distribution}")
-    if args.batched:
+    if stream_result is not None:
         from repro.core.batched import supports_batched
 
         kind = "vectorized kernel" if supports_batched(algorithm) else "per-trial fallback"
-        print(f"estimator : batched ({kind})")
+        jobs = f", {args.jobs} jobs" if args.jobs > 1 else ""
+        print(
+            f"estimator : streaming ({kind}, "
+            f"chunk {stream_result.chunk_size}{jobs})"
+        )
+        if stream_result.target_ci is not None:
+            verdict = (
+                "reached" if stream_result.reached_target else "NOT reached"
+            )
+            print(
+                f"stopping  : target ci95 {stream_result.target_ci:g} {verdict} "
+                f"after {stream_result.n_trials_used} trials "
+                f"(ci95 {stream_result.ci95:.4g})"
+            )
     print(f"avg probes: {estimate.mean:.3f} ± {estimate.ci95:.3f} ({estimate.trials} trials)")
     if not bernoulli:
         print("paper bounds: stated for the i.i.d. model only")
@@ -200,6 +246,7 @@ def _parse_float_list(text: str) -> list[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import render_sweep, run_sweep, write_sweep_artifact
 
+    _reject_trials_with_target_ci(args)
     try:
         result = run_sweep(
             args.system,
@@ -209,6 +256,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             randomized=args.randomized,
             distribution=args.distribution,
+            chunk_size=args.chunk_size,
+            target_ci=args.target_ci,
+            max_trials=args.max_trials,
+            jobs=args.jobs,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -369,6 +420,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reject_trials_with_target_ci(args: argparse.Namespace) -> None:
+    """An explicit --trials contradicts --target-ci: fail, don't guess."""
+    if args.target_ci is not None and args.trials is not None:
+        raise SystemExit(
+            "--trials and --target-ci are mutually exclusive: the adaptive mode "
+            "chooses the trial count itself; cap it with --max-trials instead"
+        )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The streaming-engine knobs shared by ``estimate`` and ``sweep``."""
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        dest="chunk_size",
+        help="streaming-engine trials per chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        dest="target_ci",
+        help="adaptive stop: 95%% CI half-width tolerance (default: fixed trials)",
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        dest="max_trials",
+        help="trial cap of the --target-ci stopping mode",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard trial chunks across N worker processes",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -396,7 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--system", choices=SYSTEM_CHOICES, default="triang")
     estimate.add_argument("--size", type=int, default=8)
     estimate.add_argument("--p", type=float, default=0.5)
-    estimate.add_argument("--trials", type=int, default=1000)
+    estimate.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Monte-Carlo trials (default 1000; mutually exclusive with --target-ci)",
+    )
     estimate.add_argument("--seed", type=int, default=None)
     estimate.add_argument("--randomized", action="store_true")
     estimate.add_argument(
@@ -409,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bernoulli",
         help="registered coloring source for the inputs (see `distributions`)",
     )
+    _add_engine_arguments(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     sweep = sub.add_parser(
@@ -428,7 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.1, 0.3, 0.5],
         help="comma-separated failure probabilities",
     )
-    sweep.add_argument("--trials", type=int, default=1000)
+    sweep.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trials per cell (default 1000; mutually exclusive with --target-ci)",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--randomized", action="store_true")
     sweep.add_argument(
@@ -441,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="artifact path (default: sweep_<system>[_rand].json)",
     )
+    _add_engine_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")

@@ -37,6 +37,7 @@ falls back to the per-trial loop for algorithms without a kernel.
 from __future__ import annotations
 
 import random
+import weakref
 from collections.abc import Callable
 
 import numpy as np
@@ -85,6 +86,41 @@ def register_kernel(algorithm_cls: type, kernel: BatchedKernel) -> BatchedKernel
 def kernel_for(algorithm: ProbingAlgorithm) -> BatchedKernel | None:
     """The registered kernel for this algorithm, or ``None``."""
     return _KERNELS.get(type(algorithm))
+
+
+#: Per-algorithm-instance scratch space for kernel precomputation (probe
+#: orders, sorted wall-row column arrays, reusable ones-buffers).  Keyed
+#: weakly by the algorithm object so the streaming engine's chunk loop —
+#: which invokes the same kernel hundreds of times on one algorithm —
+#: rebuilds these exactly once instead of once per chunk, and the cache
+#: dies with the algorithm.
+_KERNEL_SCRATCH: "weakref.WeakKeyDictionary[ProbingAlgorithm, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def kernel_scratch(algorithm: ProbingAlgorithm) -> dict:
+    """The (created-on-demand) scratch dict for ``algorithm``."""
+    scratch = _KERNEL_SCRATCH.get(algorithm)
+    if scratch is None:
+        scratch = {}
+        _KERNEL_SCRATCH[algorithm] = scratch
+    return scratch
+
+
+def scratch_ones(algorithm: ProbingAlgorithm, shape: tuple[int, ...]) -> np.ndarray:
+    """A cached all-ones int64 array of ``shape``.
+
+    The returned buffer is shared across calls and MUST be treated as
+    read-only by kernels (the level-synchronous kernels only ever read
+    their leaf-level probe counts).
+    """
+    scratch = kernel_scratch(algorithm)
+    ones = scratch.get("ones")
+    if ones is None or ones.shape != shape:
+        ones = np.ones(shape, dtype=np.int64)
+        scratch["ones"] = ones
+    return ones
 
 
 def sample_red_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
@@ -152,13 +188,23 @@ def _sequential_run(
 
 
 def _probe_maj_kernel(algorithm, red, rng=None):
-    columns = np.asarray(algorithm.order, dtype=np.intp) - 1
+    scratch = kernel_scratch(algorithm)
+    columns = scratch.get("maj_columns")
+    if columns is None:
+        columns = np.asarray(algorithm.order, dtype=np.intp) - 1
+        scratch["maj_columns"] = columns
     return _majority_scan_kernel(algorithm.system.quorum_size, red[:, columns])
 
 
 def _r_probe_maj_kernel(algorithm, red, rng=None):
     generator = as_generator(rng)
-    order = generator.random(red.shape).argsort(axis=1)
+    scratch = kernel_scratch(algorithm)
+    keys = scratch.get("maj_keys")
+    if keys is None or keys.shape != red.shape:
+        keys = np.empty(red.shape, dtype=np.float64)
+        scratch["maj_keys"] = keys
+    generator.random(out=keys)
+    order = keys.argsort(axis=1)
     permuted = np.take_along_axis(red, order, axis=1)
     return _majority_scan_kernel(algorithm.system.quorum_size, permuted)
 
@@ -181,14 +227,35 @@ def _majority_scan_kernel(
     return probes.astype(np.int64), witness_green
 
 
+def _cw_row_columns(algorithm) -> list[np.ndarray]:
+    """Per-wall-row sorted 0-based column arrays, built once per algorithm.
+
+    Rebuilding these (``sorted`` + ``asarray`` per row) used to dominate
+    small-chunk invocations of the CW kernels; the streaming engine calls
+    the kernel once per chunk, so the arrays are cached in the algorithm's
+    kernel scratch and reused across chunks.
+    """
+    scratch = kernel_scratch(algorithm)
+    columns = scratch.get("cw_columns")
+    if columns is None:
+        columns = [
+            np.asarray(sorted(row), dtype=np.intp) - 1
+            for row in algorithm.system.rows
+        ]
+        scratch["cw_columns"] = columns
+    return columns
+
+
 def _probe_cw_dispatch(algorithm, red, rng=None):
     shuffle = algorithm.within_row_order == "random"
     generator = as_generator(rng) if shuffle else None
-    return _probe_cw_kernel(algorithm.system, red, generator)
+    return _probe_cw_kernel(red, _cw_row_columns(algorithm), generator)
 
 
 def _probe_cw_kernel(
-    system, red: np.ndarray, generator: np.random.Generator | None
+    red: np.ndarray,
+    row_columns: list[np.ndarray],
+    generator: np.random.Generator | None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Algorithm Probe_CW (Fig. 5), one vector step per wall row.
 
@@ -197,13 +264,11 @@ def _probe_cw_kernel(
     (upon which the mode flips).  ``generator`` is set when the in-row order
     is randomized (the order-ablation variant).
     """
-    rows = system.rows
     trials = red.shape[0]
-    first = min(rows[0]) - 1
+    first = row_columns[0][0]
     mode_red = red[:, first].copy()
     probes = np.ones(trials, dtype=np.int64)
-    for row in rows[1:]:
-        columns = np.asarray(sorted(row), dtype=np.intp) - 1
+    for columns in row_columns[1:]:
         width = columns.size
         row_red = red[:, columns]
         if generator is not None:
@@ -218,11 +283,13 @@ def _probe_cw_kernel(
 
 
 def _r_probe_cw_dispatch(algorithm, red, rng=None):
-    return _r_probe_cw_kernel(algorithm.system, red, as_generator(rng))
+    return _r_probe_cw_kernel(red, _cw_row_columns(algorithm), as_generator(rng))
 
 
 def _r_probe_cw_kernel(
-    system, red: np.ndarray, generator: np.random.Generator
+    red: np.ndarray,
+    row_columns: list[np.ndarray],
+    generator: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Algorithm R_Probe_CW (Theorem 4.4), bottom-up over active trials.
 
@@ -235,8 +302,7 @@ def _r_probe_cw_kernel(
     probes = np.zeros(trials, dtype=np.int64)
     witness_green = np.zeros(trials, dtype=bool)
     active = np.arange(trials)
-    for row in reversed(system.rows):
-        columns = np.asarray(sorted(row), dtype=np.intp) - 1
+    for columns in reversed(row_columns):
         width = columns.size
         row_red = red[np.ix_(active, columns)]
         if width > 1:
@@ -306,6 +372,13 @@ def estimate_average_source_batched(
     evaluated through the algorithm's vectorized kernel, so *any*
     registered scenario — exact-count, correlated groups, the Yao hard
     families — runs at batched speed, not just the i.i.d. model.
+
+    This is the one-shot building block: it materializes the full
+    ``(trials, n)`` matrix.  For large trial counts, adaptive stopping
+    or process sharding, use the streaming engine
+    (:func:`repro.core.engine.stream_probes`), whose chunked means are
+    byte-identical to this path for deterministic kernels under
+    stream-aligned sources.
     """
     if trials < 1:
         raise ValueError("need at least one trial")

@@ -72,22 +72,38 @@ PERMUTATIONS_3 = np.array(
 # -- binary Tree system ------------------------------------------------------------
 
 
-def _tree_leaf_level(red: np.ndarray, height: int) -> tuple[np.ndarray, np.ndarray]:
+def _tree_leaf_level(
+    algorithm, red: np.ndarray, height: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Initial ``(value, probes)`` arrays for the tree's leaf level.
 
     Heap node ``v`` is universe element ``v`` (column ``v - 1``); the
-    leaves of a height-``h`` tree are nodes ``2^h .. 2^(h+1) - 1``.
+    leaves of a height-``h`` tree are nodes ``2^h .. 2^(h+1) - 1``.  The
+    all-ones probe buffer is read-only in every level step, so it is
+    reused across chunk invocations via the kernel scratch (except for
+    height 0, where it is the returned result itself).
     """
     first = 1 << height
     value = red[:, first - 1 : 2 * first - 1]
-    probes = np.ones(value.shape, dtype=np.int64)
+    probes = _leaf_ones(algorithm, value.shape, height)
     return value, probes
+
+
+def _leaf_ones(algorithm, shape: tuple[int, ...], height: int) -> np.ndarray:
+    """Leaf-level probe counts: a reusable ones-buffer for nonzero heights."""
+    from repro.core.batched import scratch_ones
+
+    if height == 0:
+        # The buffer would be returned to the caller directly; hand out a
+        # fresh array rather than a view of the shared scratch.
+        return np.ones(shape, dtype=np.int64)
+    return scratch_ones(algorithm, shape)
 
 
 def probe_tree_kernel(algorithm, red: np.ndarray, rng=None):
     """Algorithm Probe_Tree (Prop. 3.6), one vector step per tree level."""
     system = algorithm.system
-    value, probes = _tree_leaf_level(red, system.height)
+    value, probes = _tree_leaf_level(algorithm, red, system.height)
     for depth in range(system.height - 1, -1, -1):
         lo = 1 << depth
         elem = red[:, lo - 1 : 2 * lo - 1]
@@ -104,7 +120,7 @@ def r_probe_tree_kernel(algorithm, red: np.ndarray, rng=None):
     among the three evaluation orders."""
     generator = as_numpy_generator(rng)
     system = algorithm.system
-    value, probes = _tree_leaf_level(red, system.height)
+    value, probes = _tree_leaf_level(algorithm, red, system.height)
     for depth in range(system.height - 1, -1, -1):
         lo = 1 << depth
         elem = red[:, lo - 1 : 2 * lo - 1]
@@ -160,7 +176,7 @@ def _hqs_gate_level(
 def probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
     """Algorithm Probe_HQS (Thm. 3.8): deterministic 2-then-3 gates."""
     value = red
-    probes = np.ones(red.shape, dtype=np.int64)
+    probes = _leaf_ones(algorithm, red.shape, algorithm.system.height)
     for _ in range(algorithm.system.height):
         value, probes = _hqs_gate_level(value, probes, None)
     return probes[:, 0], ~value[:, 0]
@@ -170,7 +186,7 @@ def r_probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
     """Algorithm R_Probe_HQS (Fig. 7): uniformly shuffled 2-then-3 gates."""
     generator = as_numpy_generator(rng)
     value = red
-    probes = np.ones(red.shape, dtype=np.int64)
+    probes = _leaf_ones(algorithm, red.shape, algorithm.system.height)
     for _ in range(algorithm.system.height):
         value, probes = _hqs_gate_level(value, probes, generator)
     return probes[:, 0], ~value[:, 0]
@@ -188,7 +204,7 @@ def ir_probe_hqs_kernel(algorithm, red: np.ndarray, rng=None):
     height = algorithm.system.height
     trials = red.shape[0]
     grand_value = red
-    grand_probes = np.ones(red.shape, dtype=np.int64)
+    grand_probes = _leaf_ones(algorithm, red.shape, height)
     if height == 0:
         return grand_probes[:, 0], ~grand_value[:, 0]
     # Height-1 gates have leaf children: no grandchildren to peek at.

@@ -87,6 +87,20 @@ class ColoringSource(ABC):
     def n(self) -> int:
         """Size of the universe the source draws over."""
 
+    @property
+    def uniforms_per_trial(self) -> int | None:
+        """Base uniforms ``_sample_matrix`` consumes per trial, when fixed.
+
+        The streaming engine (:mod:`repro.core.engine`) uses this to give
+        every *trial* — not every chunk — its own position in one
+        ``PCG64`` stream, which makes chunked sampling byte-identical to a
+        one-shot ``sample_matrix`` call regardless of chunk boundaries.
+        Return ``None`` (the default) when the consumption is unknown or
+        data-dependent (e.g. bounded-``integers`` rejection sampling); the
+        engine then falls back to per-chunk streams.
+        """
+        return None
+
     @abstractmethod
     def _sample_matrix(self, trials: int, generator: np.random.Generator) -> np.ndarray:
         """Draw ``trials`` colorings as a ``(trials, n)`` bool red matrix."""
@@ -133,6 +147,10 @@ class BernoulliSource(ColoringSource):
     def p(self) -> float:
         return self._p
 
+    @property
+    def uniforms_per_trial(self) -> int:
+        return self._n
+
     def _sample_matrix(self, trials, generator):
         return generator.random((trials, self._n)) < self._p
 
@@ -165,6 +183,11 @@ class FixedCountSource(ColoringSource):
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def uniforms_per_trial(self) -> int:
+        # The degenerate counts return without touching the generator.
+        return 0 if self._count in (0, self._n) else self._n
 
     def _sample_matrix(self, trials, generator):
         red = np.zeros((trials, self._n), dtype=bool)
@@ -226,6 +249,10 @@ class CorrelatedGroupsSource(ColoringSource):
     def group_p(self) -> float:
         return self._group_p
 
+    @property
+    def uniforms_per_trial(self) -> int:
+        return len(self._groups)
+
     def _sample_matrix(self, trials, generator):
         if not self._groups:
             return np.zeros((trials, self._n), dtype=bool)
@@ -264,6 +291,10 @@ class AdversarialSource(ColoringSource):
     @property
     def failed(self) -> frozenset[int]:
         return self._failed
+
+    @property
+    def uniforms_per_trial(self) -> int:
+        return 0
 
     def _sample_matrix(self, trials, generator):
         return np.tile(self._row, (trials, 1))
@@ -304,6 +335,10 @@ class FiniteSource(ColoringSource):
     @property
     def distribution(self) -> ColoringDistribution:
         return self._distribution
+
+    @property
+    def uniforms_per_trial(self) -> int:
+        return 1
 
     def _sample_matrix(self, trials, generator):
         draws = generator.random(trials)

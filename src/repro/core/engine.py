@@ -1,0 +1,523 @@
+"""Streaming estimation engine: chunked adaptive Monte-Carlo over kernels.
+
+The batched layer (:mod:`repro.core.batched`) evaluates one ``(trials, n)``
+matrix per call, which caps trial counts by RAM and fixes precision up
+front.  This module drives any (algorithm kernel × coloring source) pair in
+fixed-size *trial chunks* instead: each chunk is sampled, run through
+:func:`repro.core.batched.batched_or_sequential_run` and folded into an
+exact running accumulator, so memory stays ``O(chunk_size · n)`` while the
+trial count scales to ``10^7`` and beyond.
+
+Two stopping modes are supported:
+
+* **fixed** — run exactly ``trials`` trials (the default), chunked;
+* **target_ci** — keep adding chunks until the normal-approximation 95%
+  confidence half-width falls below ``target_ci``, guarded by
+  ``min_trials``/``max_trials``.  Near a phase transition (e.g. the
+  critical ``p`` of a probe-complexity curve) variance spikes and fixed
+  trial counts sized for the hard cell waste work everywhere else; the
+  adaptive mode spends trials only where the tolerance demands them.
+
+Accumulation is a mergeable Welford/Chan-style moment accumulator
+specialized to the domain: probe counts are small nonnegative integers, so
+the engine accumulates an exact probe-count *histogram* per chunk
+(:class:`MomentAccumulator`) and derives mean/variance from exact integer
+sums.  Merged means are therefore bit-identical no matter how the trials
+are chunked or which worker computed which chunk — no floating-point
+summation-order drift.
+
+Seeding guarantees (the "seed schedule"):
+
+* Every chunk draws from streams derived only from ``(seed, start)`` where
+  ``start`` is the chunk's absolute first trial index — never from which
+  worker ran it or how many chunks preceded it.  Sequential and
+  ``jobs=N`` runs are therefore byte-identical.
+* Sources that declare a fixed RNG consumption per trial
+  (:attr:`~repro.core.distributions.ColoringSource.uniforms_per_trial`)
+  are sampled *trial-aligned*: the chunk starting at trial ``s`` uses a
+  ``PCG64(seed)`` stream advanced by ``s × uniforms_per_trial`` draws, so
+  trial ``t`` sees exactly the uniforms it would see in a single one-shot
+  ``sample_matrix`` call from ``default_rng(seed)``.  For these sources
+  the sampled inputs — and hence the means of algorithms whose kernels
+  consume no randomness — are byte-identical to the one-shot batched path
+  *and* invariant under the chunk size.
+* Sources with data-dependent consumption (the ``integers``-based hard
+  families) fall back to a per-chunk spawned stream keyed by ``start``:
+  still deterministic and jobs-invariant, but the chunk layout becomes
+  part of the schedule.
+* Algorithm randomness (randomized kernels, the per-trial fallback) always
+  comes from its own per-chunk stream keyed by ``start`` — never from the
+  sample stream, so a chunk's algorithm draws cannot correlate with a
+  later chunk's inputs.  Randomized algorithms are distribution-identical
+  across chunk layouts (same caveat as batched-vs-sequential before).
+
+Chunks shard across a ``ProcessPoolExecutor`` (``jobs > 1``); results are
+merged in absolute chunk order and the ``target_ci`` stopping rule is
+evaluated after each in-order merge, so speculative chunks computed past
+the stopping point are discarded and the parallel stop point equals the
+sequential one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import pickle
+import time
+from collections import OrderedDict
+from collections.abc import Iterator
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import ProbingAlgorithm
+from repro.core.distributions import BernoulliSource, ColoringSource
+from repro.core.estimator import Estimate
+from repro.core.seeding import cell_sequence
+
+#: Default number of trials per chunk: large enough to amortize numpy call
+#: overhead, small enough that a chunk's ``(chunk, n)`` matrix stays cache-
+#: and RAM-friendly at n ≈ 10^3.
+DEFAULT_CHUNK_TRIALS = 4096
+
+#: Default ``max_trials`` guard of the ``target_ci`` stopping mode.
+DEFAULT_MAX_TRIALS = 1_000_000
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Sufficient statistics of one evaluated chunk (what workers return)."""
+
+    trials: int
+    #: ``histogram[v]`` = number of trials whose probe count was ``v``.
+    histogram: np.ndarray
+    witness_red: int
+
+
+class MomentAccumulator:
+    """Mergeable running moments over integer probe counts.
+
+    A Welford/Chan-style parallel accumulator specialized to the engine's
+    domain: samples are small nonnegative integers, so instead of floating
+    ``(count, mean, M2)`` triples it merges exact probe-count histograms
+    and computes mean/variance from exact Python-integer sums.  The merge
+    is associative and exact, which is what makes chunked, sharded and
+    one-shot runs agree on the mean to the last bit.
+    """
+
+    __slots__ = ("count", "witness_red", "_histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.witness_red = 0
+        self._histogram = np.zeros(0, dtype=np.int64)
+
+    def merge(self, chunk: ChunkStats) -> None:
+        """Fold one chunk's statistics into the running totals."""
+        hist = np.asarray(chunk.histogram, dtype=np.int64)
+        if hist.size > self._histogram.size:
+            grown = np.zeros(hist.size, dtype=np.int64)
+            grown[: self._histogram.size] = self._histogram
+            self._histogram = grown
+        self._histogram[: hist.size] += hist
+        self.count += int(chunk.trials)
+        self.witness_red += int(chunk.witness_red)
+
+    @property
+    def histogram(self) -> np.ndarray:
+        """The accumulated probe-count histogram (index = probe count)."""
+        return self._histogram
+
+    def _exact_sums(self) -> tuple[int, int]:
+        """Exact ``(Σ probes, Σ probes²)`` as arbitrary-precision ints."""
+        total = 0
+        total_sq = 0
+        for value in np.nonzero(self._histogram)[0].tolist():
+            count = int(self._histogram[value])
+            total += count * value
+            total_sq += count * value * value
+        return total, total_sq
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (one correctly-rounded division)."""
+        if self.count == 0:
+            raise ValueError("no trials accumulated")
+        total, _ = self._exact_sums()
+        return total / self.count
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1) from exact integer sums."""
+        if self.count <= 1:
+            return 0.0
+        total, total_sq = self._exact_sums()
+        numerator = self.count * total_sq - total * total
+        return math.sqrt(numerator / (self.count * (self.count - 1)))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95% confidence interval."""
+        if self.count <= 1:
+            return float("inf")
+        return 1.96 * self.std / math.sqrt(self.count)
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streaming estimation run.
+
+    ``n_trials_used`` is the number of trials actually evaluated — equal to
+    the requested ``trials`` in fixed mode, chosen by the stopping rule in
+    ``target_ci`` mode.  ``histogram[v]`` counts trials with probe count
+    ``v`` (exact).  ``seconds`` is wall clock and excluded from every
+    determinism claim.
+    """
+
+    algorithm: str
+    source: str
+    mode: str
+    mean: float
+    std: float
+    n_trials_used: int
+    chunk_size: int
+    chunks: int
+    witness_red: int
+    histogram: tuple[int, ...]
+    target_ci: float | None
+    reached_target: bool | None
+    seconds: float
+
+    @property
+    def estimate(self) -> Estimate:
+        """The run as a plain :class:`~repro.core.estimator.Estimate`."""
+        return Estimate(mean=self.mean, std=self.std, trials=self.n_trials_used)
+
+    @property
+    def ci95(self) -> float:
+        return self.estimate.ci95
+
+    @property
+    def stderr(self) -> float:
+        return self.estimate.stderr
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of trials whose witness was red (no live quorum)."""
+        return self.witness_red / self.n_trials_used
+
+
+# -- chunk execution --------------------------------------------------------------
+
+
+def _resolve_entropy(seed: int | None) -> int:
+    """The run's entropy (fresh OS entropy when unseeded).
+
+    The seed is used verbatim — ``PCG64(seed)`` must match the one-shot
+    path's ``default_rng(seed)`` for *every* accepted seed, so no silent
+    masking.  Negative seeds are rejected exactly like the one-shot
+    batched path (``default_rng`` raises on them too).
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    seed = int(seed)
+    if seed < 0:
+        raise ValueError(f"seed must be a non-negative integer, got {seed}")
+    return seed
+
+
+def _chunk_sample_generator(
+    source: ColoringSource, entropy: int, start: int
+) -> np.random.Generator:
+    """The sampling stream of the chunk starting at absolute trial ``start``.
+
+    Trial-aligned (``PCG64(entropy)`` advanced past the preceding trials'
+    draws) when the source declares a fixed per-trial consumption; a
+    per-chunk spawned stream otherwise.
+    """
+    per_trial = source.uniforms_per_trial
+    if per_trial is None:
+        return np.random.default_rng(cell_sequence(entropy, "engine-sample", start))
+    bit_generator = np.random.PCG64(entropy)
+    if start and per_trial:
+        bit_generator.advance(start * per_trial)
+    return np.random.Generator(bit_generator)
+
+
+def _chunk_algorithm_generator(entropy: int, start: int) -> np.random.Generator:
+    """The algorithm-randomness stream of the chunk starting at ``start``."""
+    return np.random.default_rng(cell_sequence(entropy, "engine-algorithm", start))
+
+
+def _run_chunk(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource,
+    entropy: int,
+    start: int,
+    size: int,
+) -> ChunkStats:
+    """Sample and evaluate one chunk; returns O(n) sufficient statistics."""
+    from repro.core.batched import batched_or_sequential_run
+
+    red = source.sample_matrix(
+        source.n, size, _chunk_sample_generator(source, entropy, start)
+    )
+    probes, witness_green = batched_or_sequential_run(
+        algorithm, red, _chunk_algorithm_generator(entropy, start)
+    )
+    return ChunkStats(
+        trials=size,
+        histogram=np.bincount(probes),
+        witness_red=size - int(np.count_nonzero(witness_green)),
+    )
+
+
+def _pair_payload(algorithm: ProbingAlgorithm, source: ColoringSource) -> tuple[bytes, str]:
+    """Pickle the (algorithm, source) pair once per run, plus a cache token.
+
+    The parent serializes the pair a single time and ships the same bytes
+    with every chunk task; workers deserialize once per token and then
+    reuse the *same* objects for all their chunks, so the per-algorithm
+    kernel scratch (:func:`repro.core.batched.kernel_scratch`) stays warm
+    inside workers exactly as it does sequentially.
+    """
+    blob = pickle.dumps((algorithm, source), protocol=pickle.HIGHEST_PROTOCOL)
+    return blob, hashlib.blake2s(blob, digest_size=16).hexdigest()
+
+
+#: Worker-side cache of deserialized (algorithm, source) pairs, keyed by
+#: the payload token; small LRU so long-lived shared pools don't accumulate
+#: every pair they ever ran.
+_WORKER_PAIRS: "OrderedDict[str, tuple[ProbingAlgorithm, ColoringSource]]" = (
+    OrderedDict()
+)
+_WORKER_PAIRS_MAX = 8
+
+
+def _run_chunk_task(payload) -> ChunkStats:
+    """Top-level worker entry point (must be picklable for process pools)."""
+    blob, token, entropy, start, size = payload
+    pair = _WORKER_PAIRS.get(token)
+    if pair is None:
+        pair = pickle.loads(blob)
+        _WORKER_PAIRS[token] = pair
+        while len(_WORKER_PAIRS) > _WORKER_PAIRS_MAX:
+            _WORKER_PAIRS.popitem(last=False)
+    else:
+        _WORKER_PAIRS.move_to_end(token)
+    algorithm, source = pair
+    return _run_chunk(algorithm, source, entropy, start, size)
+
+
+# -- scheduling -------------------------------------------------------------------
+
+
+class _StoppingRule:
+    """When to stop merging chunks, shared by the sequential and sharded paths."""
+
+    def __init__(
+        self,
+        trials: int | None,
+        target_ci: float | None,
+        min_trials: int,
+        max_trials: int,
+    ) -> None:
+        self.trials = trials
+        self.target_ci = target_ci
+        self.min_trials = min_trials
+        self.max_trials = max_trials
+
+    def chunk_starts(self, chunk_size: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(start, size)`` chunks in absolute order."""
+        total = self.trials if self.target_ci is None else self.max_trials
+        start = 0
+        while start < total:
+            yield start, min(chunk_size, total - start)
+            start += chunk_size
+
+    def should_stop(self, accumulator: MomentAccumulator) -> bool:
+        """Evaluate after each in-order merge (``target_ci`` mode only)."""
+        if self.target_ci is None:
+            return False
+        if accumulator.count < self.min_trials:
+            return False
+        return accumulator.ci95 <= self.target_ci
+
+
+def resolve_fixed_trials(
+    trials: int | None, target_ci: float | None, default: int
+) -> int | None:
+    """The one trials/target_ci contract, shared by every entry point.
+
+    Fixed mode (``target_ci is None``): ``trials`` defaults to ``default``
+    and must be positive.  Adaptive mode: an explicit ``trials`` is a loud
+    error (the stopping rule chooses the count; ``max_trials`` is the cap)
+    and the resolved value is ``None``.
+    """
+    if target_ci is not None:
+        if trials is not None:
+            raise ValueError(
+                "pass either trials (fixed mode) or target_ci (adaptive mode), "
+                "not both; use max_trials to cap an adaptive run"
+            )
+        return None
+    if trials is None:
+        return default
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    return trials
+
+
+def stream_probes(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource | None = None,
+    *,
+    p: float | None = None,
+    trials: int | None = None,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
+    min_trials: int | None = None,
+    max_trials: int | None = None,
+    seed: int | None = None,
+    jobs: int = 1,
+    executor: ProcessPoolExecutor | None = None,
+) -> StreamResult:
+    """Run the streaming engine for one (algorithm, source) pair.
+
+    Exactly one of the stopping modes applies: with ``target_ci=None``
+    (fixed mode) exactly ``trials`` trials run; with a ``target_ci``
+    tolerance the engine adds chunks until the 95% CI half-width is at most
+    the tolerance, evaluating the rule only after ``min_trials`` (default:
+    one full chunk) and giving up at ``max_trials`` (default ``10^6``;
+    ``reached_target`` reports which way it ended).  ``source`` defaults to
+    the i.i.d. model at ``p``.  ``jobs > 1`` shards chunks across worker
+    processes with results byte-identical to the sequential run (see the
+    module docstring for the full seeding contract); callers issuing many
+    engine runs (e.g. the sweep grid) may pass a shared ``executor`` so
+    worker processes are spawned once, not per run — the engine then never
+    shuts the pool down, it only cancels its own not-yet-started chunks.
+    """
+    if source is None:
+        if p is None:
+            raise ValueError("pass a failure probability p or a ColoringSource")
+        source = BernoulliSource(algorithm.system.n, p)
+    if source.n != algorithm.system.n:
+        raise ValueError(
+            f"source draws over n={source.n}, "
+            f"algorithm runs on n={algorithm.system.n}"
+        )
+    trials = resolve_fixed_trials(trials, target_ci, default=1000)
+    if target_ci is None:
+        mode = "fixed"
+    else:
+        if target_ci <= 0:
+            raise ValueError("target_ci must be positive")
+        mode = "target_ci"
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_TRIALS if trials is None else min(
+            trials, DEFAULT_CHUNK_TRIALS
+        )
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least one trial")
+    if max_trials is None:
+        max_trials = DEFAULT_MAX_TRIALS
+    if min_trials is None:
+        min_trials = min(chunk_size, max_trials)
+    if not 1 <= min_trials <= max_trials:
+        raise ValueError(
+            f"need 1 <= min_trials ({min_trials}) <= max_trials ({max_trials})"
+        )
+
+    entropy = _resolve_entropy(seed)
+    rule = _StoppingRule(trials, target_ci, min_trials, max_trials)
+    accumulator = MomentAccumulator()
+    start_time = time.perf_counter()
+    chunks_merged = 0
+
+    schedule = rule.chunk_starts(chunk_size)
+    if jobs <= 1 and executor is None:
+        for start, size in schedule:
+            accumulator.merge(_run_chunk(algorithm, source, entropy, start, size))
+            chunks_merged += 1
+            if rule.should_stop(accumulator):
+                break
+    else:
+        owned = None if executor is not None else ProcessPoolExecutor(max_workers=jobs)
+        pool = executor if executor is not None else owned
+        blob, token = _pair_payload(algorithm, source)
+        try:
+            window = 2 * max(jobs, 1)
+            pending = []
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    item = next(schedule, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    start, size = item
+                    pending.append(
+                        pool.submit(_run_chunk_task, (blob, token, entropy, start, size))
+                    )
+                if not pending:
+                    break
+                accumulator.merge(pending.pop(0).result())
+                chunks_merged += 1
+                if rule.should_stop(accumulator):
+                    # Speculative chunks past the stopping point are discarded,
+                    # so the parallel stop point equals the sequential one.
+                    # (Cancel only our own futures: the pool may be shared.)
+                    for future in pending:
+                        future.cancel()
+                    break
+        finally:
+            if owned is not None:
+                owned.shutdown(wait=False, cancel_futures=True)
+
+    seconds = time.perf_counter() - start_time
+    reached = None if target_ci is None else accumulator.ci95 <= target_ci
+    return StreamResult(
+        algorithm=algorithm.name,
+        source=source.name,
+        mode=mode,
+        mean=accumulator.mean,
+        std=accumulator.std,
+        n_trials_used=accumulator.count,
+        chunk_size=chunk_size,
+        chunks=chunks_merged,
+        witness_red=accumulator.witness_red,
+        histogram=tuple(int(c) for c in accumulator.histogram),
+        target_ci=target_ci,
+        reached_target=reached,
+        seconds=seconds,
+    )
+
+
+def stream_estimate(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource | None = None,
+    *,
+    p: float | None = None,
+    trials: int | None = None,
+    target_ci: float | None = None,
+    chunk_size: int | None = None,
+    min_trials: int | None = None,
+    max_trials: int | None = None,
+    seed: int | None = None,
+    jobs: int = 1,
+) -> Estimate:
+    """:func:`stream_probes`, reduced to a plain
+    :class:`~repro.core.estimator.Estimate` (``trials`` = trials used)."""
+    return stream_probes(
+        algorithm,
+        source,
+        p=p,
+        trials=trials,
+        target_ci=target_ci,
+        chunk_size=chunk_size,
+        min_trials=min_trials,
+        max_trials=max_trials,
+        seed=seed,
+        jobs=jobs,
+    ).estimate

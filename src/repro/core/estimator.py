@@ -76,11 +76,16 @@ class Estimate:
 def estimate_average_probes(
     algorithm: ProbingAlgorithm,
     p: float | None = None,
-    trials: int = 1000,
+    trials: int | None = None,
     seed: int | None = None,
     validate: bool = False,
     batched: bool = False,
     source=None,
+    chunk_size: int | None = None,
+    target_ci: float | None = None,
+    min_trials: int | None = None,
+    max_trials: int | None = None,
+    jobs: int = 1,
 ) -> Estimate:
     """Estimate the expected probe count under an input distribution.
 
@@ -93,28 +98,50 @@ def estimate_average_probes(
     scenario (exact-count, correlated groups, the Yao hard families)
     estimates through the same entry point; ``p`` is ignored then.
 
-    With ``batched=True`` the whole batch is evaluated through the
-    vectorized kernels of :mod:`repro.core.batched` (falling back to the
-    loop for unsupported algorithms).  The batched path draws the same
-    distribution from a different RNG stream, so per-seed values differ
-    from the sequential path; ``validate`` is not supported there.
+    With ``batched=True`` — or any streaming parameter set — estimation
+    runs through the streaming engine (:mod:`repro.core.engine`): the
+    trials are evaluated in fixed-size chunks through the vectorized
+    kernels of :mod:`repro.core.batched` (falling back to the per-trial
+    loop for unsupported algorithms), optionally sharded across ``jobs``
+    worker processes.  ``target_ci`` switches from fixed-``trials`` mode
+    to adaptive CI-targeted stopping — the two are mutually exclusive
+    (an explicit ``trials`` with ``target_ci`` raises; cap adaptive runs
+    with ``max_trials`` instead) and the returned estimate's ``trials``
+    is the count actually used.  For deterministic algorithms under
+    stream-aligned sources the engine's mean is byte-identical to the
+    one-shot batched path of old; randomized algorithms draw the same
+    distribution from per-chunk streams, so per-seed values differ from
+    the sequential path.  ``validate`` is not supported there.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
+    streaming = (
+        target_ci is not None
+        or chunk_size is not None
+        or min_trials is not None
+        or max_trials is not None
+        or jobs != 1
+    )
+    from repro.core.engine import resolve_fixed_trials
+
+    trials = resolve_fixed_trials(trials, target_ci, default=1000)
     if source is None and p is None:
         raise ValueError("pass a failure probability p or a ColoringSource")
-    if batched:
+    if batched or streaming:
         if validate:
             raise ValueError("validate=True requires the sequential path")
-        if source is not None:
-            from repro.core.batched import estimate_average_source_batched
+        from repro.core.engine import stream_estimate
 
-            return estimate_average_source_batched(
-                algorithm, source, trials=trials, seed=seed
-            )
-        from repro.core.batched import estimate_average_probes_batched
-
-        return estimate_average_probes_batched(algorithm, p, trials=trials, seed=seed)
+        return stream_estimate(
+            algorithm,
+            source,
+            p=p,
+            trials=trials,
+            target_ci=target_ci,
+            chunk_size=chunk_size,
+            min_trials=min_trials,
+            max_trials=max_trials,
+            seed=seed,
+            jobs=jobs,
+        )
     if source is not None:
         from repro.core.coloring import as_numpy_generator
 

@@ -259,13 +259,13 @@ def run_randomized_hqs(
     for height in heights:
         system = HQS(height)
         if batched:
-            from repro.core.batched import estimate_average_source_batched
+            from repro.core.engine import stream_estimate
 
             source = HQSFamilyPSource(system)
-            est_r = estimate_average_source_batched(
+            est_r = stream_estimate(
                 RProbeHQS(system), source, trials=trials, seed=seed + height
             )
-            est_ir = estimate_average_source_batched(
+            est_ir = stream_estimate(
                 IRProbeHQS(system), source, trials=trials, seed=seed + height
             )
         else:

@@ -158,11 +158,17 @@ def _drive_sweep(
     system: str,
     sizes: tuple[int, ...],
     ps: tuple[float, ...],
-    trials: int,
+    trials: int | None,
     seed: int | None,
     randomized: bool,
     distribution: str,
+    chunk_size: int,
+    target_ci: float | None,
+    max_trials: int,
 ) -> DriverResult:
+    # trials stays None unless explicitly overridden, so run_sweep applies
+    # the fixed-mode default AND raises loudly on trials + target_ci —
+    # the same contract as every other entry point.
     result = run_sweep(
         system,
         sizes=sizes,
@@ -171,6 +177,9 @@ def _drive_sweep(
         seed=0 if seed is None else seed,
         randomized=randomized,
         distribution=distribution,
+        chunk_size=chunk_size or None,
+        target_ci=target_ci,
+        max_trials=max_trials or None,
     )
     rows = [
         Row(
@@ -180,17 +189,29 @@ def _drive_sweep(
             measured=cell.mean,
             paper=None,
             relation="~",
-            params={"size": cell.size, "n": cell.n, "p": cell.p, "trials": cell.trials},
+            params={
+                "size": cell.size,
+                "n": cell.n,
+                "p": cell.p,
+                "trials": cell.trials,
+                "n_trials_used": cell.n_trials_used,
+                "ci95": round(cell.ci95, 6),
+            },
             note=f"±{cell.ci95:.2f}",
         )
         for cell in result.cells
     ]
     kernel = all(cell.batched_kernel for cell in result.cells)
-    extra = (
+    extra = [
         f"{len(result.cells)} cells via "
         f"{'vectorized kernel' if kernel else 'per-trial fallback'}",
-    )
-    return DriverResult(rows=rows, extra=extra)
+    ]
+    if target_ci is not None:
+        used = sum(cell.n_trials_used for cell in result.cells)
+        extra.append(
+            f"adaptive stopping (ci95 <= {target_ci:g}) used {used} trials"
+        )
+    return DriverResult(rows=rows, extra=tuple(extra))
 
 
 def _sweep_spec(system: str, sizes: tuple[int, ...], ps: tuple[float, ...], tag: str):
@@ -202,13 +223,31 @@ def _sweep_spec(system: str, sizes: tuple[int, ...], ps: tuple[float, ...], tag:
             ParamSpec("system", "str", system, "system family (factory name)"),
             ParamSpec("sizes", "int_list", sizes, "size knobs (heights/rows/n)"),
             ParamSpec("ps", "float_list", ps, "failure probabilities"),
-            ParamSpec("trials", "int", 1000, "Monte-Carlo trials per cell"),
+            ParamSpec(
+                "trials",
+                "int",
+                None,
+                "trials per cell (default 1000; mutually exclusive with target_ci)",
+            ),
             ParamSpec("seed", "seed", None, "sweep seed (default 0)"),
             ParamSpec("randomized", "bool", False, "use the randomized algorithm"),
             _distribution_param(),
+            ParamSpec("chunk_size", "int", 0, "engine chunk size (0 = auto)"),
+            ParamSpec(
+                "target_ci",
+                "float",
+                None,
+                "adaptive stop: 95% CI half-width tolerance (unset = fixed trials)",
+            ),
+            ParamSpec(
+                "max_trials", "int", 0, "target_ci trial cap (0 = engine default)"
+            ),
         ),
         tags=("sweep", "scaling", tag),
-        description="Batched Monte-Carlo grid over (p, size), per-cell seeded streams.",
+        description=(
+            "Streaming Monte-Carlo grid over (p, size): chunked engine runs "
+            "on per-cell seeded streams, optional CI-targeted stopping."
+        ),
     )
 
 

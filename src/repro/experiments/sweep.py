@@ -1,16 +1,18 @@
-"""Batched ``(p, n)`` sweep runner.
+"""Streaming ``(p, n)`` sweep runner.
 
-Drives the vectorized kernels of :mod:`repro.core.batched` across a grid of
-failure probabilities and system sizes, one Monte-Carlo batch per cell, and
-serializes the whole sweep as a single JSON artifact.  This is how the
-paper's scaling curves — the ``O(n^0.585)`` Probe_Tree and ``n^0.834``
-Probe_HQS power laws, and the randomized-vs-deterministic gaps — are
-regenerated at sizes the per-trial loops cannot reach.
+Drives the streaming estimation engine (:mod:`repro.core.engine`) across a
+grid of failure probabilities and system sizes — one chunked Monte-Carlo
+run per cell, optionally sharded across processes and/or stopped
+adaptively at a target CI half-width — and serializes the whole sweep as a
+single JSON artifact.  This is how the paper's scaling curves — the
+``O(n^0.585)`` Probe_Tree and ``n^0.834`` Probe_HQS power laws, and the
+randomized-vs-deterministic gaps — are regenerated at sizes the per-trial
+loops cannot reach.
 
-Every cell draws from its own seeded stream (a ``SeedSequence`` keyed by
-the sweep seed and the cell's ``(size, p)`` values), so results are
-independent of grid iteration order and any sub-grid — prefix or not —
-can be reproduced in isolation.
+Every cell runs on its own seed (derived from the sweep seed and the
+cell's ``(size, p)`` values via :func:`repro.core.seeding.cell_seed`), so
+results are independent of grid iteration order and any sub-grid — prefix
+or not — can be reproduced in isolation.
 
 Cell inputs come from a registered coloring source
 (:mod:`repro.core.distributions`): the default ``bernoulli`` reproduces
@@ -24,27 +26,32 @@ from __future__ import annotations
 
 import datetime
 import json
-import time
 from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-
-import numpy as np
 
 from repro.algorithms import (
     default_deterministic_algorithm,
     default_randomized_algorithm,
 )
-from repro.core.batched import batched_or_sequential_run, supports_batched
+from repro.core.batched import supports_batched
 from repro.core.distributions import build_source, canonical_source_name
-from repro.core.estimator import Estimate
-from repro.experiments.seeding import cell_generator
+from repro.core.engine import resolve_fixed_trials, stream_probes
+from repro.experiments.seeding import cell_seed
 from repro.systems import build_system
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One ``(size, p)`` grid cell of a sweep."""
+    """One ``(size, p)`` grid cell of a sweep.
+
+    ``n_trials_used`` is the count the streaming engine actually
+    evaluated; in fixed mode ``trials`` is the requested count (equal to
+    ``n_trials_used``), under ``target_ci`` no count was requested and
+    ``trials`` records ``n_trials_used`` too, so the field is always the
+    number of trials behind the cell's statistics.
+    """
 
     system: str
     size: int
@@ -56,6 +63,7 @@ class SweepCell:
     trials: int
     batched_kernel: bool
     seconds: float
+    n_trials_used: int = 0
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,7 @@ class SweepResult:
     seed: int
     cells: tuple[SweepCell, ...]
     distribution: str = "bernoulli"
+    target_ci: float | None = None
 
     def cell(self, size: int, p: float) -> SweepCell:
         """The cell measured at ``(size, p)``."""
@@ -87,6 +96,7 @@ class SweepResult:
             "algorithm": self.algorithm,
             "randomized": self.randomized,
             "distribution": self.distribution,
+            "target_ci": self.target_ci,
             "sizes": list(self.sizes),
             "ps": list(self.ps),
             "trials": self.trials,
@@ -95,25 +105,21 @@ class SweepResult:
         }
 
 
-def _cell_generator(seed: int, size: int, p: float) -> np.random.Generator:
-    """The seeded per-cell stream: keyed by sweep seed and the cell's
-    ``(size, p)`` values, so a cell reproduces bit-identically no matter
-    which grid it is part of.  Delegates to the shared
-    :mod:`repro.experiments.seeding` helpers (same key encoding as before:
-    two's complement for ints, IEEE-754 bits for ``p``)."""
-    return cell_generator(seed, int(size), float(p))
-
-
 def run_sweep(
     system_name: str,
     sizes: Sequence[int],
     ps: Sequence[float],
-    trials: int = 1000,
+    trials: int | None = None,
     seed: int = 0,
     randomized: bool = False,
     distribution: str = "bernoulli",
+    chunk_size: int | None = None,
+    target_ci: float | None = None,
+    min_trials: int | None = None,
+    max_trials: int | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run a batched Monte-Carlo sweep over the ``(sizes, ps)`` grid.
+    """Run a streaming Monte-Carlo sweep over the ``(sizes, ps)`` grid.
 
     ``system_name`` and ``sizes`` use the conventions of
     :func:`repro.systems.build_system` (size knob = tree/HQS height,
@@ -123,11 +129,21 @@ def run_sweep(
     (:func:`repro.core.distributions.build_source`) drawn batched in every
     cell — ``fixed_count``, ``correlated_groups``, the Yao hard families —
     with the grid's ``p`` axis as the scenario's intensity knob.
+
+    Every cell runs through the streaming engine
+    (:func:`repro.core.engine.stream_probes`) on its own seed stream:
+    memory stays O(``chunk_size``) per cell, ``jobs > 1`` shards each
+    cell's chunks across worker processes (byte-identical to sequential)
+    and ``target_ci`` switches from fixed-``trials`` mode to adaptive
+    CI-targeted stopping — mutually exclusive with an explicit ``trials``
+    (cap adaptive runs with ``max_trials``); near-critical cells then get
+    the trials their variance demands while easy cells stop early, and
+    both each cell's ``trials`` and ``n_trials_used`` record the count
+    actually evaluated (the result's grid-level ``trials`` is 0).
     Algorithms without a registered kernel transparently fall back to the
     per-trial loop, so the sweep works — slowly — for any system.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
+    trials = resolve_fixed_trials(trials, target_ci, default=1000)
     if not sizes or not ps:
         raise ValueError("sweep needs at least one size and one p")
     # Canonical name: aliases like "iid" render and serialize as the
@@ -135,46 +151,61 @@ def run_sweep(
     distribution = canonical_source_name(distribution)
     cells: list[SweepCell] = []
     algorithm_name = ""
-    for size in sizes:
-        system = build_system(system_name, size)
-        algorithm = (
-            default_randomized_algorithm(system)
-            if randomized
-            else default_deterministic_algorithm(system)
-        )
-        algorithm_name = algorithm.name
-        for p in ps:
-            source = build_source(distribution, system, p)
-            generator = _cell_generator(seed, size, p)
-            start = time.perf_counter()
-            red = source.sample_matrix(system.n, trials, generator)
-            probes, _ = batched_or_sequential_run(algorithm, red, generator)
-            elapsed = time.perf_counter() - start
-            estimate = Estimate.from_samples(probes)
-            cells.append(
-                SweepCell(
-                    system=system.name,
-                    size=size,
-                    n=system.n,
-                    p=float(p),
-                    mean=estimate.mean,
-                    std=estimate.std,
-                    ci95=estimate.ci95,
-                    trials=trials,
-                    batched_kernel=supports_batched(algorithm),
-                    seconds=elapsed,
-                )
+    # One worker pool for the whole grid: spawning processes per cell would
+    # dwarf small cells' compute.
+    executor = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    try:
+        for size in sizes:
+            system = build_system(system_name, size)
+            algorithm = (
+                default_randomized_algorithm(system)
+                if randomized
+                else default_deterministic_algorithm(system)
             )
+            algorithm_name = algorithm.name
+            for p in ps:
+                source = build_source(distribution, system, p)
+                result = stream_probes(
+                    algorithm,
+                    source,
+                    trials=trials,
+                    target_ci=target_ci,
+                    chunk_size=chunk_size,
+                    min_trials=min_trials,
+                    max_trials=max_trials,
+                    seed=cell_seed(seed, int(size), float(p)),
+                    jobs=jobs,
+                    executor=executor,
+                )
+                cells.append(
+                    SweepCell(
+                        system=system.name,
+                        size=size,
+                        n=system.n,
+                        p=float(p),
+                        mean=result.mean,
+                        std=result.std,
+                        ci95=result.ci95,
+                        trials=result.n_trials_used if trials is None else trials,
+                        batched_kernel=supports_batched(algorithm),
+                        seconds=result.seconds,
+                        n_trials_used=result.n_trials_used,
+                    )
+                )
+    finally:
+        if executor is not None:
+            executor.shutdown()
     return SweepResult(
         system=system_name,
         algorithm=algorithm_name,
         randomized=randomized,
         sizes=tuple(int(s) for s in sizes),
         ps=tuple(float(p) for p in ps),
-        trials=trials,
+        trials=0 if trials is None else trials,
         seed=seed,
         cells=tuple(cells),
         distribution=distribution,
+        target_ci=target_ci,
     )
 
 
@@ -183,9 +214,14 @@ def render_sweep(result: SweepResult) -> str:
     inputs = (
         "" if result.distribution == "bernoulli" else f", {result.distribution} inputs"
     )
+    budget = (
+        f"{result.trials} trials/cell"
+        if result.target_ci is None
+        else f"target ci95 {result.target_ci:g}"
+    )
     header = (
         f"{result.algorithm} sweep "
-        f"({result.trials} trials/cell, seed {result.seed}{inputs})"
+        f"({budget}, seed {result.seed}{inputs})"
     )
     lines = [header, ""]
     lines.append(
@@ -204,6 +240,9 @@ def render_sweep(result: SweepResult) -> str:
         f"{len(result.cells)} cells in {total:.3f}s "
         f"({'vectorized kernel' if kernel else 'per-trial fallback in use'})"
     )
+    if result.target_ci is not None:
+        used = sum(c.n_trials_used for c in result.cells)
+        lines.append(f"adaptive stopping used {used} trials across the grid")
     return "\n".join(lines)
 
 
@@ -223,7 +262,12 @@ def load_sweep_artifact(path: str | Path) -> SweepResult:
     payload = json.loads(Path(path).read_text())
     if payload.get("kind") != "p_sweep":
         raise ValueError(f"{path} is not a p_sweep artifact")
-    cells = tuple(SweepCell(**cell) for cell in payload["cells"])
+    # Legacy (pre-engine) artifacts: every cell used exactly its requested
+    # trial count and had no adaptive-stopping tolerance.
+    cells = tuple(
+        SweepCell(**{"n_trials_used": cell.get("trials", 0), **cell})
+        for cell in payload["cells"]
+    )
     return SweepResult(
         system=payload["system"],
         algorithm=payload["algorithm"],
@@ -234,4 +278,5 @@ def load_sweep_artifact(path: str | Path) -> SweepResult:
         seed=payload["seed"],
         cells=cells,
         distribution=payload.get("distribution", "bernoulli"),
+        target_ci=payload.get("target_ci"),
     )

@@ -27,12 +27,12 @@ DEFAULT_HEIGHTS = (3, 4, 5, 6, 7, 8)
 
 
 def _hard_input_estimator(algorithm, system, trials, seed, batched):
-    """Estimate on the Theorem 4.8 hard distribution, batched or per-trial."""
+    """Estimate on the Theorem 4.8 hard distribution, streamed or per-trial."""
     if batched:
         from repro.analysis.yao import TreeHardSource
-        from repro.core.batched import estimate_average_source_batched
+        from repro.core.engine import stream_estimate
 
-        return estimate_average_source_batched(
+        return stream_estimate(
             algorithm, TreeHardSource(system), trials=trials, seed=seed
         )
     return estimate_average_under(

@@ -105,18 +105,28 @@ def run_cluster_trials(
 def run_batched_trials(
     algorithm: ProbingAlgorithm,
     p: float | None = None,
-    trials: int = 500,
+    trials: int | None = None,
     latency: LatencyModel | None = None,
     seed: int | None = None,
     source: ColoringSource | FailureModel | None = None,
+    chunk_size: int | None = None,
+    target_ci: float | None = None,
+    min_trials: int | None = None,
+    max_trials: int | None = None,
+    jobs: int = 1,
 ) -> BatchResult:
     """Vectorized counterpart of :func:`run_cluster_trials`.
 
-    Samples the whole failure batch as one boolean matrix and evaluates the
-    algorithm through the registered kernels of :mod:`repro.core.batched`
-    — including the level-synchronous Tree/HQS gate kernels of
+    Runs through the streaming engine (:mod:`repro.core.engine`): the
+    failure batch is sampled and evaluated in trial chunks through the
+    registered kernels of :mod:`repro.core.batched` — including the
+    level-synchronous Tree/HQS gate kernels of
     :mod:`repro.core.batched_gates` — falling back to a per-trial loop for
-    algorithms without a kernel.
+    algorithms without a kernel.  Memory stays O(chunk), ``jobs > 1``
+    shards chunks across processes, and ``target_ci`` switches to the
+    adaptive CI-targeted stopping mode — mutually exclusive with an
+    explicit ``trials`` (cap adaptive runs with ``max_trials``); the
+    returned ``trials`` is the count actually used.
 
     Snapshots come from ``source`` — a
     :class:`~repro.core.distributions.ColoringSource` or a
@@ -129,9 +139,9 @@ def run_batched_trials(
     sampling for throughput; use :func:`run_cluster_trials` when latency
     jitter matters.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    from repro.core.batched import as_generator, batched_or_sequential_run
+    from repro.core.engine import resolve_fixed_trials, stream_probes
+
+    trials = resolve_fixed_trials(trials, target_ci, default=500)
 
     if source is None:
         if p is None:
@@ -141,20 +151,27 @@ def run_batched_trials(
         source = source.as_source(algorithm.system.n)
 
     latency = latency or ConstantLatency(1.0)
-    generator = as_generator(seed)
-    red = source.sample_matrix(algorithm.system.n, trials, generator)
-    probes, witness_green = batched_or_sequential_run(algorithm, red, generator)
-    probe_estimate = Estimate.from_samples(probes)
+    result = stream_probes(
+        algorithm,
+        source,
+        trials=trials,
+        target_ci=target_ci,
+        chunk_size=chunk_size,
+        min_trials=min_trials,
+        max_trials=max_trials,
+        seed=seed,
+        jobs=jobs,
+    )
+    probe_estimate = result.estimate
     per_probe = latency.mean()
     elapsed = Estimate(
         mean=probe_estimate.mean * per_probe,
         std=probe_estimate.std * per_probe,
-        trials=trials,
+        trials=result.n_trials_used,
     )
-    failure_rate = float(1.0 - np.mean(witness_green))
     return BatchResult(
         probes=probe_estimate,
         elapsed=elapsed,
-        availability_failure_rate=failure_rate,
-        trials=trials,
+        availability_failure_rate=result.failure_rate,
+        trials=result.n_trials_used,
     )

@@ -182,3 +182,87 @@ class TestSweepDistributions:
         default = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=200, seed=3)
         assert aliased.distribution == "bernoulli"
         assert aliased.cell(3, 0.5).mean == default.cell(3, 0.5).mean
+
+
+class TestSweepStreaming:
+    def test_cells_record_n_trials_used(self):
+        result = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=200, seed=1)
+        cell = result.cell(3, 0.5)
+        assert cell.n_trials_used == cell.trials == 200
+        assert result.target_ci is None
+
+    def test_target_ci_mode_stops_adaptively(self):
+        result = run_sweep(
+            "tree", sizes=(3, 5), ps=(0.5,), seed=2,
+            target_ci=0.5, chunk_size=128, max_trials=100_000,
+        )
+        assert result.target_ci == 0.5
+        for cell in result.cells:
+            assert cell.ci95 <= 0.5
+            assert cell.n_trials_used % 128 == 0
+        # The larger tree has higher variance: it needs at least as many
+        # trials to hit the same tolerance.
+        assert (
+            result.cell(5, 0.5).n_trials_used >= result.cell(3, 0.5).n_trials_used
+        )
+
+    def test_explicit_trials_with_target_ci_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep("tree", sizes=(3,), ps=(0.5,), trials=100, target_ci=0.5)
+
+    def test_adaptive_cells_record_consistent_counts(self):
+        result = run_sweep(
+            "tree", sizes=(3,), ps=(0.5,), seed=2, target_ci=0.5, chunk_size=128
+        )
+        cell = result.cell(3, 0.5)
+        # No count was requested: the cell's trials IS the evaluated count.
+        assert cell.trials == cell.n_trials_used > 0
+        assert result.trials == 0
+
+    def test_jobs_byte_identical_to_sequential(self):
+        sequential = run_sweep(
+            "hqs", sizes=(2, 3), ps=(0.5,), trials=256, seed=3, chunk_size=64
+        )
+        sharded = run_sweep(
+            "hqs", sizes=(2, 3), ps=(0.5,), trials=256, seed=3, chunk_size=64, jobs=2
+        )
+        assert [c.mean for c in sequential.cells] == [c.mean for c in sharded.cells]
+        assert [c.std for c in sequential.cells] == [c.std for c in sharded.cells]
+
+    def test_chunking_does_not_change_deterministic_cells(self):
+        one_shot = run_sweep("tree", sizes=(4,), ps=(0.3,), trials=300, seed=4)
+        chunked = run_sweep(
+            "tree", sizes=(4,), ps=(0.3,), trials=300, seed=4, chunk_size=37
+        )
+        assert one_shot.cell(4, 0.3).mean == chunked.cell(4, 0.3).mean
+
+    def test_artifact_round_trip_with_engine_fields(self, tmp_path):
+        result = run_sweep(
+            "tree", sizes=(3,), ps=(0.5,), seed=5,
+            target_ci=0.6, chunk_size=128, max_trials=50_000,
+        )
+        path = write_sweep_artifact(result, tmp_path / "adaptive.json")
+        loaded = load_sweep_artifact(path)
+        assert loaded == result
+        assert loaded.target_ci == 0.6
+        assert loaded.cells[0].n_trials_used == result.cells[0].n_trials_used
+
+    def test_legacy_artifact_without_engine_fields_loads(self, tmp_path):
+        result = run_sweep("tree", sizes=(3,), ps=(0.5,), trials=50, seed=9)
+        path = write_sweep_artifact(result, tmp_path / "legacy.json")
+        payload = json.loads(path.read_text())
+        del payload["target_ci"]
+        for cell in payload["cells"]:
+            del cell["n_trials_used"]
+        path.write_text(json.dumps(payload))
+        loaded = load_sweep_artifact(path)
+        assert loaded.target_ci is None
+        assert loaded.cells[0].n_trials_used == loaded.cells[0].trials == 50
+
+    def test_render_mentions_adaptive_budget(self):
+        result = run_sweep(
+            "tree", sizes=(3,), ps=(0.5,), seed=6, target_ci=0.7, chunk_size=128
+        )
+        text = render_sweep(result)
+        assert "target ci95 0.7" in text
+        assert "adaptive stopping used" in text

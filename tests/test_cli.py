@@ -286,3 +286,87 @@ class TestDistributionsCLI:
             ]
         )
         assert code == 0
+
+
+class TestStreamingEngineCLI:
+    def test_estimate_target_ci_reports_stopping(self, capsys):
+        code = main(
+            [
+                "estimate", "--system", "maj", "--size", "101", "--p", "0.5",
+                "--batched", "--seed", "1",
+                "--target-ci", "0.8", "--chunk-size", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimator : streaming" in out
+        assert "target ci95 0.8 reached" in out
+
+    def test_estimate_chunked_matches_one_shot_mean(self, capsys):
+        args = [
+            "estimate", "--system", "triang", "--size", "8", "--p", "0.5",
+            "--batched", "--trials", "300", "--seed", "4",
+        ]
+        assert main(args) == 0
+        one_shot = capsys.readouterr().out
+        assert main(args + ["--chunk-size", "64"]) == 0
+        chunked = capsys.readouterr().out
+        line = next(l for l in one_shot.splitlines() if "avg probes" in l)
+        assert line in chunked
+
+    def test_estimate_max_trials_cap_not_reached(self, capsys):
+        code = main(
+            [
+                "estimate", "--system", "maj", "--size", "101", "--p", "0.5",
+                "--seed", "2", "--target-ci", "0.0001",
+                "--chunk-size", "128", "--max-trials", "512",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NOT reached" in out and "512 trials" in out
+
+    def test_trials_with_target_ci_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "estimate", "--system", "maj", "--size", "21", "--p", "0.5",
+                    "--trials", "500", "--target-ci", "0.5",
+                ]
+            )
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "sweep", "--system", "tree", "--sizes", "3", "--ps", "0.5",
+                    "--trials", "100", "--target-ci", "0.5",
+                ]
+            )
+
+    def test_sweep_target_ci_artifact(self, capsys, tmp_path):
+        output = tmp_path / "adaptive.json"
+        code = main(
+            [
+                "sweep", "--system", "tree", "--sizes", "3,4", "--ps", "0.5",
+                "--seed", "3", "--target-ci", "0.5", "--chunk-size", "128",
+                "--jobs", "2", "--output", str(output),
+            ]
+        )
+        assert code == 0
+        from repro.experiments.sweep import load_sweep_artifact
+
+        loaded = load_sweep_artifact(output)
+        assert loaded.target_ci == 0.5
+        assert all(cell.ci95 <= 0.5 for cell in loaded.cells)
+
+    def test_run_sweep_spec_with_target_ci_param(self, capsys):
+        code = main(
+            [
+                "run", "sweep-tree",
+                "--param", "sizes=3", "--param", "ps=0.5",
+                "--param", "target_ci=0.6", "--param", "chunk_size=128",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive stopping" in out

@@ -1,0 +1,162 @@
+"""Tests for the benchmark-snapshot regression gate (compare_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _snapshot(tmp_path: Path, name: str, payload: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _base(**overrides) -> dict:
+    payload = {
+        "date": "2026-07-28",
+        "quick": False,
+        "exact_solver": {"mask_dp_seconds": 1.0, "speedup": 40.0},
+        "batched_montecarlo": [
+            {"algorithm": "ProbeMaj", "batched_seconds": 0.020, "speedup": 90.0},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestFlatten:
+    def test_lists_keyed_by_case_label(self):
+        metrics = compare_bench.flatten(_base())
+        assert metrics["exact_solver.mask_dp_seconds"] == 1.0
+        assert metrics["batched_montecarlo[ProbeMaj].speedup"] == 90.0
+
+    def test_bookkeeping_fields_skipped(self):
+        metrics = compare_bench.flatten(_base())
+        assert "date" not in metrics and "quick" not in metrics
+
+    def test_composite_labels_distinguish_systems(self):
+        node = {"s": [
+            {"algorithm": "A", "system": "Maj(101)", "x_seconds": 1.0},
+            {"algorithm": "A", "system": "Maj(1001)", "x_seconds": 2.0},
+        ]}
+        metrics = compare_bench.flatten(node)
+        assert metrics["s[A/Maj(101)].x_seconds"] == 1.0
+        assert metrics["s[A/Maj(1001)].x_seconds"] == 2.0
+
+    def test_duplicate_labels_fall_back_to_index(self):
+        node = {"s": [
+            {"algorithm": "A", "x_seconds": 1.0},
+            {"algorithm": "A", "x_seconds": 2.0},
+        ]}
+        metrics = compare_bench.flatten(node)
+        values = sorted(v for k, v in metrics.items() if "x_seconds" in k)
+        assert values == [1.0, 2.0]  # nothing silently overwritten
+
+    def test_classify(self):
+        assert compare_bench.classify("a.mask_dp_seconds") == "time"
+        assert compare_bench.classify("a[x].speedup") == "ratio"
+        assert compare_bench.classify("a.chunked_throughput_ratio") == "ratio"
+        assert compare_bench.classify("a.n") is None
+        assert compare_bench.classify("a.ppc_value") is None
+
+
+class TestGate:
+    def test_identical_snapshots_pass(self, tmp_path, capsys):
+        old = _snapshot(tmp_path, "old.json", _base())
+        new = _snapshot(tmp_path, "new.json", _base(date="2026-07-29"))
+        assert compare_bench.main([old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_timing_regression_fails(self, tmp_path, capsys):
+        old = _snapshot(tmp_path, "old.json", _base())
+        slow = _base()
+        slow["exact_solver"]["mask_dp_seconds"] = 1.5  # +50% > 20%
+        new = _snapshot(tmp_path, "new.json", slow)
+        assert compare_bench.main([old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION exact_solver.mask_dp_seconds" in out
+
+    def test_speedup_regression_fails(self, tmp_path):
+        old = _snapshot(tmp_path, "old.json", _base())
+        worse = _base()
+        worse["batched_montecarlo"][0]["speedup"] = 60.0  # 90/60 - 1 = 50%
+        new = _snapshot(tmp_path, "new.json", worse)
+        assert compare_bench.main([old, new]) == 1
+
+    def test_threshold_overrides_default(self, tmp_path):
+        old = _snapshot(tmp_path, "old.json", _base())
+        slow = _base()
+        slow["exact_solver"]["mask_dp_seconds"] = 1.5
+        new = _snapshot(tmp_path, "new.json", slow)
+        assert compare_bench.main([old, new, "--threshold", "0.75"]) == 0
+
+    def test_new_sections_never_fail(self, tmp_path, capsys):
+        old = _snapshot(tmp_path, "old.json", _base())
+        grown = _base(streaming_engine={"chunked_seconds": 0.5})
+        new = _snapshot(tmp_path, "new.json", grown)
+        assert compare_bench.main([old, new]) == 0
+        assert "only in NEW" in capsys.readouterr().out
+
+    def test_noise_floor_skips_tiny_timings(self, tmp_path):
+        old = _snapshot(tmp_path, "old.json", _base(tiny={"x_seconds": 0.0001}))
+        doubled = _base(tiny={"x_seconds": 0.0004})  # 4x, but both < 5 ms
+        new = _snapshot(tmp_path, "new.json", doubled)
+        assert compare_bench.main([old, new]) == 0
+
+    def test_ratio_built_on_subfloor_timing_not_gated(self, tmp_path):
+        # A speedup whose own case contains a sub-floor timing is noise
+        # squared: a 3x drop must not fail the gate.
+        def snap(speedup):
+            return _base(
+                tiny_case=[{"algorithm": "A", "batched_seconds": 3e-05,
+                            "per_trial_seconds": 0.02, "speedup": speedup}]
+            )
+
+        old = _snapshot(tmp_path, "old.json", snap(300.0))
+        new = _snapshot(tmp_path, "new.json", snap(100.0))
+        assert compare_bench.main([old, new]) == 0
+
+    def test_ratio_with_solid_timings_still_gated(self, tmp_path):
+        def snap(speedup, fast):
+            return _base(
+                solid_case=[{"algorithm": "A", "batched_seconds": fast,
+                             "per_trial_seconds": 2.0, "speedup": speedup}]
+            )
+
+        old = _snapshot(tmp_path, "old.json", snap(100.0, 0.02))
+        new = _snapshot(tmp_path, "new.json", snap(30.0, 0.066))
+        assert compare_bench.main([old, new]) == 1
+
+    def test_quick_refuses_mismatched_profiles(self, tmp_path, capsys):
+        old = _snapshot(tmp_path, "old.json", _base())
+        new = _snapshot(tmp_path, "new.json", _base(quick=True))
+        assert compare_bench.main(["--quick", old, new]) == 2
+        assert "refusing" in capsys.readouterr().out
+
+    def test_quick_threshold_is_lenient(self, tmp_path):
+        old = _snapshot(tmp_path, "old.json", _base())
+        slow = _base()
+        slow["exact_solver"]["mask_dp_seconds"] = 1.8  # +80% < 100%
+        new = _snapshot(tmp_path, "new.json", slow)
+        assert compare_bench.main([old, new]) == 1
+        assert compare_bench.main(["--quick", old, new]) == 0
+
+    @pytest.mark.parametrize("flag", [[], ["--quick"]])
+    def test_committed_snapshots_are_comparable(self, flag):
+        # The repo's own committed snapshots must at least parse and pair.
+        root = Path(__file__).resolve().parent.parent
+        old = root / "BENCH_2026-07-28.json"
+        new = root / "BENCH_2026-07-29.json"
+        code = compare_bench.main([*flag, str(old), str(new)])
+        assert code in (0, 1)  # parses and compares; the gate itself is CI's call
