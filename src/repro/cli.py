@@ -36,6 +36,16 @@ Monte-Carlo estimation runs through the streaming engine
 ``--max-trials`` (the adaptive cap) and ``--jobs`` (shard chunks across
 worker processes, byte-identical to sequential).
 
+Fault tolerance (see README, "Fault tolerance, checkpoints, and
+resume"): ``estimate``/``sweep`` accept ``--retries`` (per-chunk retry
+budget) and ``--chunk-timeout`` (seconds before a chunk's worker is
+declared hung); ``estimate`` adds ``--checkpoint <path>`` (periodic
+crash-safe state) and ``--resume <path>`` (continue a checkpointed run
+byte-identically).  ``sweep`` and ``run`` degrade gracefully by default —
+failed cells/experiments are recorded in the artifact with
+``status``/``error`` and exit nonzero — while ``--fail-fast`` restores
+strict abort-on-first-error behavior.
+
 The module is also usable as ``python -m repro.cli ...``.
 """
 
@@ -138,7 +148,39 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """``estimate --resume``: continue a checkpointed run, self-contained."""
+    from repro.core.engine import resume_stream
+
+    try:
+        result = resume_stream(
+            args.resume,
+            jobs=args.jobs,
+            retries=args.retries,
+            chunk_timeout=args.chunk_timeout,
+            checkpoint_path=args.checkpoint,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    print(f"resumed   : {args.resume}")
+    print(f"algorithm : {result.algorithm}")
+    print(f"inputs    : {result.source}")
+    if result.target_ci is not None:
+        verdict = "reached" if result.reached_target else "NOT reached"
+        print(
+            f"stopping  : target ci95 {result.target_ci:g} {verdict} "
+            f"after {result.n_trials_used} trials (ci95 {result.ci95:.4g})"
+        )
+    print(
+        f"avg probes: {result.mean:.3f} ± {result.ci95:.3f} "
+        f"({result.n_trials_used} trials)"
+    )
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    if args.resume is not None:
+        return _cmd_resume(args)
     system = build_system(args.system, args.size)
     algorithm = (
         default_randomized_algorithm(system)
@@ -164,6 +206,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         or args.chunk_size is not None
         or args.max_trials is not None
         or args.jobs > 1
+        or args.retries is not None
+        or args.chunk_timeout is not None
+        or args.checkpoint is not None
     )
     stream_result = None
     if streaming or args.batched:
@@ -180,6 +225,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                 max_trials=args.max_trials,
                 seed=args.seed,
                 jobs=args.jobs,
+                retries=args.retries,
+                chunk_timeout=args.chunk_timeout,
+                checkpoint_path=args.checkpoint,
             )
         except ValueError as error:
             raise SystemExit(str(error)) from None
@@ -206,6 +254,11 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"estimator : streaming ({kind}, "
             f"chunk {stream_result.chunk_size}{jobs})"
         )
+        if stream_result.retries_used or stream_result.pool_respawns:
+            print(
+                f"recovery  : {stream_result.retries_used} chunk retries, "
+                f"{stream_result.pool_respawns} pool respawns"
+            )
         if stream_result.target_ci is not None:
             verdict = (
                 "reached" if stream_result.reached_target else "NOT reached"
@@ -260,6 +313,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             target_ci=args.target_ci,
             max_trials=args.max_trials,
             jobs=args.jobs,
+            fail_fast=args.fail_fast,
+            retries=args.retries,
+            chunk_timeout=args.chunk_timeout,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -274,6 +330,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     path = write_sweep_artifact(result, output)
     print(f"wrote {path}")
+    failed = result.failed_cells
+    if failed:
+        print(
+            f"ERROR: {len(failed)} of {len(result.cells)} cells failed "
+            "(recorded in the artifact)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -383,14 +447,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     try:
         results = run_experiments(
-            [spec.id for spec in specs], overrides=overrides, jobs=args.jobs
+            [spec.id for spec in specs],
+            overrides=overrides,
+            jobs=args.jobs,
+            fail_fast=args.fail_fast,
         )
     except ValueError as error:
         raise SystemExit(f"invalid parameter value: {error}") from None
 
     total_rows = 0
     total_violations = 0
+    failed = []
     for result in results:
+        if result.status != "ok":
+            failed.append(result)
+            print(f"Experiment {result.spec_id} — {result.title}")
+            print(f"FAILED: {result.error}")
+            print()
+            continue
         print(render_table(result.rows, f"Experiment {result.spec_id} — {result.title}"))
         for line in result.extra:
             print(line)
@@ -413,6 +487,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for path in paths:
             print(f"wrote {path}")
 
+    if failed:
+        names = ", ".join(result.spec_id for result in failed)
+        print(
+            f"\nERROR: {len(failed)} of {len(results)} experiments failed: {names}",
+            file=sys.stderr,
+        )
+        return 1
     if total_violations:
         print(f"\nWARNING: {total_violations} rows violate their paper relation")
         return 1
@@ -457,6 +538,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="shard trial chunks across N worker processes",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-chunk retry budget for worker crashes/timeouts (default 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        dest="chunk_timeout",
+        help="seconds before a chunk's worker is declared hung and respawned",
     )
 
 
@@ -505,6 +599,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="bernoulli",
         help="registered coloring source for the inputs (see `distributions`)",
     )
+    estimate.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write crash-safe run state to this file after every merged chunk",
+    )
+    estimate.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="continue a checkpointed run (self-contained: other flags ignored)",
+    )
     _add_engine_arguments(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
@@ -542,6 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="artifact path (default: sweep_<system>[_rand].json)",
+    )
+    sweep.add_argument(
+        "--fail-fast",
+        action="store_true",
+        dest="fail_fast",
+        help="abort on the first failing cell instead of recording it",
     )
     _add_engine_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
@@ -588,6 +699,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--output",
             default=None,
             help="write JSON artifact(s): a directory, or a .json path for a single id",
+        )
+        run_parser.add_argument(
+            "--fail-fast",
+            action="store_true",
+            dest="fail_fast",
+            help="abort on the first failing experiment instead of recording it",
         )
 
     run = sub.add_parser(

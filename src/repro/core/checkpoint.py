@@ -1,0 +1,231 @@
+"""Crash-safe persistence: atomic file writes and engine checkpoints.
+
+Two concerns live here because they share one durability primitive:
+
+* :func:`atomic_write_text` / :func:`atomic_write_json` — write-to-temp,
+  ``fsync``, then ``os.replace``.  Readers of the target path see either
+  the previous complete file or the new complete file, never a torn
+  write.  Every artifact writer in the repo (experiment artifacts, sweep
+  artifacts, engine checkpoints) goes through these helpers.
+* :class:`EngineCheckpoint` — the serialized state of a streaming
+  estimation run (:mod:`repro.core.engine`).  Because chunks are keyed by
+  ``(seed, start trial)`` and the accumulator is an exact integer
+  histogram, the checkpoint is *complete*: resuming from it re-runs only
+  the not-yet-merged chunks and produces results byte-identical to an
+  uninterrupted run.
+
+Checkpoint loading is strict: a truncated or corrupt file, an unknown
+``kind``, a newer schema version, or a missing field all fail with a
+message naming the file and the offending field — never a raw
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: ``kind`` field of engine checkpoint files.
+CHECKPOINT_KIND = "engine_checkpoint"
+
+#: Version of the engine checkpoint JSON schema.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+# -- atomic writes ----------------------------------------------------------------
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + ``os.replace``).
+
+    A crash at any point leaves either the old file or the new one — a
+    half-written temp file is never visible under the target name.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=destination.parent, prefix=f".{destination.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return destination
+
+
+def atomic_write_json(path: str | Path, payload: Any) -> Path:
+    """Serialize ``payload`` as indented JSON and write it atomically."""
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+# -- strict payload access --------------------------------------------------------
+
+
+def required_field(payload: Mapping[str, Any], key: str, path: str | Path) -> Any:
+    """``payload[key]``, failing with a message naming the file and field."""
+    try:
+        return payload[key]
+    except KeyError:
+        raise ValueError(f"{path}: missing required field {key!r}") from None
+
+
+def load_json_payload(path: str | Path, kind: str) -> dict[str, Any]:
+    """Read a JSON artifact and verify its ``kind``, with clear errors."""
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        raise FileNotFoundError(f"{path}: no such {kind} file") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"{path}: not a valid {kind} file (truncated or corrupt JSON: {error})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a valid {kind} file (expected a JSON object)")
+    found = payload.get("kind")
+    if found != kind:
+        raise ValueError(f"{path}: expected kind {kind!r}, found {found!r}")
+    return payload
+
+
+def check_schema_version(
+    payload: Mapping[str, Any], current: int, path: str | Path, *, legacy_ok: bool = False
+) -> int:
+    """Validate the ``schema`` field against the newest version we read."""
+    if "schema" not in payload:
+        if legacy_ok:
+            return 0
+        raise ValueError(f"{path}: missing required field 'schema'")
+    version = payload["schema"]
+    if not isinstance(version, int):
+        raise ValueError(f"{path}: schema version must be an integer, got {version!r}")
+    if version > current:
+        raise ValueError(
+            f"{path}: written by schema version {version}, "
+            f"but this build reads versions <= {current}"
+        )
+    return version
+
+
+# -- engine checkpoints -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """Durable state of one streaming run at a chunk boundary.
+
+    ``next_start`` is the absolute trial index of the first chunk not yet
+    merged; every preceding chunk's statistics are folded into
+    ``histogram``/``count``/``witness_red``.  The stored configuration
+    (``trials``/``target_ci``/``chunk_size``/guards/``entropy``) is the
+    *resolved* one, so a resumed run reproduces the exact chunk schedule
+    and stopping decisions of the interrupted run.  ``pair_blob`` is the
+    pickled ``(algorithm, source)`` pair — optional, but when present a
+    checkpoint is fully self-contained and ``repro-probe estimate
+    --resume`` needs no other flags.
+    """
+
+    entropy: int
+    mode: str
+    trials: int | None
+    target_ci: float | None
+    chunk_size: int
+    min_trials: int
+    max_trials: int
+    algorithm: str
+    source: str
+    n: int
+    count: int
+    witness_red: int
+    histogram: tuple[int, ...]
+    chunks_merged: int
+    next_start: int
+    complete: bool
+    pair_blob: bytes | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "kind": CHECKPOINT_KIND,
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "entropy": self.entropy,
+            "mode": self.mode,
+            "trials": self.trials,
+            "target_ci": self.target_ci,
+            "chunk_size": self.chunk_size,
+            "min_trials": self.min_trials,
+            "max_trials": self.max_trials,
+            "algorithm": self.algorithm,
+            "source": self.source,
+            "n": self.n,
+            "count": self.count,
+            "witness_red": self.witness_red,
+            "histogram": list(self.histogram),
+            "chunks_merged": self.chunks_merged,
+            "next_start": self.next_start,
+            "complete": self.complete,
+            "pair_blob": (
+                None
+                if self.pair_blob is None
+                else base64.b64encode(self.pair_blob).decode("ascii")
+            ),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, Any], path: str | Path = "<payload>"
+    ) -> "EngineCheckpoint":
+        check_schema_version(payload, CHECKPOINT_SCHEMA_VERSION, path)
+        field = lambda key: required_field(payload, key, path)  # noqa: E731
+        blob = field("pair_blob")
+        return cls(
+            entropy=int(field("entropy")),
+            mode=str(field("mode")),
+            trials=None if field("trials") is None else int(payload["trials"]),
+            target_ci=(
+                None if field("target_ci") is None else float(payload["target_ci"])
+            ),
+            chunk_size=int(field("chunk_size")),
+            min_trials=int(field("min_trials")),
+            max_trials=int(field("max_trials")),
+            algorithm=str(field("algorithm")),
+            source=str(field("source")),
+            n=int(field("n")),
+            count=int(field("count")),
+            witness_red=int(field("witness_red")),
+            histogram=tuple(int(c) for c in field("histogram")),
+            chunks_merged=int(field("chunks_merged")),
+            next_start=int(field("next_start")),
+            complete=bool(field("complete")),
+            pair_blob=None if blob is None else base64.b64decode(blob),
+        )
+
+
+def save_engine_checkpoint(path: str | Path, state: EngineCheckpoint) -> Path:
+    """Write ``state`` durably (atomic replace, fsynced)."""
+    return atomic_write_json(path, state.to_payload())
+
+
+def load_engine_checkpoint(path: str | Path) -> EngineCheckpoint:
+    """Load a checkpoint written by :func:`save_engine_checkpoint`.
+
+    Raises ``ValueError`` with a message naming the file and the missing
+    or unreadable field; never a bare ``KeyError``.
+    """
+    payload = load_json_payload(path, CHECKPOINT_KIND)
+    return EngineCheckpoint.from_payload(payload, path)

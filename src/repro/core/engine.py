@@ -56,6 +56,22 @@ merged in absolute chunk order and the ``target_ci`` stopping rule is
 evaluated after each in-order merge, so speculative chunks computed past
 the stopping point are discarded and the parallel stop point equals the
 sequential one.
+
+Fault tolerance: execution is organized as *chunk leases*.  A
+:class:`ChunkLedger` gives every chunk a bounded retry budget with
+exponential backoff; a worker exception re-runs just that chunk, a lost
+worker (``BrokenProcessPool``) or an expired per-chunk ``chunk_timeout``
+respawns the pool (:meth:`ChunkPool.respawn`) and re-submits only the
+unmerged chunks.  Because chunks are keyed by ``(seed, start)`` and merged
+in absolute order, a recovered run is byte-identical to a fault-free one.
+``checkpoint_path`` serializes the exact-integer accumulator plus the
+lease position durably (tmp + fsync + ``os.replace``) every
+``checkpoint_every`` merges — and on ``KeyboardInterrupt`` — so
+``resume=``/:func:`resume_stream` continues a killed run byte-identically
+from the last durable chunk boundary.  The fault paths are exercised, not
+just claimed: :mod:`repro.testing.faults` injects worker kills, delays,
+kernel errors and interrupts at the ``"chunk"``/``"merge"`` sites wired
+into :func:`_run_chunk` and the merge loop.
 """
 
 from __future__ import annotations
@@ -66,8 +82,10 @@ import pickle
 import time
 from collections import OrderedDict
 from collections.abc import Iterator
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -75,6 +93,7 @@ from repro.algorithms.base import ProbingAlgorithm
 from repro.core.distributions import BernoulliSource, ColoringSource
 from repro.core.estimator import Estimate
 from repro.core.seeding import cell_sequence
+from repro.testing.faults import fire_fault
 
 #: Default number of trials per chunk: large enough to amortize numpy call
 #: overhead, small enough that a chunk's ``(chunk, n)`` matrix stays cache-
@@ -83,6 +102,17 @@ DEFAULT_CHUNK_TRIALS = 4096
 
 #: Default ``max_trials`` guard of the ``target_ci`` stopping mode.
 DEFAULT_MAX_TRIALS = 1_000_000
+
+#: Default per-chunk retry budget: a chunk may fail (worker exception,
+#: lost worker, timeout) this many times before the run gives up.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff, in seconds: attempt ``k`` of a
+#: chunk sleeps ``backoff * 2^(k-1)`` before re-running.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Indirection for tests: retry backoff sleeps go through this hook.
+_sleep = time.sleep
 
 
 @dataclass(frozen=True)
@@ -129,6 +159,14 @@ class MomentAccumulator:
         """The accumulated probe-count histogram (index = probe count)."""
         return self._histogram
 
+    def load_state(
+        self, count: int, witness_red: int, histogram: "Iterator[int] | tuple[int, ...]"
+    ) -> None:
+        """Restore checkpointed totals (resume path); exact, like merging."""
+        self.count = int(count)
+        self.witness_red = int(witness_red)
+        self._histogram = np.asarray(tuple(histogram), dtype=np.int64)
+
     def _exact_sums(self) -> tuple[int, int]:
         """Exact ``(Σ probes, Σ probes²)`` as arbitrary-precision ints."""
         total = 0
@@ -172,7 +210,10 @@ class StreamResult:
     the requested ``trials`` in fixed mode, chosen by the stopping rule in
     ``target_ci`` mode.  ``histogram[v]`` counts trials with probe count
     ``v`` (exact).  ``seconds`` is wall clock and excluded from every
-    determinism claim.
+    determinism claim, as are the fault-recovery counters
+    ``retries_used``/``pool_respawns`` — a recovered run reports how bumpy
+    the ride was, but its statistics are byte-identical to a fault-free
+    run's.
     """
 
     algorithm: str
@@ -188,6 +229,8 @@ class StreamResult:
     target_ci: float | None
     reached_target: bool | None
     seconds: float
+    retries_used: int = 0
+    pool_respawns: int = 0
 
     @property
     def estimate(self) -> Estimate:
@@ -260,6 +303,7 @@ def _run_chunk(
     """Sample and evaluate one chunk; returns O(n) sufficient statistics."""
     from repro.core.batched import batched_or_sequential_run
 
+    fire_fault("chunk", start)
     red = source.sample_matrix(
         source.n, size, _chunk_sample_generator(source, entropy, start)
     )
@@ -310,6 +354,122 @@ def _run_chunk_task(payload) -> ChunkStats:
     return _run_chunk(algorithm, source, entropy, start, size)
 
 
+# -- fault-tolerant pool + chunk leases -------------------------------------------
+
+
+class ChunkPool:
+    """A respawnable worker pool for engine chunks.
+
+    ``ProcessPoolExecutor`` is permanently broken once any worker dies —
+    every in-flight and future submission raises ``BrokenProcessPool``.
+    Recovery therefore means *replacing* the executor, which only the
+    object that owns it can do; this wrapper owns it.  Share one
+    ``ChunkPool`` across many engine runs (``run_sweep`` shares one per
+    grid) and a crash recovered in one cell leaves the pool usable by the
+    next.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("ChunkPool needs at least one worker")
+        self.max_workers = max_workers
+        self.respawns = 0
+        self._executor = ProcessPoolExecutor(max_workers=max_workers)
+
+    def submit(self, fn, /, *args):
+        return self._executor.submit(fn, *args)
+
+    def respawn(self) -> None:
+        """Replace the executor: terminate stragglers, spawn fresh workers.
+
+        Used after ``BrokenProcessPool`` (the old pool is unusable) and
+        after a chunk timeout (a worker may be hung on the chunk and must
+        be killed, or it would keep a core busy forever).
+        """
+        old = self._executor
+        old.shutdown(wait=False, cancel_futures=True)
+        for process in list((getattr(old, "_processes", None) or {}).values()):
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already dead
+                pass
+        self.respawns += 1
+        self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "ChunkPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class _BorrowedPool:
+    """Adapter for a caller-owned raw ``ProcessPoolExecutor``.
+
+    The engine can use it but must not respawn it — the owner holds a
+    reference to the same executor and would keep submitting to the old
+    one.  Worker-crash recovery requires a :class:`ChunkPool`.
+    """
+
+    def __init__(self, executor: ProcessPoolExecutor) -> None:
+        self._executor = executor
+
+    def submit(self, fn, /, *args):
+        return self._executor.submit(fn, *args)
+
+    def respawn(self) -> None:
+        raise RuntimeError(
+            "a worker process died but the engine was handed a raw "
+            "ProcessPoolExecutor it must not respawn; pass a "
+            "repro.core.engine.ChunkPool to enable worker-crash recovery"
+        )
+
+
+class ChunkLedger:
+    """Chunk-lease bookkeeping: bounded retries with exponential backoff.
+
+    Every chunk — keyed by its absolute start trial — may fail at most
+    ``retries`` times; a failure is a worker exception, a lost worker
+    (``BrokenProcessPool`` charges all in-flight leases, since any of them
+    may have killed the worker) or an expired chunk timeout.  Exhausting a
+    budget re-raises the original error unchanged.
+    """
+
+    def __init__(self, retries: int, backoff: float) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"retry backoff must be >= 0, got {backoff}")
+        self.retries = retries
+        self.backoff = backoff
+        self.failures = 0
+        self._attempts: dict[int, int] = {}
+
+    def record_failure(self, start: int, error: BaseException) -> None:
+        """Charge one failed lease for the chunk at ``start``.
+
+        Raises ``error`` itself once the chunk's budget is exhausted, so
+        callers see the true cause (a ``FaultInjected``, the original
+        ``BrokenProcessPool``, ...) rather than a wrapper.
+        """
+        count = self._attempts.get(start, 0) + 1
+        self._attempts[start] = count
+        self.failures += 1
+        if count > self.retries:
+            raise error
+
+    def backoff_seconds(self, start: int) -> float:
+        """Exponential backoff before the chunk's next attempt."""
+        count = self._attempts.get(start, 0)
+        if count == 0 or self.backoff == 0:
+            return 0.0
+        return self.backoff * (2 ** (count - 1))
+
+
 # -- scheduling -------------------------------------------------------------------
 
 
@@ -328,10 +488,15 @@ class _StoppingRule:
         self.min_trials = min_trials
         self.max_trials = max_trials
 
-    def chunk_starts(self, chunk_size: int) -> Iterator[tuple[int, int]]:
-        """Yield ``(start, size)`` chunks in absolute order."""
+    def chunk_starts(self, chunk_size: int, first: int = 0) -> Iterator[tuple[int, int]]:
+        """Yield ``(start, size)`` chunks in absolute order.
+
+        ``first`` resumes the schedule at that absolute trial index; it is
+        always a multiple of ``chunk_size`` (checkpoints land on chunk
+        boundaries), so the resumed layout equals the uninterrupted one.
+        """
         total = self.trials if self.target_ci is None else self.max_trials
-        start = 0
+        start = first
         while start < total:
             yield start, min(chunk_size, total - start)
             start += chunk_size
@@ -381,7 +546,13 @@ def stream_probes(
     max_trials: int | None = None,
     seed: int | None = None,
     jobs: int = 1,
-    executor: ProcessPoolExecutor | None = None,
+    executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    retry_backoff: float | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume=None,
 ) -> StreamResult:
     """Run the streaming engine for one (algorithm, source) pair.
 
@@ -394,10 +565,53 @@ def stream_probes(
     the i.i.d. model at ``p``.  ``jobs > 1`` shards chunks across worker
     processes with results byte-identical to the sequential run (see the
     module docstring for the full seeding contract); callers issuing many
-    engine runs (e.g. the sweep grid) may pass a shared ``executor`` so
-    worker processes are spawned once, not per run — the engine then never
-    shuts the pool down, it only cancels its own not-yet-started chunks.
+    engine runs (e.g. the sweep grid) may pass a shared ``executor`` —
+    preferably a :class:`ChunkPool`, which the engine can respawn after a
+    worker crash — so worker processes are spawned once, not per run; the
+    engine then never shuts the pool down, it only cancels its own
+    not-yet-started chunks.
+
+    Fault tolerance: each chunk has a retry budget of ``retries``
+    (default :data:`DEFAULT_RETRIES`) with exponential backoff
+    (``retry_backoff`` base seconds); worker deaths and chunks that miss
+    ``chunk_timeout`` seconds respawn the pool and re-run only the lost
+    chunks, byte-identically.  ``checkpoint_path`` persists the run state
+    atomically every ``checkpoint_every`` merged chunks and on
+    ``KeyboardInterrupt``; ``resume`` (a checkpoint path or loaded
+    :class:`~repro.core.checkpoint.EngineCheckpoint`) continues such a run
+    from its last durable chunk boundary — the resumed configuration comes
+    from the checkpoint, so the stopping-mode and seeding arguments must
+    be left unset.
     """
+    state = None
+    if resume is not None:
+        from repro.core.checkpoint import EngineCheckpoint, load_engine_checkpoint
+
+        state = (
+            resume
+            if isinstance(resume, EngineCheckpoint)
+            else load_engine_checkpoint(resume)
+        )
+        explicit = {
+            "trials": trials,
+            "target_ci": target_ci,
+            "chunk_size": chunk_size,
+            "min_trials": min_trials,
+            "max_trials": max_trials,
+            "seed": seed,
+        }
+        given = sorted(name for name, value in explicit.items() if value is not None)
+        if given:
+            raise ValueError(
+                "resume restores the run configuration from the checkpoint; "
+                f"don't pass {', '.join(given)}"
+            )
+        trials = state.trials
+        target_ci = state.target_ci
+        chunk_size = state.chunk_size
+        min_trials = state.min_trials
+        max_trials = state.max_trials
+        seed = state.entropy
     if source is None:
         if p is None:
             raise ValueError("pass a failure probability p or a ColoringSource")
@@ -406,6 +620,16 @@ def stream_probes(
         raise ValueError(
             f"source draws over n={source.n}, "
             f"algorithm runs on n={algorithm.system.n}"
+        )
+    if state is not None and (
+        state.algorithm != algorithm.name
+        or state.source != source.name
+        or state.n != source.n
+    ):
+        raise ValueError(
+            f"checkpoint records {state.algorithm} on {state.source} "
+            f"(n={state.n}); resuming with {algorithm.name} on {source.name} "
+            f"(n={source.n})"
         )
     trials = resolve_fixed_trials(trials, target_ci, default=1000)
     if target_ci is None:
@@ -428,53 +652,111 @@ def stream_probes(
         raise ValueError(
             f"need 1 <= min_trials ({min_trials}) <= max_trials ({max_trials})"
         )
+    retries = DEFAULT_RETRIES if retries is None else retries
+    retry_backoff = DEFAULT_RETRY_BACKOFF if retry_backoff is None else retry_backoff
+    if chunk_timeout is not None and chunk_timeout <= 0:
+        raise ValueError("chunk_timeout must be positive (None disables it)")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least one chunk")
 
     entropy = _resolve_entropy(seed)
     rule = _StoppingRule(trials, target_ci, min_trials, max_trials)
+    ledger = ChunkLedger(retries, retry_backoff)
     accumulator = MomentAccumulator()
-    start_time = time.perf_counter()
     chunks_merged = 0
+    next_start = 0
+    if state is not None:
+        accumulator.load_state(state.count, state.witness_red, state.histogram)
+        chunks_merged = state.chunks_merged
+        next_start = state.next_start
 
-    schedule = rule.chunk_starts(chunk_size)
-    if jobs <= 1 and executor is None:
-        for start, size in schedule:
-            accumulator.merge(_run_chunk(algorithm, source, entropy, start, size))
-            chunks_merged += 1
-            if rule.should_stop(accumulator):
-                break
-    else:
-        owned = None if executor is not None else ProcessPoolExecutor(max_workers=jobs)
-        pool = executor if executor is not None else owned
-        blob, token = _pair_payload(algorithm, source)
-        try:
-            window = 2 * max(jobs, 1)
-            pending = []
-            exhausted = False
-            while True:
-                while not exhausted and len(pending) < window:
-                    item = next(schedule, None)
-                    if item is None:
-                        exhausted = True
-                        break
-                    start, size = item
-                    pending.append(
-                        pool.submit(_run_chunk_task, (blob, token, entropy, start, size))
+    pair_blob = None
+    if checkpoint_path is not None:
+        pair_blob, _ = _pair_payload(algorithm, source)
+
+    def write_checkpoint(complete: bool) -> None:
+        if checkpoint_path is None:
+            return
+        from repro.core.checkpoint import EngineCheckpoint, save_engine_checkpoint
+
+        save_engine_checkpoint(
+            checkpoint_path,
+            EngineCheckpoint(
+                entropy=entropy,
+                mode=mode,
+                trials=trials,
+                target_ci=target_ci,
+                chunk_size=chunk_size,
+                min_trials=min_trials,
+                max_trials=max_trials,
+                algorithm=algorithm.name,
+                source=source.name,
+                n=source.n,
+                count=accumulator.count,
+                witness_red=accumulator.witness_red,
+                histogram=tuple(int(c) for c in accumulator.histogram),
+                chunks_merged=chunks_merged,
+                next_start=next_start,
+                complete=complete,
+                pair_blob=pair_blob,
+            ),
+        )
+
+    def absorb(start: int, size: int, stats: ChunkStats) -> bool:
+        """Fold one in-order chunk; True when the stopping rule says stop."""
+        nonlocal chunks_merged, next_start
+        accumulator.merge(stats)
+        chunks_merged += 1
+        next_start = start + size
+        fire_fault("merge", chunks_merged)
+        if chunks_merged % checkpoint_every == 0:
+            write_checkpoint(complete=False)
+        return rule.should_stop(accumulator)
+
+    start_time = time.perf_counter()
+    respawns = 0
+    # A checkpoint marked complete has nothing left to run; an adaptive
+    # resume may likewise already satisfy its tolerance at the restored
+    # state (the interrupted run would have stopped at that very merge).
+    finished = (state is not None and state.complete) or (
+        accumulator.count > 0 and rule.should_stop(accumulator)
+    )
+    try:
+        if not finished:
+            schedule = rule.chunk_starts(chunk_size, first=next_start)
+            if jobs <= 1 and executor is None:
+                _sequential_drive(algorithm, source, entropy, schedule, ledger, absorb)
+            else:
+                if executor is None:
+                    pool: "ChunkPool | _BorrowedPool" = ChunkPool(max_workers=jobs)
+                    owned: ChunkPool | None = pool
+                elif isinstance(executor, ChunkPool):
+                    pool, owned = executor, None
+                else:
+                    pool, owned = _BorrowedPool(executor), None
+                respawns_before = getattr(pool, "respawns", 0)
+                try:
+                    _sharded_drive(
+                        algorithm,
+                        source,
+                        entropy,
+                        schedule,
+                        ledger,
+                        pool,
+                        window=2 * max(jobs, 1),
+                        chunk_timeout=chunk_timeout,
+                        absorb=absorb,
                     )
-                if not pending:
-                    break
-                accumulator.merge(pending.pop(0).result())
-                chunks_merged += 1
-                if rule.should_stop(accumulator):
-                    # Speculative chunks past the stopping point are discarded,
-                    # so the parallel stop point equals the sequential one.
-                    # (Cancel only our own futures: the pool may be shared.)
-                    for future in pending:
-                        future.cancel()
-                    break
-        finally:
-            if owned is not None:
-                owned.shutdown(wait=False, cancel_futures=True)
+                finally:
+                    respawns = getattr(pool, "respawns", 0) - respawns_before
+                    if owned is not None:
+                        owned.shutdown(wait=False)
+    except KeyboardInterrupt:
+        # Leave a durable resume point before propagating the interrupt.
+        write_checkpoint(complete=False)
+        raise
 
+    write_checkpoint(complete=True)
     seconds = time.perf_counter() - start_time
     reached = None if target_ci is None else accumulator.ci95 <= target_ci
     return StreamResult(
@@ -491,6 +773,169 @@ def stream_probes(
         target_ci=target_ci,
         reached_target=reached,
         seconds=seconds,
+        retries_used=ledger.failures,
+        pool_respawns=respawns,
+    )
+
+
+def _sequential_drive(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource,
+    entropy: int,
+    schedule: Iterator[tuple[int, int]],
+    ledger: ChunkLedger,
+    absorb,
+) -> None:
+    """Run chunks in-process, retrying failures against the lease ledger."""
+    for start, size in schedule:
+        while True:
+            try:
+                stats = _run_chunk(algorithm, source, entropy, start, size)
+                break
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                ledger.record_failure(start, error)
+                _sleep(ledger.backoff_seconds(start))
+        if absorb(start, size, stats):
+            return
+
+
+def _sharded_drive(
+    algorithm: ProbingAlgorithm,
+    source: ColoringSource,
+    entropy: int,
+    schedule: Iterator[tuple[int, int]],
+    ledger: ChunkLedger,
+    pool: "ChunkPool | _BorrowedPool",
+    *,
+    window: int,
+    chunk_timeout: float | None,
+    absorb,
+) -> None:
+    """Shard chunks over worker processes with crash/timeout recovery.
+
+    ``pending`` is the live lease list in absolute chunk order; merges
+    only ever happen at its head, so statistics fold in the same order as
+    a sequential run no matter which worker finishes when or how often a
+    chunk is retried.  Three failure shapes are handled:
+
+    * a worker exception re-runs just that chunk (the pool is healthy);
+    * ``BrokenProcessPool`` charges *every* in-flight lease (any of them
+      may have killed the worker), respawns the pool, re-submits all;
+    * a chunk missing ``chunk_timeout`` charges that chunk and respawns
+      too — only killing the worker reclaims a hung chunk.
+    """
+    blob, token = _pair_payload(algorithm, source)
+
+    def submit(start: int, size: int):
+        return pool.submit(_run_chunk_task, (blob, token, entropy, start, size))
+
+    pending: list[list] = []  # [start, size, future] in absolute chunk order
+
+    def recover(error: BaseException, charge_all: bool) -> None:
+        # Charge the lease budgets first (re-raises the original error on
+        # exhaustion), then replace the pool and re-submit every unmerged
+        # chunk — their futures all belonged to the dead pool.
+        head_start = pending[0][0]
+        if charge_all:
+            for lease in pending:
+                ledger.record_failure(lease[0], error)
+        else:
+            ledger.record_failure(head_start, error)
+        pool.respawn()
+        _sleep(ledger.backoff_seconds(head_start))
+        for lease in pending:
+            lease[2] = submit(lease[0], lease[1])
+
+    exhausted = False
+    try:
+        while True:
+            try:
+                while not exhausted and len(pending) < window:
+                    item = next(schedule, None)
+                    if item is None:
+                        exhausted = True
+                        break
+                    # Append before submitting so a submit-time pool break
+                    # still has the lease on the books for recovery.
+                    pending.append([item[0], item[1], None])
+                    pending[-1][2] = submit(item[0], item[1])
+                if not pending:
+                    return
+                start, size, future = pending[0]
+                stats = future.result(timeout=chunk_timeout)
+            except BrokenExecutor as error:
+                recover(error, charge_all=True)
+                continue
+            except FuturesTimeout:
+                recover(
+                    TimeoutError(
+                        f"chunk at trial {start} exceeded "
+                        f"chunk_timeout={chunk_timeout}s"
+                    ),
+                    charge_all=False,
+                )
+                continue
+            except Exception as error:
+                # Task-level failure: the pool is healthy, retry just this
+                # chunk.
+                ledger.record_failure(start, error)
+                _sleep(ledger.backoff_seconds(start))
+                pending[0][2] = submit(start, size)
+                continue
+            pending.pop(0)
+            if absorb(start, size, stats):
+                return
+    finally:
+        # Always drain our own leases — on the stop path *and* on error
+        # paths, shared pool or owned: orphaned speculative chunks would
+        # otherwise keep running (or hold queue slots) after this run is
+        # gone.
+        for lease in pending:
+            if lease[2] is not None:
+                lease[2].cancel()
+
+
+def resume_stream(
+    path: str | Path,
+    *,
+    jobs: int = 1,
+    executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    retry_backoff: float | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+) -> StreamResult:
+    """Continue a checkpointed run from its own serialized state.
+
+    The checkpoint carries the pickled ``(algorithm, source)`` pair, so no
+    other description of the run is needed — this is what
+    ``repro-probe estimate --resume`` calls.  By default the continued run
+    keeps checkpointing to the same file.
+    """
+    from repro.core.checkpoint import load_engine_checkpoint
+
+    state = load_engine_checkpoint(path)
+    if state.pair_blob is None:
+        raise ValueError(
+            f"{path}: checkpoint carries no serialized (algorithm, source) "
+            "pair; resume through stream_probes(resume=...) with the "
+            "original objects instead"
+        )
+    algorithm, source = pickle.loads(state.pair_blob)
+    return stream_probes(
+        algorithm,
+        source,
+        jobs=jobs,
+        executor=executor,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        retry_backoff=retry_backoff,
+        checkpoint_path=Path(path) if checkpoint_path is None else checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=state,
     )
 
 
@@ -506,6 +951,13 @@ def stream_estimate(
     max_trials: int | None = None,
     seed: int | None = None,
     jobs: int = 1,
+    executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    retry_backoff: float | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume=None,
 ) -> Estimate:
     """:func:`stream_probes`, reduced to a plain
     :class:`~repro.core.estimator.Estimate` (``trials`` = trials used)."""
@@ -520,4 +972,11 @@ def stream_estimate(
         max_trials=max_trials,
         seed=seed,
         jobs=jobs,
+        executor=executor,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        retry_backoff=retry_backoff,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     ).estimate

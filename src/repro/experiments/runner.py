@@ -19,7 +19,6 @@ One pipeline for every registered experiment
 
 from __future__ import annotations
 
-import json
 import platform
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -27,11 +26,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.core.checkpoint import (
+    atomic_write_json,
+    check_schema_version,
+    load_json_payload,
+    required_field,
+)
 from repro.experiments.registry import get_spec
 from repro.experiments.report import Row, row_from_dict, row_to_dict, violations
 
-#: Version of the unified artifact JSON schema.
-ARTIFACT_SCHEMA_VERSION = 1
+#: Version of the unified artifact JSON schema.  Version 2 adds the
+#: ``status``/``error`` fields (degraded runs); version-1 artifacts still
+#: load, with status defaulting to ``"ok"``.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: ``kind`` field of unified experiment artifacts.
 ARTIFACT_KIND = "experiment"
@@ -53,7 +60,13 @@ def environment_metadata() -> dict[str, str]:
 
 @dataclass(frozen=True)
 class RunResult:
-    """A completed experiment run: resolved inputs, rows and metadata."""
+    """A completed experiment run: resolved inputs, rows and metadata.
+
+    ``status`` is ``"ok"`` for a run that completed and ``"failed"`` for
+    one whose driver raised under :func:`run_experiments`' degraded mode;
+    a failed run records the error (``"Type: message"``) in ``error`` and
+    carries no rows.
+    """
 
     spec_id: str
     title: str
@@ -62,6 +75,8 @@ class RunResult:
     rows: tuple[Row, ...]
     extra: tuple[str, ...]
     environment: dict[str, str]
+    status: str = "ok"
+    error: str = ""
 
     @property
     def violation_rows(self) -> list[Row]:
@@ -80,20 +95,30 @@ class RunResult:
             "rows": [row_to_dict(row) for row in self.rows],
             "extra": list(self.extra),
             "violations": len(self.violation_rows),
+            "status": self.status,
+            "error": self.error,
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
-        if payload.get("kind") != ARTIFACT_KIND:
-            raise ValueError(f"not an experiment artifact (kind={payload.get('kind')!r})")
+    def from_dict(
+        cls, payload: Mapping[str, Any], path: str | Path = "<payload>"
+    ) -> "RunResult":
+        kind = payload.get("kind")
+        if kind != ARTIFACT_KIND:
+            raise ValueError(
+                f"{path}: expected kind {ARTIFACT_KIND!r}, found {kind!r}"
+            )
+        check_schema_version(payload, ARTIFACT_SCHEMA_VERSION, path, legacy_ok=True)
         return cls(
-            spec_id=payload["id"],
-            title=payload["title"],
+            spec_id=required_field(payload, "id", path),
+            title=required_field(payload, "title", path),
             tags=tuple(payload.get("tags", ())),
             params={k: _untuple(v) for k, v in payload.get("params", {}).items()},
             rows=tuple(row_from_dict(row) for row in payload.get("rows", ())),
             extra=tuple(payload.get("extra", ())),
             environment=dict(payload.get("environment", {})),
+            status=payload.get("status", "ok"),
+            error=payload.get("error", ""),
         )
 
 
@@ -135,26 +160,69 @@ def _run_for_pool(experiment_id: str, overrides: dict[str, Any] | None) -> RunRe
     return run_experiment(experiment_id, overrides, strict=False)
 
 
+def failed_result(experiment_id: str, error: BaseException) -> RunResult:
+    """A ``status="failed"`` placeholder for an experiment whose run raised."""
+    spec = get_spec(experiment_id)
+    return RunResult(
+        spec_id=spec.id,
+        title=spec.title,
+        tags=spec.tags,
+        params={},
+        rows=(),
+        extra=(),
+        environment=environment_metadata(),
+        status="failed",
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
 def run_experiments(
     experiment_ids: Sequence[str],
     overrides: Mapping[str, Any] | None = None,
     jobs: int = 1,
+    fail_fast: bool = False,
 ) -> list[RunResult]:
     """Run several experiments, optionally across ``jobs`` processes.
 
     Results come back in request order.  Parallel runs are bit-identical to
     sequential ones: specs share no RNG state, and every Monte-Carlo cell
     draws from its own parameter-keyed stream.
+
+    Degraded mode (the default): an experiment whose driver raises does
+    not abort the batch — its slot comes back as a ``status="failed"``
+    result carrying the error, and the remaining experiments run normally
+    (they share no state).  Pass ``fail_fast=True`` to re-raise the first
+    error instead.  Unknown experiment ids always raise up front, before
+    anything runs.
     """
     ids = list(experiment_ids)
-    for experiment_id in ids:
-        get_spec(experiment_id)  # fail fast on unknown ids, before forking
     shared = dict(overrides or {})
+    for experiment_id in ids:
+        # Input errors are not runtime faults: unknown ids and unparseable
+        # parameter values raise up front, before anything runs, even in
+        # degraded mode.
+        get_spec(experiment_id).resolve_params(shared, strict=False)
+
+    def guarded(run_one, experiment_id: str) -> RunResult:
+        if fail_fast:
+            return run_one()
+        try:
+            return run_one()
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            return failed_result(experiment_id, error)
+
     if jobs <= 1 or len(ids) <= 1:
-        return [_run_for_pool(experiment_id, shared) for experiment_id in ids]
+        return [
+            guarded(lambda i=i: _run_for_pool(i, shared), i) for i in ids
+        ]
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
         futures = [pool.submit(_run_for_pool, experiment_id, shared) for experiment_id in ids]
-        return [future.result() for future in futures]
+        return [
+            guarded(future.result, experiment_id)
+            for future, experiment_id in zip(futures, ids)
+        ]
 
 
 def artifact_path(result: RunResult, directory: str | Path) -> Path:
@@ -163,11 +231,12 @@ def artifact_path(result: RunResult, directory: str | Path) -> Path:
 
 
 def write_artifact(result: RunResult, path: str | Path) -> Path:
-    """Write one run's JSON artifact and return its path."""
-    destination = Path(path)
-    destination.parent.mkdir(parents=True, exist_ok=True)
-    destination.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
-    return destination
+    """Write one run's JSON artifact atomically and return its path.
+
+    Atomic (tmp + fsync + ``os.replace``): a crash mid-write never leaves
+    a truncated artifact under the target name.
+    """
+    return atomic_write_json(path, result.to_dict())
 
 
 def write_artifacts(results: Sequence[RunResult], directory: str | Path) -> list[Path]:
@@ -176,5 +245,10 @@ def write_artifacts(results: Sequence[RunResult], directory: str | Path) -> list
 
 
 def load_artifact(path: str | Path) -> RunResult:
-    """Load an artifact written by :func:`write_artifact`."""
-    return RunResult.from_dict(json.loads(Path(path).read_text()))
+    """Load an artifact written by :func:`write_artifact`.
+
+    Strict: corrupt JSON, a wrong ``kind``, a newer schema version or a
+    missing field all fail with a message naming the file and the field —
+    never a raw ``KeyError``.
+    """
+    return RunResult.from_dict(load_json_payload(path, ARTIFACT_KIND), path)

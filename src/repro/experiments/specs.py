@@ -181,6 +181,9 @@ def _drive_sweep(
         target_ci=target_ci,
         max_trials=max_trials or None,
     )
+    # Degraded grids: failed cells carry no measurement, so they become
+    # extra lines rather than rows with fabricated zeros.
+    measured = [cell for cell in result.cells if cell.status == "ok"]
     rows = [
         Row(
             experiment=f"sweep-{system}",
@@ -199,18 +202,22 @@ def _drive_sweep(
             },
             note=f"±{cell.ci95:.2f}",
         )
-        for cell in result.cells
+        for cell in measured
     ]
-    kernel = all(cell.batched_kernel for cell in result.cells)
+    kernel = all(cell.batched_kernel for cell in measured)
     extra = [
         f"{len(result.cells)} cells via "
         f"{'vectorized kernel' if kernel else 'per-trial fallback'}",
     ]
     if target_ci is not None:
-        used = sum(cell.n_trials_used for cell in result.cells)
+        used = sum(cell.n_trials_used for cell in measured)
         extra.append(
             f"adaptive stopping (ci95 <= {target_ci:g}) used {used} trials"
         )
+    extra.extend(
+        f"FAILED cell (size={cell.size}, p={cell.p:g}): {cell.error}"
+        for cell in result.failed_cells
+    )
     return DriverResult(rows=rows, extra=tuple(extra))
 
 

@@ -25,9 +25,7 @@ intensity knob.
 from __future__ import annotations
 
 import datetime
-import json
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -36,10 +34,24 @@ from repro.algorithms import (
     default_randomized_algorithm,
 )
 from repro.core.batched import supports_batched
+from repro.core.checkpoint import (
+    atomic_write_json,
+    check_schema_version,
+    load_json_payload,
+    required_field,
+)
 from repro.core.distributions import build_source, canonical_source_name
-from repro.core.engine import resolve_fixed_trials, stream_probes
+from repro.core.engine import ChunkPool, resolve_fixed_trials, stream_probes
 from repro.experiments.seeding import cell_seed
 from repro.systems import build_system
+
+#: ``kind`` field of sweep artifacts.
+SWEEP_KIND = "p_sweep"
+
+#: Version of the sweep artifact JSON schema.  Version 1 adds the
+#: per-cell ``status``/``error`` fields (degraded grids); version-0
+#: (pre-``schema``-field) artifacts still load, with every cell ``"ok"``.
+SWEEP_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,11 @@ class SweepCell:
     ``n_trials_used``), under ``target_ci`` no count was requested and
     ``trials`` records ``n_trials_used`` too, so the field is always the
     number of trials behind the cell's statistics.
+
+    ``status`` is ``"ok"`` for a measured cell and ``"failed"`` for a cell
+    whose run raised; a failed cell carries the error (``"Type: message"``)
+    in ``error`` and zeros in every statistic — consumers must filter on
+    ``status``, not on magic values.
     """
 
     system: str
@@ -64,6 +81,8 @@ class SweepCell:
     batched_kernel: bool
     seconds: float
     n_trials_used: int = 0
+    status: str = "ok"
+    error: str = ""
 
 
 @dataclass(frozen=True)
@@ -88,10 +107,16 @@ class SweepResult:
                 return cell
         raise KeyError(f"no sweep cell at size={size}, p={p}")
 
+    @property
+    def failed_cells(self) -> tuple[SweepCell, ...]:
+        """The cells whose runs raised (degraded-grid mode)."""
+        return tuple(cell for cell in self.cells if cell.status != "ok")
+
     def to_dict(self) -> dict:
         """JSON-ready representation (the artifact payload)."""
         return {
-            "kind": "p_sweep",
+            "kind": SWEEP_KIND,
+            "schema": SWEEP_SCHEMA_VERSION,
             "system": self.system,
             "algorithm": self.algorithm,
             "randomized": self.randomized,
@@ -118,6 +143,9 @@ def run_sweep(
     min_trials: int | None = None,
     max_trials: int | None = None,
     jobs: int = 1,
+    fail_fast: bool = False,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
 ) -> SweepResult:
     """Run a streaming Monte-Carlo sweep over the ``(sizes, ps)`` grid.
 
@@ -142,6 +170,13 @@ def run_sweep(
     actually evaluated (the result's grid-level ``trials`` is 0).
     Algorithms without a registered kernel transparently fall back to the
     per-trial loop, so the sweep works — slowly — for any system.
+
+    Degraded grids: a cell whose run raises does not abort the sweep — the
+    failure is recorded in that cell's ``status``/``error`` fields and the
+    remaining cells run normally (each cell's seed depends only on its own
+    ``(size, p)``, so surviving cells are byte-identical to a clean
+    sub-grid run).  Pass ``fail_fast=True`` to restore strict abort-on-
+    first-error behavior.
     """
     trials = resolve_fixed_trials(trials, target_ci, default=1000)
     if not sizes or not ps:
@@ -152,31 +187,66 @@ def run_sweep(
     cells: list[SweepCell] = []
     algorithm_name = ""
     # One worker pool for the whole grid: spawning processes per cell would
-    # dwarf small cells' compute.
-    executor = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    # dwarf small cells' compute.  A ChunkPool, not a raw executor, so a
+    # worker crash recovered inside one cell leaves the pool usable by the
+    # next.
+    executor = ChunkPool(max_workers=jobs) if jobs > 1 else None
+
+    def failed_cell(size: int, n: int, p: float, error: Exception) -> SweepCell:
+        return SweepCell(
+            system=system_name,
+            size=int(size),
+            n=n,
+            p=float(p),
+            mean=0.0,
+            std=0.0,
+            ci95=0.0,
+            trials=0,
+            batched_kernel=False,
+            seconds=0.0,
+            n_trials_used=0,
+            status="failed",
+            error=f"{type(error).__name__}: {error}",
+        )
+
     try:
         for size in sizes:
-            system = build_system(system_name, size)
-            algorithm = (
-                default_randomized_algorithm(system)
-                if randomized
-                else default_deterministic_algorithm(system)
-            )
+            try:
+                system = build_system(system_name, size)
+                algorithm = (
+                    default_randomized_algorithm(system)
+                    if randomized
+                    else default_deterministic_algorithm(system)
+                )
+            except Exception as error:
+                if fail_fast:
+                    raise
+                # The whole row is unbuildable: every p of this size fails.
+                cells.extend(failed_cell(size, 0, p, error) for p in ps)
+                continue
             algorithm_name = algorithm.name
             for p in ps:
-                source = build_source(distribution, system, p)
-                result = stream_probes(
-                    algorithm,
-                    source,
-                    trials=trials,
-                    target_ci=target_ci,
-                    chunk_size=chunk_size,
-                    min_trials=min_trials,
-                    max_trials=max_trials,
-                    seed=cell_seed(seed, int(size), float(p)),
-                    jobs=jobs,
-                    executor=executor,
-                )
+                try:
+                    source = build_source(distribution, system, p)
+                    result = stream_probes(
+                        algorithm,
+                        source,
+                        trials=trials,
+                        target_ci=target_ci,
+                        chunk_size=chunk_size,
+                        min_trials=min_trials,
+                        max_trials=max_trials,
+                        seed=cell_seed(seed, int(size), float(p)),
+                        jobs=jobs,
+                        executor=executor,
+                        retries=retries,
+                        chunk_timeout=chunk_timeout,
+                    )
+                except Exception as error:
+                    if fail_fast:
+                        raise
+                    cells.append(failed_cell(size, system.n, p, error))
+                    continue
                 cells.append(
                     SweepCell(
                         system=system.name,
@@ -194,7 +264,7 @@ def run_sweep(
                 )
     finally:
         if executor is not None:
-            executor.shutdown()
+            executor.shutdown(wait=False)
     return SweepResult(
         system=system_name,
         algorithm=algorithm_name,
@@ -231,51 +301,66 @@ def render_sweep(result: SweepResult) -> str:
         cells = [result.cell(size, p) for p in result.ps]
         lines.append(
             f"{cells[0].system:<16} {cells[0].n:>6} "
-            + " ".join(f"{c.mean:8.2f}±{c.ci95:<5.2f}" for c in cells)
+            + " ".join(
+                f"{c.mean:8.2f}±{c.ci95:<5.2f}"
+                if c.status == "ok"
+                else f"{'FAILED':>8} {'':<5}"
+                for c in cells
+            )
         )
-    kernel = all(c.batched_kernel for c in result.cells)
-    total = sum(c.seconds for c in result.cells)
+    measured = [c for c in result.cells if c.status == "ok"]
+    kernel = all(c.batched_kernel for c in measured)
+    total = sum(c.seconds for c in measured)
     lines.append("")
     lines.append(
         f"{len(result.cells)} cells in {total:.3f}s "
         f"({'vectorized kernel' if kernel else 'per-trial fallback in use'})"
     )
     if result.target_ci is not None:
-        used = sum(c.n_trials_used for c in result.cells)
+        used = sum(c.n_trials_used for c in measured)
         lines.append(f"adaptive stopping used {used} trials across the grid")
+    for cell in result.failed_cells:
+        lines.append(f"FAILED cell (size={cell.size}, p={cell.p:g}): {cell.error}")
     return "\n".join(lines)
 
 
 def write_sweep_artifact(result: SweepResult, path: str | Path) -> Path:
-    """Write the sweep's JSON artifact and return its path."""
-    destination = Path(path)
+    """Write the sweep's JSON artifact atomically and return its path.
+
+    Atomic (tmp + fsync + ``os.replace``): a crash mid-write never leaves
+    a truncated artifact under the target name.
+    """
     payload = result.to_dict()
     payload["created"] = (
         datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
     )
-    destination.write_text(json.dumps(payload, indent=2) + "\n")
-    return destination
+    return atomic_write_json(path, payload)
 
 
 def load_sweep_artifact(path: str | Path) -> SweepResult:
-    """Load a sweep artifact written by :func:`write_sweep_artifact`."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("kind") != "p_sweep":
-        raise ValueError(f"{path} is not a p_sweep artifact")
+    """Load a sweep artifact written by :func:`write_sweep_artifact`.
+
+    Strict: corrupt JSON, a wrong ``kind``, a newer schema version or a
+    missing field all fail with a message naming the file and the field —
+    never a raw ``KeyError``.  Pre-``schema`` (version-0) artifacts load
+    as all-``"ok"`` grids.
+    """
+    payload = load_json_payload(path, SWEEP_KIND)
+    check_schema_version(payload, SWEEP_SCHEMA_VERSION, path, legacy_ok=True)
     # Legacy (pre-engine) artifacts: every cell used exactly its requested
     # trial count and had no adaptive-stopping tolerance.
     cells = tuple(
         SweepCell(**{"n_trials_used": cell.get("trials", 0), **cell})
-        for cell in payload["cells"]
+        for cell in required_field(payload, "cells", path)
     )
     return SweepResult(
-        system=payload["system"],
-        algorithm=payload["algorithm"],
-        randomized=payload["randomized"],
-        sizes=tuple(payload["sizes"]),
-        ps=tuple(payload["ps"]),
-        trials=payload["trials"],
-        seed=payload["seed"],
+        system=required_field(payload, "system", path),
+        algorithm=required_field(payload, "algorithm", path),
+        randomized=required_field(payload, "randomized", path),
+        sizes=tuple(required_field(payload, "sizes", path)),
+        ps=tuple(required_field(payload, "ps", path)),
+        trials=required_field(payload, "trials", path),
+        seed=required_field(payload, "seed", path),
         cells=cells,
         distribution=payload.get("distribution", "bernoulli"),
         target_ci=payload.get("target_ci"),

@@ -1,0 +1,7 @@
+"""Test-support infrastructure shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used to exercise the fault-tolerant execution layer (worker kills, chunk
+delays, kernel exceptions, interruptions) in tests and CI rather than
+merely claiming recovery works.
+"""

@@ -1,0 +1,301 @@
+"""Fault tolerance of the streaming engine: retries, recovery, resume.
+
+The load-bearing claims (ISSUE 6):
+
+* recovery invariance — under an injected worker kill, a kernel
+  exception or a chunk timeout, a recovered run's statistics are
+  byte-identical to a fault-free run's;
+* bounded budgets — a persistently failing chunk exhausts its retry
+  budget and re-raises the *original* error, with no futures left live
+  on a shared pool (the stranded-speculative-futures fix);
+* interruption semantics — ``KeyboardInterrupt`` mid-run leaves a
+  loadable checkpoint whose resume is bit-for-bit identical to an
+  uninterrupted run, across stopping modes, chunk layouts and job
+  counts; a run killed without cleanup (``os._exit``, like SIGKILL)
+  resumes the same way.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.algorithms import ProbeTree
+from repro.core import engine
+from repro.core.checkpoint import load_engine_checkpoint
+from repro.core.engine import (
+    ChunkLedger,
+    ChunkPool,
+    _BorrowedPool,
+    resume_stream,
+    stream_probes,
+)
+from repro.systems import build_system
+from repro.testing import faults
+from repro.testing.faults import KILL_EXIT_CODE, Fault, FaultInjected
+
+
+@pytest.fixture(autouse=True)
+def _fast_backoff(monkeypatch):
+    """Retries shouldn't sleep for real in tests."""
+    monkeypatch.setattr(engine, "_sleep", lambda seconds: None)
+
+
+def _algorithm():
+    return ProbeTree(build_system("tree", 2))
+
+
+def _baseline(**kwargs):
+    return stream_probes(_algorithm(), p=0.2, trials=64, chunk_size=16, seed=7, **kwargs)
+
+
+def _same_statistics(a, b) -> bool:
+    return (
+        a.mean == b.mean
+        and a.std == b.std
+        and a.histogram == b.histogram
+        and a.witness_red == b.witness_red
+        and a.n_trials_used == b.n_trials_used
+        and a.chunks == b.chunks
+    )
+
+
+class TestLedger:
+    def test_budget_exhaustion_reraises_original_error(self):
+        ledger = ChunkLedger(retries=2, backoff=0.0)
+        boom = RuntimeError("boom")
+        ledger.record_failure(0, boom)
+        ledger.record_failure(0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            ledger.record_failure(0, boom)
+        assert ledger.failures == 3
+
+    def test_budgets_are_per_chunk(self):
+        ledger = ChunkLedger(retries=1, backoff=0.0)
+        ledger.record_failure(0, RuntimeError())
+        ledger.record_failure(16, RuntimeError())  # different chunk: fine
+
+    def test_backoff_grows_exponentially(self):
+        ledger = ChunkLedger(retries=10, backoff=0.05)
+        assert ledger.backoff_seconds(0) == 0.0
+        for expected in (0.05, 0.1, 0.2):
+            ledger.record_failure(0, RuntimeError())
+            assert ledger.backoff_seconds(0) == pytest.approx(expected)
+
+    def test_zero_retries_fails_on_first_error(self):
+        ledger = ChunkLedger(retries=0, backoff=0.0)
+        with pytest.raises(ValueError, match="first"):
+            ledger.record_failure(0, ValueError("first"))
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkLedger(retries=-1, backoff=0.0)
+        with pytest.raises(ValueError):
+            ChunkLedger(retries=0, backoff=-0.5)
+
+
+class TestRecoveryInvariance:
+    def test_sequential_kernel_error_retries_byte_identically(self, tmp_path):
+        base = _baseline()
+        with faults.active_plan([Fault("chunk", 32, "raise")], tmp_path):
+            result = _baseline()
+        assert _same_statistics(result, base)
+        assert result.retries_used == 1
+
+    def test_worker_kill_respawns_and_recovers(self, tmp_path):
+        base = _baseline()
+        with faults.active_plan([Fault("chunk", 16, "kill")], tmp_path):
+            result = _baseline(jobs=2)
+        assert _same_statistics(result, base)
+        assert result.pool_respawns == 1
+        assert result.retries_used >= 1
+
+    def test_chunk_timeout_respawns_and_recovers(self, tmp_path):
+        base = _baseline()
+        with faults.active_plan([Fault("chunk", 0, "delay", seconds=5.0)], tmp_path):
+            result = _baseline(jobs=2, chunk_timeout=0.25)
+        assert _same_statistics(result, base)
+        assert result.pool_respawns == 1
+
+    def test_adaptive_run_recovers_to_same_stop_point(self, tmp_path):
+        algorithm = _algorithm()
+        kwargs = dict(p=0.2, target_ci=0.2, chunk_size=32, seed=11, max_trials=4096)
+        base = stream_probes(algorithm, **kwargs)
+        with faults.active_plan([Fault("chunk", 64, "kill")], tmp_path):
+            result = stream_probes(algorithm, jobs=2, **kwargs)
+        assert _same_statistics(result, base)
+
+    def test_fault_free_runs_report_zero_recovery(self):
+        result = _baseline(jobs=2)
+        assert result.retries_used == 0
+        assert result.pool_respawns == 0
+
+
+class TestFailurePaths:
+    def test_persistent_error_exhausts_budget_sequentially(self, tmp_path):
+        plan = [Fault("chunk", 16, "raise", once=False)]
+        with faults.active_plan(plan, tmp_path):
+            with pytest.raises(FaultInjected):
+                _baseline(retries=1)
+
+    def test_raising_kernel_on_shared_pool_cancels_speculative_futures(
+        self, tmp_path
+    ):
+        """Satellite 2: error under jobs=4 strands no futures, error survives."""
+        submitted = []
+        with ChunkPool(4) as pool:
+            original_submit = pool.submit
+
+            def recording_submit(fn, /, *args):
+                future = original_submit(fn, *args)
+                submitted.append(future)
+                return future
+
+            pool.submit = recording_submit
+            # Key 4 exists only in the chunk_size=4 layout, so workers that
+            # inherited the plan env at fork time cannot re-fire it during
+            # the chunk_size=16 reuse run below.
+            plan = [Fault("chunk", 4, "raise", once=False)]
+            with faults.active_plan(plan, tmp_path):
+                with pytest.raises(FaultInjected):
+                    stream_probes(
+                        _algorithm(), p=0.2, trials=64, chunk_size=4,
+                        seed=7, jobs=4, executor=pool, retries=0,
+                    )
+            pool.submit = original_submit
+            assert submitted, "sharded run must have submitted chunks"
+            # The engine's cleanup cancels its not-yet-started speculative
+            # futures; already-running ones finish their short chunk.  Either
+            # way nothing stays live.
+            from concurrent.futures import wait
+
+            done, not_done = wait(submitted, timeout=30)
+            assert not not_done
+            assert all(future.done() for future in submitted)
+            # The shared pool is still usable and still byte-identical.
+            after = _baseline(jobs=4, executor=pool)
+        assert _same_statistics(after, _baseline())
+
+    def test_borrowed_raw_executor_refuses_respawn(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as raw:
+            with pytest.raises(RuntimeError, match="ChunkPool"):
+                _BorrowedPool(raw).respawn()
+
+    def test_invalid_fault_tolerance_arguments(self):
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            _baseline(chunk_timeout=0.0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            _baseline(checkpoint_every=0)
+        with pytest.raises(ValueError, match="retries"):
+            _baseline(retries=-1)
+
+
+def _interrupt_case(tmp_path, *, jobs, checkpoint, plan_dir, **kwargs):
+    try:
+        with faults.active_plan([Fault("merge", 1, "interrupt")], plan_dir):
+            stream_probes(
+                _algorithm(), p=0.2, seed=7, jobs=jobs,
+                checkpoint_path=checkpoint, **kwargs,
+            )
+    except KeyboardInterrupt:
+        return True
+    return False
+
+
+class TestInterruptionSemantics:
+    """Satellite 4: interrupt → loadable checkpoint → bit-for-bit resume."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize(
+        "mode_kwargs",
+        [
+            {"trials": 12, "chunk_size": 1},
+            {"trials": 12, "chunk_size": 5},       # prime, not dividing 12
+            {"trials": 12, "chunk_size": 12},      # all-in-one
+            {"target_ci": 0.5, "chunk_size": 1, "max_trials": 48},
+            {"target_ci": 0.5, "chunk_size": 5, "max_trials": 48},
+            {"target_ci": 0.5, "chunk_size": 48, "max_trials": 48},
+        ],
+        ids=[
+            "fixed-chunk1", "fixed-prime", "fixed-whole",
+            "adaptive-chunk1", "adaptive-prime", "adaptive-whole",
+        ],
+    )
+    def test_resume_is_bit_identical(self, tmp_path, jobs, mode_kwargs):
+        base = stream_probes(_algorithm(), p=0.2, seed=7, **mode_kwargs)
+        checkpoint = tmp_path / "run.ckpt"
+        interrupted = _interrupt_case(
+            tmp_path,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            plan_dir=tmp_path / "plan",
+            **mode_kwargs,
+        )
+        assert interrupted, "the injected interrupt must fire"
+        state = load_engine_checkpoint(checkpoint)
+        assert not state.complete
+        assert state.next_start % mode_kwargs["chunk_size"] == 0
+        resumed = resume_stream(checkpoint, jobs=jobs)
+        assert _same_statistics(resumed, base)
+        # The final checkpoint is marked complete; resuming again is a no-op
+        # with the same statistics.
+        assert load_engine_checkpoint(checkpoint).complete
+        again = resume_stream(checkpoint)
+        assert _same_statistics(again, base)
+
+    def test_resume_rejects_conflicting_configuration(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        _baseline(checkpoint_path=checkpoint)
+        with pytest.raises(ValueError, match="don't pass.*seed.*trials|trials.*seed"):
+            stream_probes(_algorithm(), resume=checkpoint, trials=10, seed=3)
+
+    def test_resume_rejects_mismatched_pair(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        _baseline(checkpoint_path=checkpoint)
+        other = ProbeTree(build_system("tree", 3))
+        with pytest.raises(ValueError, match="checkpoint records"):
+            stream_probes(other, p=0.2, resume=checkpoint)
+
+    def test_checkpoint_written_without_pair_blob_refuses_cli_resume(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        _baseline(checkpoint_path=checkpoint)
+        faults.drop_json_field(checkpoint, "pair_blob")
+        with pytest.raises(ValueError, match="pair_blob"):
+            resume_stream(checkpoint)
+
+
+class TestCrashResume:
+    def test_process_killed_without_cleanup_resumes_byte_identically(self, tmp_path):
+        """A run dying like SIGKILL resumes from its last durable chunk."""
+        checkpoint = tmp_path / "run.ckpt"
+        plan_path = faults.write_plan([Fault("merge", 2, "kill")], tmp_path / "plan")
+        script = (
+            "from repro.core.engine import stream_probes\n"
+            "from repro.algorithms import ProbeTree\n"
+            "from repro.systems import build_system\n"
+            "stream_probes(ProbeTree(build_system('tree', 2)), p=0.2, trials=64,\n"
+            f"    chunk_size=16, seed=7, checkpoint_path={str(checkpoint)!r},\n"
+            "    checkpoint_every=1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH", "")])
+        )
+        env[faults.ENV_VAR] = str(plan_path)
+        process = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            timeout=120,
+        )
+        assert process.returncode == KILL_EXIT_CODE
+        state = load_engine_checkpoint(checkpoint)
+        assert not state.complete
+        assert state.chunks_merged == 1  # durable point before the kill
+        resumed = resume_stream(checkpoint)
+        assert _same_statistics(resumed, _baseline())

@@ -1,0 +1,169 @@
+"""Graceful degradation of sweeps and experiment batches (ISSUE 6 d).
+
+A poisoned cell or a failing experiment must not abort the grid: the
+failure is recorded in the artifact (``status``/``error``) and every
+other cell's statistics are byte-identical to a clean sub-grid run.
+``fail_fast`` restores strict behavior; artifact writes are atomic and
+loads fail with messages naming the file and field.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import (
+    load_artifact,
+    run_experiment,
+    run_experiments,
+    write_artifact,
+)
+from repro.experiments.sweep import (
+    load_sweep_artifact,
+    render_sweep,
+    run_sweep,
+    write_sweep_artifact,
+)
+from repro.testing.faults import drop_json_field, truncate_file
+
+#: p > 1 makes BernoulliSource raise inside one cell — a natural poison
+#: that leaves every other (size, p) cell untouched.
+POISON_P = 1.5
+
+
+class TestDegradedSweep:
+    def test_poisoned_cell_does_not_abort_the_grid(self):
+        result = run_sweep("tree", sizes=[2, 3], ps=[0.2, POISON_P], trials=32, seed=5)
+        assert len(result.cells) == 4
+        failed = result.failed_cells
+        assert {(c.size, c.p) for c in failed} == {(2, POISON_P), (3, POISON_P)}
+        for cell in failed:
+            assert cell.status == "failed"
+            assert "ValueError" in cell.error and "1.5" in cell.error
+            assert cell.n_trials_used == 0
+
+    def test_surviving_cells_match_a_clean_subgrid_run(self):
+        from dataclasses import replace
+
+        degraded = run_sweep(
+            "tree", sizes=[2, 3], ps=[0.2, POISON_P], trials=32, seed=5
+        )
+        clean = run_sweep("tree", sizes=[2, 3], ps=[0.2], trials=32, seed=5)
+        for size in (2, 3):
+            survivor = replace(degraded.cell(size, 0.2), seconds=0.0)
+            reference = replace(clean.cell(size, 0.2), seconds=0.0)
+            assert survivor == reference  # wall clock aside, byte-identical
+
+    def test_fail_fast_restores_strict_behavior(self):
+        with pytest.raises(ValueError, match="failure probability"):
+            run_sweep(
+                "tree", sizes=[2], ps=[POISON_P], trials=8, seed=5, fail_fast=True
+            )
+
+    def test_unbuildable_size_fails_every_p_of_that_row(self):
+        result = run_sweep(
+            "majority", sizes=[-3, 9], ps=[0.2, 0.4], trials=8, seed=5
+        )
+        assert {(c.size, c.p) for c in result.failed_cells} == {
+            (-3, 0.2),
+            (-3, 0.4),
+        }
+        assert all(cell.status == "ok" for cell in result.cells if cell.size == 9)
+
+    def test_degraded_artifact_round_trips(self, tmp_path):
+        result = run_sweep("tree", sizes=[2], ps=[0.2, POISON_P], trials=16, seed=5)
+        path = write_sweep_artifact(result, tmp_path / "sweep.json")
+        loaded = load_sweep_artifact(path)
+        assert loaded == result
+        assert len(loaded.failed_cells) == 1
+
+    def test_render_marks_failed_cells(self):
+        result = run_sweep("tree", sizes=[2], ps=[0.2, POISON_P], trials=16, seed=5)
+        text = render_sweep(result)
+        assert "FAILED" in text
+        assert "ValueError" in text
+
+
+class TestDegradedRunner:
+    def test_failing_experiment_is_recorded_not_raised(self):
+        # An unregistered distribution fails inside the driver, at runtime.
+        results = run_experiments(
+            ["maj3", "sweep-tree"],
+            overrides={"distribution": "no-such-source", "trials": 8},
+        )
+        by_id = {result.spec_id: result for result in results}
+        assert by_id["maj3"].status == "ok"
+        failed = by_id["sweep-tree"]
+        assert failed.status == "failed"
+        assert "no-such-source" in failed.error
+        assert failed.rows == ()
+
+    def test_fail_fast_reraises_the_driver_error(self):
+        with pytest.raises(ValueError, match="no-such-source"):
+            run_experiments(
+                ["sweep-tree"],
+                overrides={"distribution": "no-such-source", "trials": 8},
+                fail_fast=True,
+            )
+
+    def test_bad_parameter_values_raise_up_front_even_degraded(self):
+        with pytest.raises(ValueError):
+            run_experiments(["sweep-tree"], overrides={"trials": "abc"})
+
+    def test_failed_result_round_trips_through_artifact(self, tmp_path):
+        (result,) = run_experiments(
+            ["sweep-tree"], overrides={"distribution": "no-such-source", "trials": 8}
+        )
+        path = write_artifact(result, tmp_path / "failed.json")
+        loaded = load_artifact(path)
+        assert loaded.status == "failed"
+        assert loaded.error == result.error
+
+
+class TestArtifactRobustness:
+    def test_artifact_write_is_atomic(self, tmp_path):
+        result = run_experiment("maj3")
+        path = write_artifact(result, tmp_path / "maj3.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["maj3.json"]
+        assert json.loads(path.read_text())["id"] == "maj3"
+
+    def test_truncated_artifact_names_the_file(self, tmp_path):
+        path = write_artifact(run_experiment("maj3"), tmp_path / "maj3.json")
+        truncate_file(path, 25)
+        with pytest.raises(ValueError, match="maj3.json.*truncated or corrupt"):
+            load_artifact(path)
+
+    def test_missing_field_names_file_and_field(self, tmp_path):
+        path = write_artifact(run_experiment("maj3"), tmp_path / "maj3.json")
+        drop_json_field(path, "id")
+        with pytest.raises(ValueError, match=r"maj3.json.*'id'"):
+            load_artifact(path)
+
+    def test_newer_schema_version_is_rejected(self, tmp_path):
+        path = write_artifact(run_experiment("maj3"), tmp_path / "maj3.json")
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="999"):
+            load_artifact(path)
+
+    def test_wrong_kind_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "p_sweep"}')
+        with pytest.raises(ValueError, match="expected kind 'experiment'"):
+            load_artifact(path)
+
+    def test_truncated_sweep_artifact_is_a_clear_error(self, tmp_path):
+        result = run_sweep("tree", sizes=[2], ps=[0.2], trials=8, seed=5)
+        path = write_sweep_artifact(result, tmp_path / "sweep.json")
+        truncate_file(path, 30)
+        with pytest.raises(ValueError, match="sweep.json.*truncated or corrupt"):
+            load_sweep_artifact(path)
+
+    def test_sweep_missing_field_names_file_and_field(self, tmp_path):
+        result = run_sweep("tree", sizes=[2], ps=[0.2], trials=8, seed=5)
+        path = write_sweep_artifact(result, tmp_path / "sweep.json")
+        drop_json_field(path, "cells")
+        with pytest.raises(ValueError, match=r"sweep.json.*'cells'"):
+            load_sweep_artifact(path)

@@ -24,6 +24,7 @@ from repro.experiments.registry import (
     specs_for_tag,
 )
 from repro.experiments.runner import (
+    ARTIFACT_SCHEMA_VERSION,
     load_artifact,
     run_experiment,
     run_experiments,
@@ -158,7 +159,7 @@ class TestRunner:
         path = write_artifact(result, tmp_path / "tree.json")
         payload = json.loads(path.read_text())
         assert payload["kind"] == "experiment" and payload["id"] == "tree"
-        assert payload["schema"] == 1
+        assert payload["schema"] == ARTIFACT_SCHEMA_VERSION
         assert isinstance(payload["violations"], int)
         loaded = load_artifact(path)
         assert loaded.rows == result.rows
