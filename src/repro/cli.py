@@ -10,6 +10,8 @@ writing Python:
 * ``repro-probe probe``            — run one probing episode on a random coloring
 * ``repro-probe estimate``         — Monte-Carlo PPC estimate vs the paper bound
 * ``repro-probe sweep``            — batched (p, n) grid sweep + JSON artifact
+* ``repro-probe worker``           — serve chunk leases to a distributed
+  coordinator (``estimate``/``sweep --workers``)
 * ``repro-probe table1``           — regenerate Table 1
 * ``repro-probe list``             — list the registered experiments
 * ``repro-probe run <id>``         — run registered experiments through the
@@ -41,10 +43,19 @@ resume"): ``estimate``/``sweep`` accept ``--retries`` (per-chunk retry
 budget) and ``--chunk-timeout`` (seconds before a chunk's worker is
 declared hung); ``estimate`` adds ``--checkpoint <path>`` (periodic
 crash-safe state) and ``--resume <path>`` (continue a checkpointed run
-byte-identically).  ``sweep`` and ``run`` degrade gracefully by default —
-failed cells/experiments are recorded in the artifact with
+byte-identically), and ``sweep`` the grid-level equivalents (skip
+completed cells on resume).  ``sweep`` and ``run`` degrade gracefully by
+default — failed cells/experiments are recorded in the artifact with
 ``status``/``error`` and exit nonzero — while ``--fail-fast`` restores
 strict abort-on-first-error behavior.
+
+Distributed execution (see README, "Distributed workers"):
+``estimate``/``sweep`` accept ``--workers HOST:PORT[,...]`` (bind a
+coordinator and lease chunks to workers dialing in with
+``repro-probe worker --connect HOST:PORT``) or ``--spawn-workers N``
+(loopback workers), plus ``--min-workers``, ``--lease-timeout`` and
+``--no-local-fallback``; distributed runs are byte-identical to
+``--jobs 1``.
 
 The module is also usable as ``python -m repro.cli ...``.
 """
@@ -53,7 +64,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 
 from repro.algorithms import default_deterministic_algorithm, default_randomized_algorithm
 from repro.core.coloring import Coloring
@@ -148,20 +160,98 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _distributed_coordinator(args: argparse.Namespace) -> Iterator:
+    """Coordinator lifecycle for ``--workers``/``--spawn-workers`` commands.
+
+    Yields ``None`` when the command is not distributed; otherwise binds
+    the coordinator, optionally spawns loopback workers, waits for the
+    expected head count (a loud error if they don't show up), and tears
+    everything down — shutdown frames to workers, reaped child processes —
+    when the block ends.
+    """
+    addresses = getattr(args, "workers", None)
+    spawn = getattr(args, "spawn_workers", 0)
+    if not addresses and not spawn:
+        yield None
+        return
+    from repro.distributed import Coordinator, shutdown_workers, spawn_local_workers
+
+    bind = (
+        [entry.strip() for entry in addresses.split(",") if entry.strip()]
+        if addresses
+        else [("127.0.0.1", 0)]
+    )
+    kwargs = {"local_fallback": not args.no_local_fallback}
+    if args.lease_timeout is not None:
+        kwargs["lease_timeout"] = args.lease_timeout
+    try:
+        coordinator = Coordinator(bind, **kwargs)
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error)) from None
+    processes = []
+    try:
+        for host, port in coordinator.addresses:
+            print(f"coordinator listening on {host}:{port}", file=sys.stderr)
+        if spawn:
+            processes = spawn_local_workers(spawn, coordinator.addresses[0])
+        expected = args.min_workers if args.min_workers is not None else (spawn or 1)
+        try:
+            coordinator.wait_for_workers(expected, timeout=60.0)
+        except TimeoutError as error:
+            raise SystemExit(str(error)) from None
+        yield coordinator
+    finally:
+        coordinator.close()
+        if processes:
+            shutdown_workers(processes)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``worker --connect``: serve chunk leases to a coordinator."""
+    from repro.distributed import (
+        DEFAULT_HEARTBEAT_INTERVAL,
+        DEFAULT_RECONNECT_FOR,
+        run_worker,
+    )
+
+    try:
+        return run_worker(
+            args.connect,
+            heartbeat_interval=(
+                DEFAULT_HEARTBEAT_INTERVAL
+                if args.heartbeat_interval is None
+                else args.heartbeat_interval
+            ),
+            reconnect_for=(
+                DEFAULT_RECONNECT_FOR
+                if args.reconnect_for is None
+                else args.reconnect_for
+            ),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     """``estimate --resume``: continue a checkpointed run, self-contained."""
     from repro.core.engine import resume_stream
+    from repro.distributed import DistributedError
 
     try:
-        result = resume_stream(
-            args.resume,
-            jobs=args.jobs,
-            retries=args.retries,
-            chunk_timeout=args.chunk_timeout,
-            checkpoint_path=args.checkpoint,
-        )
+        with _distributed_coordinator(args) as coordinator:
+            result = resume_stream(
+                args.resume,
+                jobs=args.jobs,
+                coordinator=coordinator,
+                retries=args.retries,
+                chunk_timeout=args.chunk_timeout,
+                checkpoint_path=args.checkpoint,
+            )
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(str(error)) from None
+    except DistributedError as error:
+        raise SystemExit(f"{type(error).__name__}: {error}") from None
     print(f"resumed   : {args.resume}")
     print(f"algorithm : {result.algorithm}")
     print(f"inputs    : {result.source}")
@@ -209,28 +299,35 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         or args.retries is not None
         or args.chunk_timeout is not None
         or args.checkpoint is not None
+        or args.workers is not None
+        or args.spawn_workers > 0
     )
     stream_result = None
     if streaming or args.batched:
         from repro.core.engine import stream_probes
+        from repro.distributed import DistributedError
 
         try:
-            stream_result = stream_probes(
-                algorithm,
-                source,
-                p=args.p,
-                trials=args.trials,
-                target_ci=args.target_ci,
-                chunk_size=args.chunk_size,
-                max_trials=args.max_trials,
-                seed=args.seed,
-                jobs=args.jobs,
-                retries=args.retries,
-                chunk_timeout=args.chunk_timeout,
-                checkpoint_path=args.checkpoint,
-            )
+            with _distributed_coordinator(args) as coordinator:
+                stream_result = stream_probes(
+                    algorithm,
+                    source,
+                    p=args.p,
+                    trials=args.trials,
+                    target_ci=args.target_ci,
+                    chunk_size=args.chunk_size,
+                    max_trials=args.max_trials,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    coordinator=coordinator,
+                    retries=args.retries,
+                    chunk_timeout=args.chunk_timeout,
+                    checkpoint_path=args.checkpoint,
+                )
         except ValueError as error:
             raise SystemExit(str(error)) from None
+        except DistributedError as error:
+            raise SystemExit(f"{type(error).__name__}: {error}") from None
         estimate = stream_result.estimate
     else:
         estimate = estimate_average_probes(
@@ -254,10 +351,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"estimator : streaming ({kind}, "
             f"chunk {stream_result.chunk_size}{jobs})"
         )
-        if stream_result.retries_used or stream_result.pool_respawns:
+        if (
+            stream_result.retries_used
+            or stream_result.pool_respawns
+            or stream_result.worker_reassignments
+        ):
             print(
                 f"recovery  : {stream_result.retries_used} chunk retries, "
-                f"{stream_result.pool_respawns} pool respawns"
+                f"{stream_result.pool_respawns} pool respawns, "
+                f"{stream_result.worker_reassignments} lease reassignments"
             )
         if stream_result.target_ci is not None:
             verdict = (
@@ -297,28 +399,52 @@ def _parse_float_list(text: str) -> list[float]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweep import render_sweep, run_sweep, write_sweep_artifact
+    from repro.distributed import DistributedError
+    from repro.experiments.sweep import (
+        render_sweep,
+        resume_sweep,
+        run_sweep,
+        write_sweep_artifact,
+    )
 
     _reject_trials_with_target_ci(args)
     try:
-        result = run_sweep(
-            args.system,
-            sizes=args.sizes,
-            ps=args.ps,
-            trials=args.trials,
-            seed=args.seed,
-            randomized=args.randomized,
-            distribution=args.distribution,
-            chunk_size=args.chunk_size,
-            target_ci=args.target_ci,
-            max_trials=args.max_trials,
-            jobs=args.jobs,
-            fail_fast=args.fail_fast,
-            retries=args.retries,
-            chunk_timeout=args.chunk_timeout,
-        )
-    except ValueError as error:
+        with _distributed_coordinator(args) as coordinator:
+            if args.resume is not None:
+                # Self-contained: the grid definition comes from the
+                # checkpoint; only execution knobs apply here.
+                result = resume_sweep(
+                    args.resume,
+                    jobs=args.jobs,
+                    fail_fast=args.fail_fast,
+                    retries=args.retries,
+                    chunk_timeout=args.chunk_timeout,
+                    coordinator=coordinator,
+                    checkpoint_path=args.checkpoint,
+                )
+            else:
+                result = run_sweep(
+                    args.system,
+                    sizes=args.sizes,
+                    ps=args.ps,
+                    trials=args.trials,
+                    seed=args.seed,
+                    randomized=args.randomized,
+                    distribution=args.distribution,
+                    chunk_size=args.chunk_size,
+                    target_ci=args.target_ci,
+                    max_trials=args.max_trials,
+                    jobs=args.jobs,
+                    fail_fast=args.fail_fast,
+                    retries=args.retries,
+                    chunk_timeout=args.chunk_timeout,
+                    coordinator=coordinator,
+                    checkpoint_path=args.checkpoint,
+                )
+    except (FileNotFoundError, ValueError) as error:
         raise SystemExit(str(error)) from None
+    except DistributedError as error:
+        raise SystemExit(f"{type(error).__name__}: {error}") from None
     print(render_sweep(result))
     # The default artifact name encodes every result-changing axis so two
     # sweeps of the same system cannot silently overwrite each other.
@@ -326,7 +452,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "" if result.distribution == "bernoulli" else f"_{result.distribution}"
     )
     output = args.output or (
-        f"sweep_{args.system}{'_rand' if args.randomized else ''}{inputs_suffix}.json"
+        f"sweep_{result.system}{'_rand' if result.randomized else ''}{inputs_suffix}.json"
     )
     path = write_sweep_artifact(result, output)
     print(f"wrote {path}")
@@ -554,6 +680,49 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_distributed_arguments(parser: argparse.ArgumentParser) -> None:
+    """The distributed-backend knobs shared by ``estimate`` and ``sweep``."""
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT[,...]",
+        help="run distributed: bind a coordinator on these addresses and "
+        "lease chunks to workers dialing in via `repro-probe worker --connect`",
+    )
+    parser.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        dest="spawn_workers",
+        metavar="N",
+        help="run distributed: spawn N loopback worker processes",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        dest="min_workers",
+        metavar="N",
+        help="wait for N connected workers before starting "
+        "(default: the --spawn-workers count, else 1)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        dest="lease_timeout",
+        help="seconds without a heartbeat before a worker's lease is "
+        "reassigned (default 10)",
+    )
+    parser.add_argument(
+        "--no-local-fallback",
+        action="store_true",
+        dest="no_local_fallback",
+        help="fail with AllWorkersLostError instead of computing locally "
+        "when every worker is gone",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -611,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="continue a checkpointed run (self-contained: other flags ignored)",
     )
     _add_engine_arguments(estimate)
+    _add_distributed_arguments(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     sweep = sub.add_parser(
@@ -654,8 +824,46 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fail_fast",
         help="abort on the first failing cell instead of recording it",
     )
+    sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write grid-resume state to this file after every measured cell",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="CKPT",
+        help="continue a checkpointed sweep, skipping completed cells "
+        "(self-contained: grid flags ignored)",
+    )
     _add_engine_arguments(sweep)
+    _add_distributed_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    worker = sub.add_parser(
+        "worker", help="serve chunk leases to a distributed coordinator"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to dial (an estimate/sweep run with --workers)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        dest="heartbeat_interval",
+        help="seconds between lease heartbeats while computing (default 1)",
+    )
+    worker.add_argument(
+        "--reconnect-for",
+        type=float,
+        default=None,
+        dest="reconnect_for",
+        help="seconds of failed reconnection attempts before giving up (default 10)",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--maj-n", type=int, default=101, dest="maj_n")

@@ -83,6 +83,7 @@ import time
 from collections import OrderedDict
 from collections.abc import Iterator
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
@@ -211,9 +212,9 @@ class StreamResult:
     ``target_ci`` mode.  ``histogram[v]`` counts trials with probe count
     ``v`` (exact).  ``seconds`` is wall clock and excluded from every
     determinism claim, as are the fault-recovery counters
-    ``retries_used``/``pool_respawns`` — a recovered run reports how bumpy
-    the ride was, but its statistics are byte-identical to a fault-free
-    run's.
+    ``retries_used``/``pool_respawns``/``worker_reassignments`` — a
+    recovered run reports how bumpy the ride was, but its statistics are
+    byte-identical to a fault-free run's.
     """
 
     algorithm: str
@@ -231,6 +232,7 @@ class StreamResult:
     seconds: float
     retries_used: int = 0
     pool_respawns: int = 0
+    worker_reassignments: int = 0
 
     @property
     def estimate(self) -> Estimate:
@@ -249,6 +251,32 @@ class StreamResult:
     def failure_rate(self) -> float:
         """Fraction of trials whose witness was red (no live quorum)."""
         return self.witness_red / self.n_trials_used
+
+
+#: Active recovery collectors (see :func:`collect_recovery`); every
+#: finished :func:`stream_probes` run adds its counters to each of them.
+_RECOVERY_COLLECTORS: list[dict] = []
+
+#: Counter keys a recovery collector accumulates.
+RECOVERY_KEYS = ("retries_used", "pool_respawns", "worker_reassignments")
+
+
+@contextmanager
+def collect_recovery() -> Iterator[dict]:
+    """Accumulate recovery counters of every engine run inside the block.
+
+    Yields a dict with :data:`RECOVERY_KEYS`; each :func:`stream_probes`
+    completion adds its ``retries_used``/``pool_respawns``/
+    ``worker_reassignments`` into it.  Used by the experiment and sweep
+    runners to persist recovery statistics in artifacts without threading
+    the counters through every ``ExperimentSpec.run`` signature.
+    """
+    totals = dict.fromkeys(RECOVERY_KEYS, 0)
+    _RECOVERY_COLLECTORS.append(totals)
+    try:
+        yield totals
+    finally:
+        _RECOVERY_COLLECTORS.remove(totals)
 
 
 # -- chunk execution --------------------------------------------------------------
@@ -547,6 +575,7 @@ def stream_probes(
     seed: int | None = None,
     jobs: int = 1,
     executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    coordinator=None,
     retries: int | None = None,
     chunk_timeout: float | None = None,
     retry_backoff: float | None = None,
@@ -569,7 +598,10 @@ def stream_probes(
     preferably a :class:`ChunkPool`, which the engine can respawn after a
     worker crash — so worker processes are spawned once, not per run; the
     engine then never shuts the pool down, it only cancels its own
-    not-yet-started chunks.
+    not-yet-started chunks.  A ``coordinator``
+    (:class:`repro.distributed.Coordinator`) is the third backend: chunks
+    are leased to networked workers instead, still byte-identical to
+    ``jobs=1`` (mutually exclusive with ``jobs > 1``/``executor``).
 
     Fault tolerance: each chunk has a retry budget of ``retries``
     (default :data:`DEFAULT_RETRIES`) with exponential backoff
@@ -652,6 +684,11 @@ def stream_probes(
         raise ValueError(
             f"need 1 <= min_trials ({min_trials}) <= max_trials ({max_trials})"
         )
+    if coordinator is not None and (jobs > 1 or executor is not None):
+        raise ValueError(
+            "a distributed coordinator replaces the process pool; pass "
+            "either coordinator or jobs/executor, not both"
+        )
     retries = DEFAULT_RETRIES if retries is None else retries
     retry_backoff = DEFAULT_RETRY_BACKOFF if retry_backoff is None else retry_backoff
     if chunk_timeout is not None and chunk_timeout <= 0:
@@ -715,6 +752,7 @@ def stream_probes(
 
     start_time = time.perf_counter()
     respawns = 0
+    reassignments = 0
     # A checkpoint marked complete has nothing left to run; an adaptive
     # resume may likewise already satisfy its tolerance at the restored
     # state (the interrupted run would have stopped at that very merge).
@@ -724,7 +762,23 @@ def stream_probes(
     try:
         if not finished:
             schedule = rule.chunk_starts(chunk_size, first=next_start)
-            if jobs <= 1 and executor is None:
+            if coordinator is not None:
+                from repro.distributed.coordinator import distributed_drive
+
+                reassigned_before = coordinator.reassignments
+                try:
+                    distributed_drive(
+                        algorithm,
+                        source,
+                        entropy,
+                        schedule,
+                        ledger,
+                        coordinator,
+                        absorb=absorb,
+                    )
+                finally:
+                    reassignments = coordinator.reassignments - reassigned_before
+            elif jobs <= 1 and executor is None:
                 _sequential_drive(algorithm, source, entropy, schedule, ledger, absorb)
             else:
                 if executor is None:
@@ -759,7 +813,7 @@ def stream_probes(
     write_checkpoint(complete=True)
     seconds = time.perf_counter() - start_time
     reached = None if target_ci is None else accumulator.ci95 <= target_ci
-    return StreamResult(
+    result = StreamResult(
         algorithm=algorithm.name,
         source=source.name,
         mode=mode,
@@ -775,7 +829,12 @@ def stream_probes(
         seconds=seconds,
         retries_used=ledger.failures,
         pool_respawns=respawns,
+        worker_reassignments=reassignments,
     )
+    for totals in _RECOVERY_COLLECTORS:
+        for key in RECOVERY_KEYS:
+            totals[key] += getattr(result, key)
+    return result
 
 
 def _sequential_drive(
@@ -902,6 +961,7 @@ def resume_stream(
     *,
     jobs: int = 1,
     executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    coordinator=None,
     retries: int | None = None,
     chunk_timeout: float | None = None,
     retry_backoff: float | None = None,
@@ -930,6 +990,7 @@ def resume_stream(
         source,
         jobs=jobs,
         executor=executor,
+        coordinator=coordinator,
         retries=retries,
         chunk_timeout=chunk_timeout,
         retry_backoff=retry_backoff,
@@ -952,6 +1013,7 @@ def stream_estimate(
     seed: int | None = None,
     jobs: int = 1,
     executor: "ProcessPoolExecutor | ChunkPool | None" = None,
+    coordinator=None,
     retries: int | None = None,
     chunk_timeout: float | None = None,
     retry_backoff: float | None = None,
@@ -973,6 +1035,7 @@ def stream_estimate(
         seed=seed,
         jobs=jobs,
         executor=executor,
+        coordinator=coordinator,
         retries=retries,
         chunk_timeout=chunk_timeout,
         retry_backoff=retry_backoff,

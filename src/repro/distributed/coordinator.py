@@ -1,0 +1,514 @@
+"""Coordinator side of the networked chunk-lease protocol.
+
+A :class:`Coordinator` listens for workers (they dial in with
+``repro-probe worker --connect HOST:PORT``) and :func:`distributed_drive`
+plugs the connected pool into the streaming engine as a third execution
+backend beside in-process and ``ProcessPoolExecutor`` — the engine's
+``ChunkLedger`` retry/backoff semantics, stopping rules, checkpoints and
+merge order are all reused unchanged, so a distributed run is
+byte-identical to ``jobs=1``.
+
+Concurrency model: one daemon accept thread per listening socket and one
+daemon reader thread per worker push events (``connect``/``disconnect``/
+``result``/``error``/``heartbeat``) onto a queue; the *drive loop* — the
+caller's thread, inside :func:`repro.core.engine.stream_probes` — is the
+only consumer and the only place leases are granted, expired, merged or
+retried.  All determinism-relevant state is therefore single-threaded.
+
+Failure handling, per lease:
+
+* worker ``error`` frame — charge that chunk's retry budget, re-lease it;
+* worker disconnect (EOF, reset, corrupt frame) — charge and re-lease
+  every chunk that worker held;
+* missed heartbeats (``lease_timeout`` with no beat) — the worker is hung
+  or partitioned: drop its connection and re-lease its chunks (if it was
+  merely partitioned it reconnects as a fresh worker);
+* all workers gone — compute chunks locally in-process
+  (``local_fallback``, the default) so the run degrades down to
+  ``jobs=1`` behavior instead of dying; with the fallback disabled, raise
+  :class:`AllWorkersLostError`.
+
+Late or duplicated results are harmless: results are keyed by the run id
+and the chunk's absolute start trial, chunks are deterministic in
+``(seed, start)``, and a result for an unknown or already-completed lease
+is discarded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.core import engine
+from repro.distributed import protocol
+
+
+class DistributedError(RuntimeError):
+    """Base class of coordinator-side distributed-execution failures."""
+
+
+class AllWorkersLostError(DistributedError):
+    """Every worker is gone and the local fallback is disabled."""
+
+
+class WorkerChunkError(DistributedError):
+    """A worker's kernel raised while computing a leased chunk."""
+
+
+class _Lease:
+    """One outstanding chunk lease (drive-loop private)."""
+
+    __slots__ = ("start", "size", "worker", "deadline", "stats")
+
+    def __init__(self, start: int, size: int) -> None:
+        self.start = start
+        self.size = size
+        self.worker: "WorkerLink | None" = None
+        self.deadline: float | None = None
+        self.stats = None
+
+
+class WorkerLink:
+    """One connected worker: socket, reader thread, per-connection state."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        name: str,
+        ident: int,
+        coordinator: "Coordinator",
+    ) -> None:
+        self._sock = sock
+        self.name = name
+        self.ident = ident
+        self._coordinator = coordinator
+        self._send_lock = threading.Lock()
+        #: Pair tokens already shipped over this connection.
+        self.tokens: set[str] = set()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"repro-worker-link-{ident}", daemon=True
+        )
+
+    def start_reader(self) -> None:
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = protocol.recv_message(self._sock)
+            except (OSError, protocol.FrameError) as error:
+                self._coordinator._reader_lost(self, error)
+                return
+            if message is None:
+                self._coordinator._reader_lost(
+                    self, ConnectionError(f"worker {self.name} closed its connection")
+                )
+                return
+            self._coordinator._events.put((message["type"], self, message))
+
+    def send(self, message: dict) -> bool:
+        """Send one frame; on failure close the link (the reader then
+        reports the disconnect) and return False."""
+        try:
+            with self._send_lock:
+                protocol.send_message(self._sock, message)
+            return True
+        except OSError:
+            self.close()
+            return False
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkerLink {self.ident} {self.name}>"
+
+
+#: Default seconds a lease may go without a heartbeat before its worker is
+#: declared hung/partitioned and the chunk is reassigned.
+DEFAULT_LEASE_TIMEOUT = 10.0
+
+
+class Coordinator:
+    """Accept workers and own the connection state shared across runs.
+
+    Like :class:`~repro.core.engine.ChunkPool`, one coordinator is meant to
+    outlive many engine runs (a sweep reuses it for every cell); run ids
+    keep late results of finished runs from leaking into the next one.
+    ``bind`` is one ``(host, port)`` pair, a ``"HOST:PORT"`` string, or a
+    list of either (one listening socket per address; port 0 binds an
+    ephemeral port — read the chosen one back from :attr:`addresses`).
+    """
+
+    def __init__(
+        self,
+        bind=None,
+        *,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        local_fallback: bool = True,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.lease_timeout = lease_timeout
+        self.local_fallback = local_fallback
+        #: Leases revoked and reassigned because their worker died, hung or
+        #: partitioned (cumulative across runs; the engine diffs it per run).
+        self.reassignments = 0
+        self._events: "queue.Queue[tuple]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._workers: dict[int, WorkerLink] = {}
+        self._idents = itertools.count(1)
+        self._runs = itertools.count(1)
+        self._closed = False
+        binds = bind if isinstance(bind, list) else [bind or ("127.0.0.1", 0)]
+        self._listeners: list[socket.socket] = []
+        try:
+            for entry in binds:
+                address = (
+                    protocol.parse_hostport(entry) if isinstance(entry, str) else entry
+                )
+                listener = socket.create_server(address, backlog=16)
+                # A blocking accept() would pin the kernel-side socket (and
+                # its port) past close(); wake periodically so the accept
+                # thread exits and the port is actually released.
+                listener.settimeout(0.25)
+                self._listeners.append(listener)
+        except BaseException:
+            self.close()
+            raise
+        #: The actually-bound ``(host, port)`` addresses (ports resolved).
+        self.addresses = [sock.getsockname()[:2] for sock in self._listeners]
+        self._accepters = [
+            threading.Thread(
+                target=self._accept_loop,
+                args=(listener,),
+                name="repro-coordinator-accept",
+                daemon=True,
+            )
+            for listener in self._listeners
+        ]
+        for thread in self._accepters:
+            thread.start()
+
+    # -- worker membership (thread-safe) ------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def live_workers(self) -> list[WorkerLink]:
+        with self._lock:
+            return list(self._workers.values())
+
+    def wait_for_workers(self, count: int, timeout: float = 60.0) -> None:
+        """Block until ``count`` workers are connected.
+
+        Raises ``TimeoutError`` naming the shortfall — starting a
+        distributed run with fewer workers than expected should be a
+        decision, not an accident.
+        """
+        deadline = time.monotonic() + timeout
+        while self.worker_count < count:
+            if self._closed:
+                raise DistributedError("coordinator is closed")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"waited {timeout:g}s for {count} worker(s); "
+                    f"only {self.worker_count} connected"
+                )
+            time.sleep(0.05)
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._closed:
+            try:
+                sock, _ = listener.accept()
+            except TimeoutError:
+                continue  # periodic wake-up to observe close()
+            except OSError:
+                return  # listener closed
+            try:
+                sock.settimeout(5.0)
+                hello = protocol.recv_message(sock)
+                if (
+                    hello is None
+                    or hello.get("type") != "hello"
+                    or hello.get("protocol") != protocol.PROTOCOL_VERSION
+                ):
+                    raise protocol.FrameError("bad handshake")
+                protocol.send_message(sock, protocol.welcome_message())
+                sock.settimeout(None)
+            except (OSError, protocol.FrameError):
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                continue
+            link = WorkerLink(
+                sock, str(hello.get("worker", "?")), next(self._idents), self
+            )
+            with self._lock:
+                if self._closed:
+                    link.close()
+                    return
+                self._workers[link.ident] = link
+            self._events.put(("connect", link, None))
+            link.start_reader()
+
+    def _reader_lost(self, link: WorkerLink, error: BaseException) -> None:
+        self._discard(link)
+        self._events.put(("disconnect", link, error))
+
+    def _discard(self, link: WorkerLink) -> None:
+        with self._lock:
+            self._workers.pop(link.ident, None)
+        link.close()
+
+    # -- drive-loop plumbing ------------------------------------------------------
+
+    def _next_run_id(self) -> int:
+        return next(self._runs)
+
+    def _next_event(self, timeout: float):
+        try:
+            return self._events.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def _send_lease(
+        self, link: WorkerLink, token: str, blob: bytes, run: int, entropy: int, lease: _Lease
+    ) -> bool:
+        """Grant ``lease`` to ``link`` (shipping the pair first if new)."""
+        if token not in link.tokens:
+            if not link.send(protocol.pair_message(token, blob)):
+                return False
+            link.tokens.add(token)
+        if not link.send(
+            protocol.lease_message(run, token, entropy, lease.start, lease.size)
+        ):
+            return False
+        lease.worker = link
+        lease.deadline = time.monotonic() + self.lease_timeout
+        return True
+
+    def close(self) -> None:
+        """Shut down: tell workers to exit, close every socket."""
+        self._closed = True
+        for listener in getattr(self, "_listeners", ()):
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for link in self.live_workers():
+            link.send(protocol.shutdown_message())
+            self._discard(link)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _stats_from_result(payload: dict):
+    """Validate a ``result`` frame into :class:`~repro.core.engine.ChunkStats`."""
+    try:
+        trials = int(payload["trials"])
+        witness_red = int(payload["witness_red"])
+        histogram = np.asarray(
+            [int(count) for count in payload["histogram"]], dtype=np.int64
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"malformed chunk result: {error}") from None
+    if (
+        trials < 1
+        or not 0 <= witness_red <= trials
+        or histogram.size == 0
+        or bool((histogram < 0).any())
+        or int(histogram.sum()) != trials
+    ):
+        raise ValueError(
+            f"inconsistent chunk result for trial {payload.get('start')}: "
+            f"trials={trials}, witness_red={witness_red}, "
+            f"histogram sum={int(histogram.sum()) if histogram.size else 0}"
+        )
+    return engine.ChunkStats(trials=trials, histogram=histogram, witness_red=witness_red)
+
+
+def _find_lease(pending: list[_Lease], start) -> _Lease | None:
+    for lease in pending:
+        if lease.start == start:
+            return lease
+    return None
+
+
+def distributed_drive(
+    algorithm,
+    source,
+    entropy: int,
+    schedule,
+    ledger,
+    coordinator: Coordinator,
+    *,
+    absorb,
+) -> None:
+    """Drive one engine run over the coordinator's workers.
+
+    The exact analogue of :func:`repro.core.engine._sharded_drive`:
+    ``pending`` is the live lease list in absolute chunk order, merges
+    only happen at its head, failures charge the shared
+    :class:`~repro.core.engine.ChunkLedger` (which re-raises the original
+    error on budget exhaustion), and returning on an adaptive stop simply
+    abandons speculative leases — their results arrive tagged with this
+    run's id and are discarded by the next run.
+    """
+    blob, token = engine._pair_payload(algorithm, source)
+    run_id = coordinator._next_run_id()
+    pending: list[_Lease] = []
+    exhausted = False
+
+    def fail_lease(lease: _Lease, error: BaseException) -> None:
+        lease.worker = None
+        lease.deadline = None
+        ledger.record_failure(lease.start, error)
+
+    def drop_worker(link: WorkerLink, error: BaseException) -> None:
+        coordinator._discard(link)
+        lost = [
+            lease
+            for lease in pending
+            if lease.worker is link and lease.stats is None
+        ]
+        for lease in lost:
+            coordinator.reassignments += 1
+            fail_lease(lease, error)
+        if lost:
+            engine._sleep(ledger.backoff_seconds(lost[0].start))
+
+    while True:
+        # 1. Merge completed leases at the head — absolute chunk order, so
+        #    the accumulator folds exactly like a sequential run.
+        while pending and pending[0].stats is not None:
+            lease = pending.pop(0)
+            if absorb(lease.start, lease.size, lease.stats):
+                return
+        # 2. Keep a bounded window of leases outstanding.
+        workers = coordinator.live_workers()
+        window = 2 * max(1, len(workers)) + 2
+        while not exhausted and len(pending) < window:
+            item = next(schedule, None)
+            if item is None:
+                exhausted = True
+                break
+            pending.append(_Lease(item[0], item[1]))
+        if not pending:
+            return
+        # 3. Assign unleased chunks to the least-loaded live workers.
+        if workers:
+            load = {link.ident: 0 for link in workers}
+            by_ident = {link.ident: link for link in workers}
+            for lease in pending:
+                if lease.worker is not None and lease.worker.ident in load:
+                    load[lease.worker.ident] += 1
+            for lease in pending:
+                if lease.stats is not None or lease.worker is not None:
+                    continue
+                ident = min(load, key=lambda i: (load[i], i))
+                if not coordinator._send_lease(
+                    by_ident[ident], token, blob, run_id, entropy, lease
+                ):
+                    break  # link just died; its disconnect event is queued
+                load[ident] += 1
+        elif pending[0].worker is None and pending[0].stats is None:
+            # Every worker is gone and the head chunk is unowned: degrade
+            # to in-process execution (or fail loudly when asked to).
+            if not coordinator.local_fallback:
+                raise AllWorkersLostError(
+                    "all distributed workers are gone and the local fallback "
+                    f"is disabled; {coordinator.reassignments} lease(s) were "
+                    "reassigned before the pool emptied"
+                )
+            head = pending[0]
+            while True:
+                try:
+                    head.stats = engine._run_chunk(
+                        algorithm, source, entropy, head.start, head.size
+                    )
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    ledger.record_failure(head.start, error)
+                    engine._sleep(ledger.backoff_seconds(head.start))
+            continue
+        # 4. Wait for the next protocol event, bounded by the nearest
+        #    lease deadline so expiries are noticed promptly.
+        now = time.monotonic()
+        deadlines = [
+            lease.deadline
+            for lease in pending
+            if lease.deadline is not None and lease.stats is None
+        ]
+        timeout = min(
+            0.25, max(0.02, min((d - now for d in deadlines), default=0.25))
+        )
+        event = coordinator._next_event(timeout)
+        if event is not None:
+            kind, link, payload = event
+            if kind == "disconnect":
+                drop_worker(link, payload)
+            elif kind == "result" and payload.get("run") == run_id:
+                lease = _find_lease(pending, payload.get("start"))
+                if lease is not None and lease.stats is None:
+                    try:
+                        lease.stats = _stats_from_result(payload)
+                    except ValueError as error:
+                        drop_worker(link, DistributedError(str(error)))
+                    else:
+                        lease.worker = None
+                        lease.deadline = None
+            elif kind == "error" and payload.get("run") == run_id:
+                lease = _find_lease(pending, payload.get("start"))
+                if lease is not None and lease.stats is None:
+                    fail_lease(
+                        lease,
+                        WorkerChunkError(
+                            f"worker {link.name} failed chunk at trial "
+                            f"{lease.start}: {payload.get('error', 'unknown error')}"
+                        ),
+                    )
+                    engine._sleep(ledger.backoff_seconds(lease.start))
+            elif kind == "heartbeat" and payload.get("run") == run_id:
+                lease = _find_lease(pending, payload.get("start"))
+                if lease is not None and lease.worker is link:
+                    lease.deadline = time.monotonic() + coordinator.lease_timeout
+            # "connect" needs no handling: step 3 assigns next iteration.
+        # 5. Expire leases whose worker missed its heartbeats: hung or
+        #    partitioned — only dropping the connection reclaims the chunk.
+        now = time.monotonic()
+        for lease in list(pending):
+            if (
+                lease.stats is None
+                and lease.worker is not None
+                and lease.deadline is not None
+                and now > lease.deadline
+            ):
+                drop_worker(
+                    lease.worker,
+                    TimeoutError(
+                        f"lease for chunk at trial {lease.start} missed "
+                        f"heartbeats for {coordinator.lease_timeout:g}s"
+                    ),
+                )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import platform
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -35,10 +35,12 @@ from repro.core.checkpoint import (
 from repro.experiments.registry import get_spec
 from repro.experiments.report import Row, row_from_dict, row_to_dict, violations
 
-#: Version of the unified artifact JSON schema.  Version 2 adds the
-#: ``status``/``error`` fields (degraded runs); version-1 artifacts still
-#: load, with status defaulting to ``"ok"``.
-ARTIFACT_SCHEMA_VERSION = 2
+#: Version of the unified artifact JSON schema.  Version 2 added the
+#: ``status``/``error`` fields (degraded runs); version 3 adds the
+#: ``recovery`` counters (chunk retries / pool respawns / distributed
+#: lease reassignments observed by the run's engine calls).  Older
+#: artifacts still load, with ``"ok"`` status and empty recovery.
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: ``kind`` field of unified experiment artifacts.
 ARTIFACT_KIND = "experiment"
@@ -66,6 +68,12 @@ class RunResult:
     one whose driver raised under :func:`run_experiments`' degraded mode;
     a failed run records the error (``"Type: message"``) in ``error`` and
     carries no rows.
+
+    ``recovery`` sums the engine's fault-recovery counters over every
+    streaming run the experiment issued (see
+    :func:`repro.core.engine.collect_recovery`); like ``environment`` it
+    describes the execution, not the result — a recovered run's rows are
+    byte-identical to a fault-free run's.
     """
 
     spec_id: str
@@ -77,6 +85,7 @@ class RunResult:
     environment: dict[str, str]
     status: str = "ok"
     error: str = ""
+    recovery: dict[str, int] = field(default_factory=dict)
 
     @property
     def violation_rows(self) -> list[Row]:
@@ -97,6 +106,7 @@ class RunResult:
             "violations": len(self.violation_rows),
             "status": self.status,
             "error": self.error,
+            "recovery": dict(self.recovery),
         }
 
     @classmethod
@@ -119,6 +129,10 @@ class RunResult:
             environment=dict(payload.get("environment", {})),
             status=payload.get("status", "ok"),
             error=payload.get("error", ""),
+            recovery={
+                key: int(value)
+                for key, value in payload.get("recovery", {}).items()
+            },
         )
 
 
@@ -142,8 +156,11 @@ def run_experiment(
     override names a spec does not declare are ignored, so one shared
     override set (e.g. ``trials=20``) can be applied across many specs.
     """
+    from repro.core.engine import collect_recovery
+
     spec = get_spec(experiment_id)
-    params, result = spec.run(overrides, strict=strict)
+    with collect_recovery() as recovery:
+        params, result = spec.run(overrides, strict=strict)
     return RunResult(
         spec_id=spec.id,
         title=spec.title,
@@ -152,6 +169,7 @@ def run_experiment(
         rows=result.rows,
         extra=result.extra,
         environment=environment_metadata(),
+        recovery=dict(recovery),
     )
 
 

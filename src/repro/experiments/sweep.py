@@ -48,10 +48,18 @@ from repro.systems import build_system
 #: ``kind`` field of sweep artifacts.
 SWEEP_KIND = "p_sweep"
 
-#: Version of the sweep artifact JSON schema.  Version 1 adds the
-#: per-cell ``status``/``error`` fields (degraded grids); version-0
-#: (pre-``schema``-field) artifacts still load, with every cell ``"ok"``.
-SWEEP_SCHEMA_VERSION = 1
+#: Version of the sweep artifact JSON schema.  Version 1 added the
+#: per-cell ``status``/``error`` fields (degraded grids); version 2 adds
+#: the per-cell recovery counters (``retries_used``/``pool_respawns``/
+#: ``worker_reassignments``).  Older artifacts still load, with every cell
+#: ``"ok"`` (v0) and all recovery counters zero (v0/v1).
+SWEEP_SCHEMA_VERSION = 2
+
+#: ``kind`` field of sweep checkpoint files (grid-level resume).
+SWEEP_CHECKPOINT_KIND = "sweep_checkpoint"
+
+#: Version of the sweep checkpoint JSON schema.
+SWEEP_CHECKPOINT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,12 @@ class SweepCell:
     whose run raised; a failed cell carries the error (``"Type: message"``)
     in ``error`` and zeros in every statistic — consumers must filter on
     ``status``, not on magic values.
+
+    The recovery counters record how bumpy the cell's run was —
+    ``retries_used`` chunk retries, ``pool_respawns`` process-pool
+    respawns, ``worker_reassignments`` distributed lease reassignments —
+    and are excluded from every determinism claim (like ``seconds``): a
+    recovered cell's statistics are byte-identical to a fault-free run's.
     """
 
     system: str
@@ -83,6 +97,9 @@ class SweepCell:
     n_trials_used: int = 0
     status: str = "ok"
     error: str = ""
+    retries_used: int = 0
+    pool_respawns: int = 0
+    worker_reassignments: int = 0
 
 
 @dataclass(frozen=True)
@@ -130,6 +147,50 @@ class SweepResult:
         }
 
 
+@dataclass(frozen=True)
+class SweepCheckpoint:
+    """Durable grid-resume state: the sweep's configuration + finished cells.
+
+    ``config`` pins everything that determines a cell's bytes (system,
+    grid, resolved trials/tolerance, seed, distribution, chunking);
+    ``cells`` holds the ``"ok"`` cells measured so far — failed cells are
+    *not* checkpointed, so a resume re-runs them.  Because every cell's
+    seed depends only on its own ``(size, p)``, a resumed grid is
+    byte-identical to an uninterrupted one (``seconds`` aside).
+    """
+
+    config: dict
+    cells: tuple[SweepCell, ...]
+    complete: bool = False
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": SWEEP_CHECKPOINT_KIND,
+            "schema": SWEEP_CHECKPOINT_SCHEMA_VERSION,
+            "config": dict(self.config),
+            "complete": self.complete,
+            "cells": [asdict(cell) for cell in self.cells],
+        }
+
+
+def save_sweep_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> Path:
+    """Write a sweep checkpoint atomically (tmp + fsync + ``os.replace``)."""
+    return atomic_write_json(path, checkpoint.to_payload())
+
+
+def load_sweep_checkpoint(path: str | Path) -> SweepCheckpoint:
+    """Load a sweep checkpoint; strict about kind, schema and fields."""
+    payload = load_json_payload(path, SWEEP_CHECKPOINT_KIND)
+    check_schema_version(payload, SWEEP_CHECKPOINT_SCHEMA_VERSION, path)
+    return SweepCheckpoint(
+        config=dict(required_field(payload, "config", path)),
+        cells=tuple(
+            SweepCell(**cell) for cell in required_field(payload, "cells", path)
+        ),
+        complete=bool(required_field(payload, "complete", path)),
+    )
+
+
 def run_sweep(
     system_name: str,
     sizes: Sequence[int],
@@ -146,6 +207,9 @@ def run_sweep(
     fail_fast: bool = False,
     retries: int | None = None,
     chunk_timeout: float | None = None,
+    coordinator=None,
+    checkpoint_path: str | Path | None = None,
+    resume: "SweepCheckpoint | str | Path | None" = None,
 ) -> SweepResult:
     """Run a streaming Monte-Carlo sweep over the ``(sizes, ps)`` grid.
 
@@ -177,20 +241,79 @@ def run_sweep(
     ``(size, p)``, so surviving cells are byte-identical to a clean
     sub-grid run).  Pass ``fail_fast=True`` to restore strict abort-on-
     first-error behavior.
+
+    Grid-level resume: ``checkpoint_path`` persists a
+    :class:`SweepCheckpoint` atomically after every measured cell, and
+    ``resume`` (a checkpoint path or loaded checkpoint) skips the cells it
+    already holds — the run configuration must match the checkpoint's, and
+    a mismatch is a loud error naming the differing settings.  A
+    ``coordinator`` (:class:`repro.distributed.Coordinator`) runs every
+    cell over networked workers instead of a local pool.
     """
     trials = resolve_fixed_trials(trials, target_ci, default=1000)
     if not sizes or not ps:
         raise ValueError("sweep needs at least one size and one p")
+    if coordinator is not None and jobs > 1:
+        raise ValueError(
+            "a distributed coordinator replaces the process pool; pass "
+            "either coordinator or jobs > 1, not both"
+        )
     # Canonical name: aliases like "iid" render and serialize as the
     # source they resolve to, so artifact consumers compare one spelling.
     distribution = canonical_source_name(distribution)
+    # Everything that pins a cell's bytes, for checkpoint config matching.
+    config = {
+        "system": system_name,
+        "sizes": [int(s) for s in sizes],
+        "ps": [float(p) for p in ps],
+        "trials": trials,
+        "target_ci": target_ci,
+        "seed": int(seed),
+        "randomized": bool(randomized),
+        "distribution": distribution,
+        "chunk_size": chunk_size,
+        "min_trials": min_trials,
+        "max_trials": max_trials,
+    }
+    completed: dict[tuple[int, float], SweepCell] = {}
+    if resume is not None:
+        state = (
+            resume
+            if isinstance(resume, SweepCheckpoint)
+            else load_sweep_checkpoint(resume)
+        )
+        mismatched = sorted(
+            key
+            for key in config.keys() | state.config.keys()
+            if config.get(key) != state.config.get(key)
+        )
+        if mismatched:
+            raise ValueError(
+                "sweep checkpoint was written by a different run; "
+                f"these settings differ: {', '.join(mismatched)}"
+            )
+        completed = {(cell.size, float(cell.p)): cell for cell in state.cells}
     cells: list[SweepCell] = []
     algorithm_name = ""
     # One worker pool for the whole grid: spawning processes per cell would
     # dwarf small cells' compute.  A ChunkPool, not a raw executor, so a
     # worker crash recovered inside one cell leaves the pool usable by the
     # next.
-    executor = ChunkPool(max_workers=jobs) if jobs > 1 else None
+    executor = (
+        ChunkPool(max_workers=jobs) if jobs > 1 and coordinator is None else None
+    )
+
+    def write_checkpoint(complete: bool) -> None:
+        if checkpoint_path is None:
+            return
+        save_sweep_checkpoint(
+            checkpoint_path,
+            SweepCheckpoint(
+                config=config,
+                cells=tuple(cell for cell in cells if cell.status == "ok"),
+                complete=complete,
+            ),
+        )
 
     def failed_cell(size: int, n: int, p: float, error: Exception) -> SweepCell:
         return SweepCell(
@@ -223,9 +346,16 @@ def run_sweep(
                     raise
                 # The whole row is unbuildable: every p of this size fails.
                 cells.extend(failed_cell(size, 0, p, error) for p in ps)
+                write_checkpoint(complete=False)
                 continue
             algorithm_name = algorithm.name
             for p in ps:
+                done = completed.get((int(size), float(p)))
+                if done is not None:
+                    # Measured before the interruption; its seed depended
+                    # only on (size, p), so the recorded cell is the cell.
+                    cells.append(done)
+                    continue
                 try:
                     source = build_source(distribution, system, p)
                     result = stream_probes(
@@ -239,6 +369,7 @@ def run_sweep(
                         seed=cell_seed(seed, int(size), float(p)),
                         jobs=jobs,
                         executor=executor,
+                        coordinator=coordinator,
                         retries=retries,
                         chunk_timeout=chunk_timeout,
                     )
@@ -246,6 +377,7 @@ def run_sweep(
                     if fail_fast:
                         raise
                     cells.append(failed_cell(size, system.n, p, error))
+                    write_checkpoint(complete=False)
                     continue
                 cells.append(
                     SweepCell(
@@ -260,11 +392,16 @@ def run_sweep(
                         batched_kernel=supports_batched(algorithm),
                         seconds=result.seconds,
                         n_trials_used=result.n_trials_used,
+                        retries_used=result.retries_used,
+                        pool_respawns=result.pool_respawns,
+                        worker_reassignments=result.worker_reassignments,
                     )
                 )
+                write_checkpoint(complete=False)
     finally:
         if executor is not None:
             executor.shutdown(wait=False)
+    write_checkpoint(complete=True)
     return SweepResult(
         system=system_name,
         algorithm=algorithm_name,
@@ -276,6 +413,49 @@ def run_sweep(
         cells=tuple(cells),
         distribution=distribution,
         target_ci=target_ci,
+    )
+
+
+def resume_sweep(
+    path: str | Path,
+    *,
+    jobs: int = 1,
+    fail_fast: bool = False,
+    retries: int | None = None,
+    chunk_timeout: float | None = None,
+    coordinator=None,
+    checkpoint_path: str | Path | None = None,
+) -> SweepResult:
+    """Continue a checkpointed sweep from its own serialized state.
+
+    The checkpoint's ``config`` carries the full grid definition, so no
+    other description of the sweep is needed — this is what
+    ``repro-probe sweep --resume`` calls.  By default the continued run
+    keeps checkpointing to the same file.  Execution knobs (``jobs``,
+    ``retries``, ...) may differ from the interrupted run's: they do not
+    affect a cell's bytes.
+    """
+    state = load_sweep_checkpoint(path)
+    config = state.config
+    return run_sweep(
+        config["system"],
+        config["sizes"],
+        config["ps"],
+        trials=config["trials"],
+        seed=config["seed"],
+        randomized=config["randomized"],
+        distribution=config["distribution"],
+        chunk_size=config["chunk_size"],
+        target_ci=config["target_ci"],
+        min_trials=config["min_trials"],
+        max_trials=config["max_trials"],
+        jobs=jobs,
+        fail_fast=fail_fast,
+        retries=retries,
+        chunk_timeout=chunk_timeout,
+        coordinator=coordinator,
+        checkpoint_path=Path(path) if checkpoint_path is None else checkpoint_path,
+        resume=state,
     )
 
 
@@ -319,6 +499,14 @@ def render_sweep(result: SweepResult) -> str:
     if result.target_ci is not None:
         used = sum(c.n_trials_used for c in measured)
         lines.append(f"adaptive stopping used {used} trials across the grid")
+    retried = sum(c.retries_used for c in measured)
+    respawned = sum(c.pool_respawns for c in measured)
+    reassigned = sum(c.worker_reassignments for c in measured)
+    if retried or respawned or reassigned:
+        lines.append(
+            f"recovery: {retried} chunk retries, {respawned} pool respawns, "
+            f"{reassigned} lease reassignments"
+        )
     for cell in result.failed_cells:
         lines.append(f"FAILED cell (size={cell.size}, p={cell.p:g}): {cell.error}")
     return "\n".join(lines)

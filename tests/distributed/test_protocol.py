@@ -1,0 +1,108 @@
+"""Wire-format tests: framing, CRC integrity, clean-EOF vs torn-frame."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.distributed import protocol
+from repro.distributed.protocol import (
+    FrameError,
+    parse_hostport,
+    recv_message,
+    send_corrupt_message,
+    send_message,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        message = {"type": "lease", "run": 3, "start": 4096, "size": 512}
+        send_message(left, message)
+        assert recv_message(right) == message
+
+    def test_several_frames_in_sequence(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_message(left, {"type": "heartbeat", "run": 1, "start": index})
+        for index in range(5):
+            assert recv_message(right)["start"] == index
+
+    def test_binary_pair_blob_round_trips(self, pair):
+        left, right = pair
+        blob = bytes(range(256))
+        send_message(left, protocol.pair_message("token", blob))
+        assert protocol.pair_blob(recv_message(right)) == blob
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_message(right) is None
+
+    def test_eof_mid_header_is_a_frame_error(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00\x00")  # 3 of 8 header bytes
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_message(right)
+
+    def test_eof_mid_payload_is_a_frame_error(self, pair):
+        left, right = pair
+        data = b'{"type":"x"}'
+        left.sendall(protocol._HEADER.pack(len(data) + 10, 0) + data)
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame|payload"):
+            recv_message(right)
+
+    def test_oversized_length_rejected_without_reading(self, pair):
+        left, right = pair
+        left.sendall(protocol._HEADER.pack(protocol.MAX_FRAME_BYTES + 1, 0))
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_message(right)
+
+    def test_corrupt_frame_fails_the_crc_check(self, pair):
+        left, right = pair
+        send_corrupt_message(left, {"type": "result", "run": 1, "start": 0})
+        with pytest.raises(FrameError, match="CRC"):
+            recv_message(right)
+
+    def test_untyped_payload_rejected(self, pair):
+        left, right = pair
+        send_message(left, {"no_type": True})
+        with pytest.raises(FrameError, match="typed"):
+            recv_message(right)
+
+    def test_large_frame_round_trips(self, pair):
+        # Larger than any socket buffer: exercises the partial-recv loop.
+        left, right = pair
+        message = {"type": "result", "histogram": list(range(50_000))}
+        writer = threading.Thread(target=send_message, args=(left, message))
+        writer.start()
+        try:
+            assert recv_message(right) == message
+        finally:
+            writer.join()
+
+
+class TestParseHostport:
+    def test_parses_host_and_port(self):
+        assert parse_hostport("localhost:8000") == ("localhost", 8000)
+        assert parse_hostport("10.0.0.1:0") == ("10.0.0.1", 0)
+
+    @pytest.mark.parametrize(
+        "text", ["localhost", ":8000", "host:", "host:notaport", "host:-1", "host:70000"]
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_hostport(text)

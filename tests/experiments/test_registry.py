@@ -234,3 +234,56 @@ class TestSeeding:
         single = run_probabilistic_majority(sizes=(25,), ps=(0.3,), trials=50, seed=1)
         full_cell = [r for r in full if r.params["n"] == 25 and r.params["p"] == 0.3]
         assert full_cell[0].measured == single[0].measured
+
+
+class TestRecoveryAccounting:
+    """``run_experiment`` sums engine recovery counters into the artifact."""
+
+    def test_collect_recovery_sums_engine_runs(self, tmp_path, monkeypatch):
+        from repro.algorithms import ProbeTree
+        from repro.core import engine
+        from repro.core.engine import collect_recovery, stream_probes
+        from repro.systems import build_system
+        from repro.testing import faults
+        from repro.testing.faults import ANY_KEY, Fault
+
+        monkeypatch.setattr(engine, "_sleep", lambda seconds: None)
+        algorithm = ProbeTree(build_system("tree", 2))
+        with faults.active_plan([Fault("chunk", ANY_KEY, "raise")], tmp_path):
+            with collect_recovery() as totals:
+                stream_probes(algorithm, p=0.2, trials=64, chunk_size=16, seed=7)
+                stream_probes(algorithm, p=0.3, trials=64, chunk_size=16, seed=8)
+        assert totals["retries_used"] == 1  # once-only fault, summed once
+        assert set(totals) == {
+            "retries_used",
+            "pool_respawns",
+            "worker_reassignments",
+        }
+
+    def test_run_experiment_records_recovery_in_artifact(self, tmp_path, monkeypatch):
+        from repro.core import engine
+        from repro.testing import faults
+        from repro.testing.faults import ANY_KEY, Fault
+
+        monkeypatch.setattr(engine, "_sleep", lambda seconds: None)
+        with faults.active_plan([Fault("chunk", ANY_KEY, "raise")], tmp_path):
+            result = run_experiment("tree", TINY, strict=False)
+        assert result.recovery["retries_used"] >= 1
+        path = write_artifact(result, tmp_path / "tree.json")
+        loaded = load_artifact(path)
+        assert loaded.recovery == result.recovery
+        # The recovered rows are byte-identical to a fault-free run's.
+        clean = run_experiment("tree", TINY, strict=False)
+        assert clean.recovery.get("retries_used", 0) == 0
+        assert loaded.rows == clean.rows
+
+    def test_legacy_artifact_without_recovery_loads_empty(self, tmp_path):
+        result = run_experiment("tree", {"trials": 15}, strict=False)
+        payload = result.to_dict()
+        del payload["recovery"]
+        payload["schema"] = 2
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_artifact(path)
+        assert loaded.recovery == {}
+        assert loaded.rows == result.rows
