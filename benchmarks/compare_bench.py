@@ -15,8 +15,12 @@ else by index) and classifies metrics by name:
 
 Any shared metric that regressed by more than ``--threshold`` (default
 20%) fails the comparison and the script exits nonzero, printing one line
-per regression.  Metrics present in only one snapshot are reported but
-never fail the gate (sections come and go as the suite grows).  Timings
+per regression.  Metrics present in only one snapshot never fail the gate
+(sections come and go as the suite grows) but are reported explicitly:
+a wholly one-sided section prints one ``NEW section``/``REMOVED section``
+line with its metric count, while a one-sided metric inside a section both
+snapshots share prints its own ``NEW metric``/``REMOVED metric`` line —
+a silently vanished metric is how a rename sneaks past the gate.  Timings
 below ``--min-seconds`` (default 5 ms) in *both* snapshots are skipped —
 at that scale the numbers are scheduler noise, not signal.
 
@@ -135,11 +139,44 @@ def compare(
     only_old = sorted(key for key in set(old) - set(new) if classify(key))
     only_new = sorted(key for key in set(new) - set(old) if classify(key))
     notes.append(f"{compared} shared performance metrics compared")
-    if only_old:
-        notes.append(f"{len(only_old)} metrics only in OLD (dropped sections ok)")
-    if only_new:
-        notes.append(f"{len(only_new)} metrics only in NEW (new sections ok)")
+    notes.extend(_one_sided_notes(only_old, new, "REMOVED"))
+    notes.extend(_one_sided_notes(only_new, old, "NEW"))
     return regressions, notes
+
+
+def _section_of(path: str) -> str:
+    """The top-level snapshot section a flattened metric path belongs to."""
+    for stop in (".", "["):
+        index = path.find(stop)
+        if index != -1:
+            path = path[:index]
+    return path
+
+
+def _one_sided_notes(
+    only: list[str], other: dict[str, float], tag: str
+) -> list[str]:
+    """``NEW``/``REMOVED`` lines for metrics present in one snapshot only.
+
+    Grouped by top-level section: a section absent from ``other``
+    altogether collapses to one line with its metric count; a one-sided
+    metric inside a section both snapshots have is listed individually.
+    """
+    by_section: dict[str, list[str]] = {}
+    for path in only:
+        by_section.setdefault(_section_of(path), []).append(path)
+    other_sections = {_section_of(path) for path in other}
+    notes = []
+    for section in sorted(by_section):
+        paths = by_section[section]
+        if section in other_sections:
+            notes.extend(f"{tag} metric {path}" for path in paths)
+        else:
+            count = len(paths)
+            notes.append(
+                f"{tag} section {section} ({count} metric{'s' if count != 1 else ''})"
+            )
+    return notes
 
 
 def main(argv=None) -> int:

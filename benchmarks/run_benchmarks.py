@@ -38,6 +38,12 @@ Sections:
   mode on Maj(1001) near the critical ``p = 1/2``: a fixed-trial baseline
   sized for the near-critical cell wastes trials at easy ``p``; the
   adaptive run hits the same tolerance with fewer total trials.
+* ``bitpacked_kernels`` — the bit-packed backend
+  (:mod:`repro.core.bitpacked`, 64 trials per ``uint64`` word) versus the
+  numpy kernels through the streaming engine at equal trials: Probe_Maj on
+  ``Maj(1001)`` at 10^6 trials (the ISSUE's ≥5x acceptance case), plus
+  Probe_CW / Probe_Tree / Probe_HQS secondaries; every case asserts
+  bit-identical histograms inside the benchmark.
 
 Use ``benchmarks/compare_bench.py`` to diff two snapshots and flag >20%
 regressions in any shared metric.
@@ -445,6 +451,58 @@ def bench_streaming_engine(quick: bool) -> dict:
     }
 
 
+def bench_bitpacked_kernels(quick: bool) -> list[dict]:
+    """Bit-packed versus numpy kernels through the streaming engine.
+
+    Equal trials, equal chunking, same seed: the only variable is the
+    backend, and the assert pins bit-identical histograms — the speedup is
+    never bought with a different answer.  The Probe_Maj case is the
+    acceptance bar (≥ 5x at n ≈ 1000, 10^6 trials in the full run).
+    """
+    from functools import partial
+
+    from repro.core.engine import stream_probes
+
+    trials = 100_000 if quick else 1_000_000
+    chunk = 65_536
+    # The full-size numpy runs take minutes each; one measurement is stable
+    # at that duration, so best-of-3 is reserved for the quick ms-scale run.
+    repeat = 3 if quick else 1
+    cases = [
+        ("ProbeMaj", ProbeMaj(MajoritySystem(1001)), 0.5),
+        ("ProbeCW", ProbeCW(TriangSystem(45)), 0.5),
+        ("ProbeTree", ProbeTree(TreeSystem(9)), 0.5),
+        ("ProbeHQS", ProbeHQS(HQS(6)), 0.5),
+    ]
+    results = []
+    for name, algorithm, p in cases:
+        run = partial(
+            stream_probes, algorithm, p=p, trials=trials, chunk_size=chunk, seed=1
+        )
+        numpy_seconds, numpy_result = timed(partial(run, backend="numpy"), repeat=repeat)
+        packed_seconds, packed_result = timed(
+            partial(run, backend="bitpacked"), repeat=repeat
+        )
+        assert packed_result.histogram == numpy_result.histogram, (
+            f"{name}: bitpacked histogram diverged from numpy"
+        )
+        assert packed_result.witness_red == numpy_result.witness_red
+        results.append(
+            {
+                "algorithm": name,
+                "system": algorithm.system.name,
+                "n": algorithm.system.n,
+                "trials": trials,
+                "chunk_size": chunk,
+                "numpy_seconds": numpy_seconds,
+                "bitpacked_seconds": packed_seconds,
+                "speedup": numpy_seconds / packed_seconds,
+                "mean_probes": packed_result.mean,
+            }
+        )
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -470,6 +528,7 @@ def main(argv=None) -> int:
         "distribution_sampling": bench_distribution_sampling(args.quick),
         "runner_overhead": bench_runner_overhead(args.quick),
         "streaming_engine": bench_streaming_engine(args.quick),
+        "bitpacked_kernels": bench_bitpacked_kernels(args.quick),
     }
     output = args.output
     if output is None:
@@ -520,6 +579,12 @@ def main(argv=None) -> int:
         f"{adaptive['fixed_grid_trials']} ({adaptive['trials_saved_ratio']:.2f}x fewer, "
         f"reached={adaptive['reached_tolerance']})"
     )
+    for case in snapshot["bitpacked_kernels"]:
+        print(
+            f"bitpacked {case['algorithm']} n={case['n']} x{case['trials']}: "
+            f"{case['bitpacked_seconds']*1e3:.1f}ms vs numpy "
+            f"{case['numpy_seconds']*1e3:.1f}ms ({case['speedup']:.1f}x)"
+        )
     return 0
 
 

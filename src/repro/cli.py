@@ -35,8 +35,11 @@ Monte-Carlo estimation runs through the streaming engine
 (:mod:`repro.core.engine`): ``estimate`` and ``sweep`` accept
 ``--chunk-size`` (trials per chunk; memory stays O(chunk)),
 ``--target-ci`` (adaptive stopping at a 95% CI half-width tolerance),
-``--max-trials`` (the adaptive cap) and ``--jobs`` (shard chunks across
-worker processes, byte-identical to sequential).
+``--max-trials`` (the adaptive cap), ``--jobs`` (shard chunks across
+worker processes, byte-identical to sequential) and ``--backend``
+(``numpy``/``bitpacked``/``auto`` kernel backend; deterministic
+algorithms produce byte-identical histograms under every backend — see
+README, "Kernel backends").
 
 Fault tolerance (see README, "Fault tolerance, checkpoints, and
 resume"): ``estimate``/``sweep`` accept ``--retries`` (per-chunk retry
@@ -247,6 +250,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 chunk_timeout=args.chunk_timeout,
                 checkpoint_path=args.checkpoint,
+                backend=args.backend,
             )
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(str(error)) from None
@@ -255,6 +259,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     print(f"resumed   : {args.resume}")
     print(f"algorithm : {result.algorithm}")
     print(f"inputs    : {result.source}")
+    print(f"backend   : {result.backend}")
     if result.target_ci is not None:
         verdict = "reached" if result.reached_target else "NOT reached"
         print(
@@ -301,6 +306,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         or args.checkpoint is not None
         or args.workers is not None
         or args.spawn_workers > 0
+        or args.backend is not None
     )
     stream_result = None
     if streaming or args.batched:
@@ -323,6 +329,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                     retries=args.retries,
                     chunk_timeout=args.chunk_timeout,
                     checkpoint_path=args.checkpoint,
+                    backend=args.backend,
                 )
         except ValueError as error:
             raise SystemExit(str(error)) from None
@@ -351,6 +358,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"estimator : streaming ({kind}, "
             f"chunk {stream_result.chunk_size}{jobs})"
         )
+        print(f"backend   : {stream_result.backend}")
         if (
             stream_result.retries_used
             or stream_result.pool_respawns
@@ -421,6 +429,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     chunk_timeout=args.chunk_timeout,
                     coordinator=coordinator,
                     checkpoint_path=args.checkpoint,
+                    backend=args.backend,
                 )
             else:
                 result = run_sweep(
@@ -440,6 +449,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     chunk_timeout=args.chunk_timeout,
                     coordinator=coordinator,
                     checkpoint_path=args.checkpoint,
+                    backend=args.backend,
                 )
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(str(error)) from None
@@ -577,6 +587,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides=overrides,
             jobs=args.jobs,
             fail_fast=args.fail_fast,
+            backend=args.backend,
         )
     except ValueError as error:
         raise SystemExit(f"invalid parameter value: {error}") from None
@@ -677,6 +688,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         dest="chunk_timeout",
         help="seconds before a chunk's worker is declared hung and respawned",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", "bitpacked", "auto"],
+        default=None,
+        help="kernel backend: bit-packed (64 trials/word) for deterministic "
+        "algorithms, numpy otherwise; auto picks per algorithm and trial count",
     )
 
 
@@ -913,6 +931,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             dest="fail_fast",
             help="abort on the first failing experiment instead of recording it",
+        )
+        run_parser.add_argument(
+            "--backend",
+            choices=["numpy", "bitpacked", "auto"],
+            default=None,
+            help="kernel backend for the experiments' engine calls "
+            "(auto recommended for mixed algorithm sets)",
         )
 
     run = sub.add_parser(

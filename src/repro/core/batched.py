@@ -10,9 +10,14 @@ of every trial falls out of cumulative-sum / argmax / per-level gate
 arithmetic over that matrix.
 
 Kernels are looked up in a registry keyed by the *exact* algorithm class
-(:func:`register_kernel`); a subclass overrides probing behavior, so it
-never inherits its parent's kernel and must register its own.  Registered
-out of the box:
+and a **backend** (:func:`register_kernel`); a subclass overrides probing
+behavior, so it never inherits its parent's kernel and must register its
+own.  The default ``numpy`` backend evaluates bool matrices; the
+``bitpacked`` backend (:mod:`repro.core.bitpacked`) evaluates 64 trials
+per ``uint64`` word for the deterministic algorithms, bit-identically.
+:func:`resolve_backend` maps a requested backend — including the ``auto``
+policy — to a concrete one, rejecting ``bitpacked`` loudly for randomized
+algorithms.  Registered out of the box under ``numpy``:
 
 * :class:`~repro.algorithms.majority.ProbeMaj` — fixed-order scan until one
   color reaches the quorum size (cumulative counts + argmax);
@@ -63,29 +68,87 @@ from repro.core.distributions import (
 from repro.core.estimator import Estimate
 
 #: A batched kernel: ``(algorithm, red, rng) -> (probes, witness_green)``
-#: over an already-validated ``(trials, n)`` bool matrix.
+#: over an already-validated ``(trials, n)`` bool matrix (``numpy``
+#: backend) or a :class:`~repro.core.bitpacked.PackedColorings`
+#: (``bitpacked`` backend).
 BatchedKernel = Callable[
     [ProbingAlgorithm, np.ndarray, object], tuple[np.ndarray, np.ndarray]
 ]
 
-_KERNELS: dict[type, BatchedKernel] = {}
+#: Concrete kernel backends a kernel can be registered under.
+BACKENDS = ("numpy", "bitpacked")
+
+#: What callers may request: a concrete backend or the ``auto`` policy.
+BACKEND_CHOICES = ("numpy", "bitpacked", "auto")
+
+#: ``auto`` stays on numpy below this many trials: the bit-sliced kernels
+#: amortize their per-element Python loop over the 64-trial words, so tiny
+#: batches don't cover the fixed per-column cost.
+AUTO_BITPACKED_MIN_TRIALS = 8192
+
+_KERNELS: dict[tuple[type, str], BatchedKernel] = {}
 
 
-def register_kernel(algorithm_cls: type, kernel: BatchedKernel) -> BatchedKernel:
-    """Register a vectorized kernel for an algorithm class.
+def register_kernel(
+    algorithm_cls: type, kernel: BatchedKernel, backend: str = "numpy"
+) -> BatchedKernel:
+    """Register a vectorized kernel for an algorithm class under a backend.
 
     Dispatch is by exact type — subclasses change probing behavior, so they
     must register their own kernel rather than silently inheriting one.
     Returns the kernel so future in-module kernels can keep registration
     next to their definition.
     """
-    _KERNELS[algorithm_cls] = kernel
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {backend!r}; expected one of {BACKENDS}")
+    _KERNELS[(algorithm_cls, backend)] = kernel
     return kernel
 
 
-def kernel_for(algorithm: ProbingAlgorithm) -> BatchedKernel | None:
-    """The registered kernel for this algorithm, or ``None``."""
-    return _KERNELS.get(type(algorithm))
+def kernel_for(
+    algorithm: ProbingAlgorithm, backend: str = "numpy"
+) -> BatchedKernel | None:
+    """The registered kernel for this algorithm under ``backend``, or ``None``."""
+    return _KERNELS.get((type(algorithm), backend))
+
+
+def resolve_backend(
+    algorithm: ProbingAlgorithm, backend: str, trials: int | None = None
+) -> str:
+    """Resolve a requested backend (or the ``auto`` policy) to a concrete one.
+
+    ``bitpacked`` is a *demand*: it fails loudly when the algorithm is
+    randomized (the packed kernels have no per-trial RNG contract — the
+    numpy path is not a silent substitute) or has no packed kernel.
+    ``auto`` picks ``bitpacked`` exactly when it is available for the
+    algorithm and the run is large enough (``trials`` of at least
+    :data:`AUTO_BITPACKED_MIN_TRIALS`; ``None`` — adaptive runs — counts
+    as large), and falls back to ``numpy`` otherwise.
+    """
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
+        )
+    if backend == "numpy":
+        return "numpy"
+    randomized = getattr(algorithm, "randomized", False)
+    has_packed = kernel_for(algorithm, backend="bitpacked") is not None
+    if backend == "bitpacked":
+        if randomized:
+            raise ValueError(
+                f"backend 'bitpacked' supports deterministic algorithms only; "
+                f"{algorithm.name} is randomized (run it with backend='numpy')"
+            )
+        if not has_packed:
+            raise ValueError(
+                f"no bitpacked kernel registered for {algorithm.name}"
+            )
+        return "bitpacked"
+    if randomized or not has_packed:
+        return "numpy"
+    if trials is not None and trials < AUTO_BITPACKED_MIN_TRIALS:
+        return "numpy"
+    return "bitpacked"
 
 
 #: Per-algorithm-instance scratch space for kernel precomputation (probe
@@ -111,14 +174,15 @@ def kernel_scratch(algorithm: ProbingAlgorithm) -> dict:
 def scratch_ones(algorithm: ProbingAlgorithm, shape: tuple[int, ...]) -> np.ndarray:
     """A cached all-ones int64 array of ``shape``.
 
-    The returned buffer is shared across calls and MUST be treated as
-    read-only by kernels (the level-synchronous kernels only ever read
-    their leaf-level probe counts).
+    The returned buffer is shared across calls and is read-only — writing
+    to it raises, so a kernel that mutates its leaf-level probe counts
+    fails loudly instead of corrupting every later chunk.
     """
     scratch = kernel_scratch(algorithm)
     ones = scratch.get("ones")
     if ones is None or ones.shape != shape:
         ones = np.ones(shape, dtype=np.int64)
+        ones.flags.writeable = False
         scratch["ones"] = ones
     return ones
 
@@ -134,9 +198,9 @@ def sample_red_matrix(n: int, p: float, trials: int, rng=None) -> np.ndarray:
     return sample_bernoulli_matrix(n, p, trials, rng)
 
 
-def supports_batched(algorithm: ProbingAlgorithm) -> bool:
-    """True when a vectorized kernel exists for this algorithm."""
-    return kernel_for(algorithm) is not None
+def supports_batched(algorithm: ProbingAlgorithm, backend: str = "numpy") -> bool:
+    """True when a vectorized kernel exists for this algorithm and backend."""
+    return kernel_for(algorithm, backend) is not None
 
 
 def batched_run(
@@ -335,6 +399,11 @@ register_kernel(RProbeTree, r_probe_tree_kernel)
 register_kernel(ProbeHQS, probe_hqs_kernel)
 register_kernel(RProbeHQS, r_probe_hqs_kernel)
 register_kernel(IRProbeHQS, ir_probe_hqs_kernel)
+
+# The bitpacked backend registers its kernels on import; importing here
+# (after the registry and scratch helpers exist — the module imports back
+# into this one) makes every backend available as soon as the registry is.
+from repro.core import bitpacked as _bitpacked  # noqa: E402,F401  (registration side effect)
 
 
 # -- estimators -------------------------------------------------------------------

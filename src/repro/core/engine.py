@@ -233,6 +233,10 @@ class StreamResult:
     retries_used: int = 0
     pool_respawns: int = 0
     worker_reassignments: int = 0
+    #: The *resolved* kernel backend the run executed on ("numpy" or
+    #: "bitpacked" — never "auto"); deterministic kernels produce
+    #: byte-identical statistics on either.
+    backend: str = "numpy"
 
     @property
     def estimate(self) -> Estimate:
@@ -277,6 +281,36 @@ def collect_recovery() -> Iterator[dict]:
         yield totals
     finally:
         _RECOVERY_COLLECTORS.remove(totals)
+
+
+#: Ambient kernel-backend request applied when a run doesn't pass
+#: ``backend=`` explicitly; see :func:`default_backend`.
+_AMBIENT_BACKEND = "numpy"
+
+
+@contextmanager
+def default_backend(backend: str) -> Iterator[None]:
+    """Set the ambient kernel backend for engine runs inside the block.
+
+    Every :func:`stream_probes` call that leaves ``backend=None`` resolves
+    against this value instead of ``"numpy"``.  Used by the experiment
+    runner to apply a backend choice across a spec's internal engine calls
+    without threading ``backend=`` through every ``ExperimentSpec.run``
+    signature (the same shape as :func:`collect_recovery`).
+    """
+    from repro.core.batched import BACKEND_CHOICES
+
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
+        )
+    global _AMBIENT_BACKEND
+    previous = _AMBIENT_BACKEND
+    _AMBIENT_BACKEND = backend
+    try:
+        yield
+    finally:
+        _AMBIENT_BACKEND = previous
 
 
 # -- chunk execution --------------------------------------------------------------
@@ -327,17 +361,32 @@ def _run_chunk(
     entropy: int,
     start: int,
     size: int,
+    backend: str = "numpy",
 ) -> ChunkStats:
-    """Sample and evaluate one chunk; returns O(n) sufficient statistics."""
+    """Sample and evaluate one chunk; returns O(n) sufficient statistics.
+
+    ``backend`` is a *resolved* backend ("numpy" or "bitpacked").  The
+    bitpacked path draws the chunk directly into bit-planes from the same
+    trial-aligned stream and runs the packed kernel; its probe counts and
+    witness tallies are bit-identical to the numpy path for deterministic
+    kernels, so the merged statistics don't depend on the backend.
+    """
     from repro.core.batched import batched_or_sequential_run
 
     fire_fault("chunk", start)
-    red = source.sample_matrix(
-        source.n, size, _chunk_sample_generator(source, entropy, start)
-    )
-    probes, witness_green = batched_or_sequential_run(
-        algorithm, red, _chunk_algorithm_generator(entropy, start)
-    )
+    sample_rng = _chunk_sample_generator(source, entropy, start)
+    if backend == "bitpacked":
+        from repro.core.bitpacked import run_packed, sample_packed
+
+        packed = sample_packed(source, source.n, size, sample_rng)
+        probes, witness_green = run_packed(
+            algorithm, packed, _chunk_algorithm_generator(entropy, start)
+        )
+    else:
+        red = source.sample_matrix(source.n, size, sample_rng)
+        probes, witness_green = batched_or_sequential_run(
+            algorithm, red, _chunk_algorithm_generator(entropy, start)
+        )
     return ChunkStats(
         trials=size,
         histogram=np.bincount(probes),
@@ -345,25 +394,38 @@ def _run_chunk(
     )
 
 
-def _pair_payload(algorithm: ProbingAlgorithm, source: ColoringSource) -> tuple[bytes, str]:
-    """Pickle the (algorithm, source) pair once per run, plus a cache token.
+def _pair_payload(
+    algorithm: ProbingAlgorithm, source: ColoringSource, backend: str = "numpy"
+) -> tuple[bytes, str]:
+    """Pickle the (algorithm, source, backend) triple once per run, plus a
+    cache token.
 
-    The parent serializes the pair a single time and ships the same bytes
+    The parent serializes the triple a single time and ships the same bytes
     with every chunk task; workers deserialize once per token and then
     reuse the *same* objects for all their chunks, so the per-algorithm
     kernel scratch (:func:`repro.core.batched.kernel_scratch`) stays warm
-    inside workers exactly as it does sequentially.
+    inside workers exactly as it does sequentially.  The resolved backend
+    rides in the payload so sharded and distributed workers evaluate their
+    chunks on the same kernels as the parent.
     """
-    blob = pickle.dumps((algorithm, source), protocol=pickle.HIGHEST_PROTOCOL)
+    blob = pickle.dumps(
+        (algorithm, source, backend), protocol=pickle.HIGHEST_PROTOCOL
+    )
     return blob, hashlib.blake2s(blob, digest_size=16).hexdigest()
+
+
+def _unpack_pair(pair) -> tuple[ProbingAlgorithm, ColoringSource, str]:
+    """Unpack a deserialized pair payload; pre-backend payloads (legacy
+    checkpoints) were plain ``(algorithm, source)`` pairs on numpy."""
+    if len(pair) == 2:
+        return pair[0], pair[1], "numpy"
+    return pair
 
 
 #: Worker-side cache of deserialized (algorithm, source) pairs, keyed by
 #: the payload token; small LRU so long-lived shared pools don't accumulate
 #: every pair they ever ran.
-_WORKER_PAIRS: "OrderedDict[str, tuple[ProbingAlgorithm, ColoringSource]]" = (
-    OrderedDict()
-)
+_WORKER_PAIRS: "OrderedDict[str, tuple]" = OrderedDict()
 _WORKER_PAIRS_MAX = 8
 
 
@@ -378,8 +440,8 @@ def _run_chunk_task(payload) -> ChunkStats:
             _WORKER_PAIRS.popitem(last=False)
     else:
         _WORKER_PAIRS.move_to_end(token)
-    algorithm, source = pair
-    return _run_chunk(algorithm, source, entropy, start, size)
+    algorithm, source, backend = _unpack_pair(pair)
+    return _run_chunk(algorithm, source, entropy, start, size, backend)
 
 
 # -- fault-tolerant pool + chunk leases -------------------------------------------
@@ -582,8 +644,18 @@ def stream_probes(
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 1,
     resume=None,
+    backend: str | None = None,
 ) -> StreamResult:
     """Run the streaming engine for one (algorithm, source) pair.
+
+    ``backend`` selects the kernel backend — ``"numpy"``, ``"bitpacked"``
+    (64 trials per word; deterministic algorithms only, rejected loudly
+    otherwise) or ``"auto"`` (see
+    :func:`repro.core.batched.resolve_backend`); ``None`` defers to the
+    ambient default (:func:`default_backend`, normally numpy).  The
+    backend is an execution knob like ``jobs``: for deterministic kernels
+    the merged statistics are byte-identical across backends, and the
+    resolved choice is recorded on ``StreamResult.backend``.
 
     Exactly one of the stopping modes applies: with ``target_ci=None``
     (fixed mode) exactly ``trials`` trials run; with a ``target_ci``
@@ -695,6 +767,13 @@ def stream_probes(
         raise ValueError("chunk_timeout must be positive (None disables it)")
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be at least one chunk")
+    from repro.core.batched import resolve_backend
+
+    backend = resolve_backend(
+        algorithm,
+        _AMBIENT_BACKEND if backend is None else backend,
+        trials if trials is not None else max_trials,
+    )
 
     entropy = _resolve_entropy(seed)
     rule = _StoppingRule(trials, target_ci, min_trials, max_trials)
@@ -709,7 +788,7 @@ def stream_probes(
 
     pair_blob = None
     if checkpoint_path is not None:
-        pair_blob, _ = _pair_payload(algorithm, source)
+        pair_blob, _ = _pair_payload(algorithm, source, backend)
 
     def write_checkpoint(complete: bool) -> None:
         if checkpoint_path is None:
@@ -775,11 +854,14 @@ def stream_probes(
                         ledger,
                         coordinator,
                         absorb=absorb,
+                        backend=backend,
                     )
                 finally:
                     reassignments = coordinator.reassignments - reassigned_before
             elif jobs <= 1 and executor is None:
-                _sequential_drive(algorithm, source, entropy, schedule, ledger, absorb)
+                _sequential_drive(
+                    algorithm, source, entropy, schedule, ledger, absorb, backend
+                )
             else:
                 if executor is None:
                     pool: "ChunkPool | _BorrowedPool" = ChunkPool(max_workers=jobs)
@@ -800,6 +882,7 @@ def stream_probes(
                         window=2 * max(jobs, 1),
                         chunk_timeout=chunk_timeout,
                         absorb=absorb,
+                        backend=backend,
                     )
                 finally:
                     respawns = getattr(pool, "respawns", 0) - respawns_before
@@ -830,6 +913,7 @@ def stream_probes(
         retries_used=ledger.failures,
         pool_respawns=respawns,
         worker_reassignments=reassignments,
+        backend=backend,
     )
     for totals in _RECOVERY_COLLECTORS:
         for key in RECOVERY_KEYS:
@@ -844,12 +928,13 @@ def _sequential_drive(
     schedule: Iterator[tuple[int, int]],
     ledger: ChunkLedger,
     absorb,
+    backend: str = "numpy",
 ) -> None:
     """Run chunks in-process, retrying failures against the lease ledger."""
     for start, size in schedule:
         while True:
             try:
-                stats = _run_chunk(algorithm, source, entropy, start, size)
+                stats = _run_chunk(algorithm, source, entropy, start, size, backend)
                 break
             except KeyboardInterrupt:
                 raise
@@ -871,6 +956,7 @@ def _sharded_drive(
     window: int,
     chunk_timeout: float | None,
     absorb,
+    backend: str = "numpy",
 ) -> None:
     """Shard chunks over worker processes with crash/timeout recovery.
 
@@ -885,7 +971,7 @@ def _sharded_drive(
     * a chunk missing ``chunk_timeout`` charges that chunk and respawns
       too — only killing the worker reclaims a hung chunk.
     """
-    blob, token = _pair_payload(algorithm, source)
+    blob, token = _pair_payload(algorithm, source, backend)
 
     def submit(start: int, size: int):
         return pool.submit(_run_chunk_task, (blob, token, entropy, start, size))
@@ -967,13 +1053,16 @@ def resume_stream(
     retry_backoff: float | None = None,
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 1,
+    backend: str | None = None,
 ) -> StreamResult:
     """Continue a checkpointed run from its own serialized state.
 
-    The checkpoint carries the pickled ``(algorithm, source)`` pair, so no
-    other description of the run is needed — this is what
+    The checkpoint carries the pickled ``(algorithm, source, backend)``
+    payload, so no other description of the run is needed — this is what
     ``repro-probe estimate --resume`` calls.  By default the continued run
-    keeps checkpointing to the same file.
+    keeps checkpointing to the same file and stays on the backend the
+    interrupted run resolved (backends are byte-identical for
+    deterministic kernels, so overriding ``backend`` is safe).
     """
     from repro.core.checkpoint import load_engine_checkpoint
 
@@ -984,10 +1073,11 @@ def resume_stream(
             "pair; resume through stream_probes(resume=...) with the "
             "original objects instead"
         )
-    algorithm, source = pickle.loads(state.pair_blob)
+    algorithm, source, recorded_backend = _unpack_pair(pickle.loads(state.pair_blob))
     return stream_probes(
         algorithm,
         source,
+        backend=recorded_backend if backend is None else backend,
         jobs=jobs,
         executor=executor,
         coordinator=coordinator,
@@ -1020,6 +1110,7 @@ def stream_estimate(
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 1,
     resume=None,
+    backend: str | None = None,
 ) -> Estimate:
     """:func:`stream_probes`, reduced to a plain
     :class:`~repro.core.estimator.Estimate` (``trials`` = trials used)."""
@@ -1042,4 +1133,5 @@ def stream_estimate(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        backend=backend,
     ).estimate

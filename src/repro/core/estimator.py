@@ -86,6 +86,7 @@ def estimate_average_probes(
     min_trials: int | None = None,
     max_trials: int | None = None,
     jobs: int = 1,
+    backend: str | None = None,
 ) -> Estimate:
     """Estimate the expected probe count under an input distribution.
 
@@ -112,6 +113,11 @@ def estimate_average_probes(
     one-shot batched path of old; randomized algorithms draw the same
     distribution from per-chunk streams, so per-seed values differ from
     the sequential path.  ``validate`` is not supported there.
+
+    ``backend`` selects the engine's kernel backend (``numpy``,
+    ``bitpacked`` or ``auto``, see
+    :func:`repro.core.batched.resolve_backend`); setting it routes
+    estimation through the streaming engine like the other engine knobs.
     """
     streaming = (
         target_ci is not None
@@ -119,6 +125,7 @@ def estimate_average_probes(
         or min_trials is not None
         or max_trials is not None
         or jobs != 1
+        or backend is not None
     )
     from repro.core.engine import resolve_fixed_trials
 
@@ -141,6 +148,7 @@ def estimate_average_probes(
             max_trials=max_trials,
             seed=seed,
             jobs=jobs,
+            backend=backend,
         )
     if source is not None:
         from repro.core.coloring import as_numpy_generator

@@ -363,6 +363,7 @@ def distributed_drive(
     coordinator: Coordinator,
     *,
     absorb,
+    backend: str = "numpy",
 ) -> None:
     """Drive one engine run over the coordinator's workers.
 
@@ -374,7 +375,7 @@ def distributed_drive(
     abandons speculative leases — their results arrive tagged with this
     run's id and are discarded by the next run.
     """
-    blob, token = engine._pair_payload(algorithm, source)
+    blob, token = engine._pair_payload(algorithm, source, backend)
     run_id = coordinator._next_run_id()
     pending: list[_Lease] = []
     exhausted = False
@@ -444,7 +445,7 @@ def distributed_drive(
             while True:
                 try:
                     head.stats = engine._run_chunk(
-                        algorithm, source, entropy, head.start, head.size
+                        algorithm, source, entropy, head.start, head.size, backend
                     )
                     break
                 except KeyboardInterrupt:

@@ -137,7 +137,7 @@ def _serve_lease(
     pairs: "OrderedDict[str, tuple]",
     interval: float,
 ) -> None:
-    from repro.core.engine import _run_chunk
+    from repro.core.engine import _run_chunk, _unpack_pair
 
     run = int(message["run"])
     start = int(message["start"])
@@ -154,7 +154,7 @@ def _serve_lease(
                 ),
             )
         return
-    algorithm, source = pair
+    algorithm, source, backend = _unpack_pair(pair)
     stop = threading.Event()
     beat = threading.Thread(
         target=_heartbeat_loop,
@@ -165,7 +165,9 @@ def _serve_lease(
     try:
         # The same chunk evaluation every backend runs — including its
         # "chunk"-site faults, so an injected kill dies here like SIGKILL.
-        stats = _run_chunk(algorithm, source, int(message["entropy"]), start, size)
+        stats = _run_chunk(
+            algorithm, source, int(message["entropy"]), start, size, backend
+        )
     except Exception as error:
         stop.set()
         beat.join()

@@ -51,9 +51,11 @@ SWEEP_KIND = "p_sweep"
 #: Version of the sweep artifact JSON schema.  Version 1 added the
 #: per-cell ``status``/``error`` fields (degraded grids); version 2 adds
 #: the per-cell recovery counters (``retries_used``/``pool_respawns``/
-#: ``worker_reassignments``).  Older artifacts still load, with every cell
-#: ``"ok"`` (v0) and all recovery counters zero (v0/v1).
-SWEEP_SCHEMA_VERSION = 2
+#: ``worker_reassignments``); version 3 adds the per-cell resolved kernel
+#: ``backend``.  Older artifacts still load, with every cell ``"ok"``
+#: (v0), all recovery counters zero (v0/v1) and backend ``"numpy"``
+#: (v0-v2).
+SWEEP_SCHEMA_VERSION = 3
 
 #: ``kind`` field of sweep checkpoint files (grid-level resume).
 SWEEP_CHECKPOINT_KIND = "sweep_checkpoint"
@@ -100,6 +102,10 @@ class SweepCell:
     retries_used: int = 0
     pool_respawns: int = 0
     worker_reassignments: int = 0
+    #: Resolved kernel backend the cell ran on ("numpy" or "bitpacked");
+    #: an execution detail like ``seconds`` — cell statistics are
+    #: byte-identical across backends for deterministic kernels.
+    backend: str = "numpy"
 
 
 @dataclass(frozen=True)
@@ -210,8 +216,17 @@ def run_sweep(
     coordinator=None,
     checkpoint_path: str | Path | None = None,
     resume: "SweepCheckpoint | str | Path | None" = None,
+    backend: str | None = None,
 ) -> SweepResult:
     """Run a streaming Monte-Carlo sweep over the ``(sizes, ps)`` grid.
+
+    ``backend`` selects every cell's kernel backend (``numpy``,
+    ``bitpacked`` or ``auto``, see
+    :func:`repro.core.batched.resolve_backend`); like ``jobs`` it is an
+    execution knob — deterministic cells are byte-identical across
+    backends — and each cell records the backend it resolved to.  Note
+    ``backend="bitpacked"`` on a randomized sweep fails loudly (degraded
+    to per-cell failures unless ``fail_fast``).
 
     ``system_name`` and ``sizes`` use the conventions of
     :func:`repro.systems.build_system` (size knob = tree/HQS height,
@@ -372,6 +387,7 @@ def run_sweep(
                         coordinator=coordinator,
                         retries=retries,
                         chunk_timeout=chunk_timeout,
+                        backend=backend,
                     )
                 except Exception as error:
                     if fail_fast:
@@ -395,6 +411,7 @@ def run_sweep(
                         retries_used=result.retries_used,
                         pool_respawns=result.pool_respawns,
                         worker_reassignments=result.worker_reassignments,
+                        backend=result.backend,
                     )
                 )
                 write_checkpoint(complete=False)
@@ -425,6 +442,7 @@ def resume_sweep(
     chunk_timeout: float | None = None,
     coordinator=None,
     checkpoint_path: str | Path | None = None,
+    backend: str | None = None,
 ) -> SweepResult:
     """Continue a checkpointed sweep from its own serialized state.
 
@@ -456,6 +474,7 @@ def resume_sweep(
         coordinator=coordinator,
         checkpoint_path=Path(path) if checkpoint_path is None else checkpoint_path,
         resume=state,
+        backend=backend,
     )
 
 
@@ -496,6 +515,9 @@ def render_sweep(result: SweepResult) -> str:
         f"{len(result.cells)} cells in {total:.3f}s "
         f"({'vectorized kernel' if kernel else 'per-trial fallback in use'})"
     )
+    backends = sorted({c.backend for c in measured})
+    if backends:
+        lines.append(f"backend: {', '.join(backends)}")
     if result.target_ci is not None:
         used = sum(c.n_trials_used for c in measured)
         lines.append(f"adaptive stopping used {used} trials across the grid")

@@ -110,7 +110,7 @@ class TestDispatchAndFallback:
         finally:
             from repro.core import batched
 
-            del batched._KERNELS[TweakedProbeMaj]
+            del batched._KERNELS[(TweakedProbeMaj, "numpy")]
 
     def test_fallback_matches_sequential(self):
         algorithm = SequentialScan(TreeSystem(3))

@@ -1,0 +1,369 @@
+"""Tests for the bit-packed kernel backend (:mod:`repro.core.bitpacked`).
+
+The load-bearing contract is *bit identity*: for every deterministic
+algorithm with a packed kernel, the bitpacked backend must reproduce the
+numpy backend's per-trial probe counts and witness colors exactly — and
+therefore identical histograms through the streaming engine under every
+chunk size, ``jobs=N`` and distributed split.  Randomized algorithms must
+be rejected loudly.  The packing layout, the slab sampler's RNG-stream
+equivalence, the bit-sliced arithmetic and the popcount fallback are
+pinned directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ProbeCW, ProbeHQS, ProbeMaj, ProbeTree, RProbeCW, RProbeMaj
+from repro.core.batched import (
+    AUTO_BITPACKED_MIN_TRIALS,
+    batched_run,
+    resolve_backend,
+    sample_red_matrix,
+    scratch_ones,
+    supports_batched,
+)
+from repro.core.bitpacked import (
+    _popcount64_lut,
+    accumulate_bit,
+    count_ones,
+    counter_add,
+    pack_matrix,
+    planes_add,
+    planes_to_counts,
+    popcount64,
+    run_packed,
+    sample_packed,
+    threshold_counter,
+    unpack_matrix,
+)
+from repro.core.distributions import BernoulliSource, build_source
+from repro.core.engine import stream_probes
+from repro.core.estimator import estimate_average_probes
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+    uniform_wall,
+)
+
+#: Every deterministic algorithm with a packed kernel, over assorted sizes
+#: and failure probabilities (non-power sizes, skewed p both ways).
+PACKED_CASES = [
+    (ProbeMaj(MajoritySystem(25)), 0.5),
+    (ProbeMaj(MajoritySystem(101)), 0.3),
+    (ProbeCW(TriangSystem(8)), 0.5),
+    (ProbeCW(CrumblingWall([1, 3, 3, 3])), 0.7),
+    (ProbeCW(uniform_wall(rows=5, width=10)), 0.2),
+    (ProbeTree(TreeSystem(4)), 0.5),
+    (ProbeTree(TreeSystem(6)), 0.8),
+    (ProbeHQS(HQS(3)), 0.5),
+    (ProbeHQS(HQS(2)), 0.1),
+]
+
+_case_id = lambda case: f"{case[0].name}-n{case[0].system.n}-p{case[1]}"  # noqa: E731
+
+
+# -- packing layout ---------------------------------------------------------------
+
+
+class TestPacking:
+    @pytest.mark.parametrize("trials", [1, 63, 64, 65, 70, 128, 200])
+    def test_roundtrip(self, trials):
+        red = sample_red_matrix(11, 0.4, trials, rng=3)
+        packed = pack_matrix(red)
+        assert packed.trials == trials
+        assert packed.n == 11
+        assert packed.n_words == -(-trials // 64)
+        np.testing.assert_array_equal(unpack_matrix(packed), red)
+
+    def test_layout_is_transposed_little_endian(self):
+        # Trial t of element e+1 is bit (t mod 64) of words[t // 64, e].
+        red = sample_red_matrix(5, 0.5, 130, rng=9)
+        packed = pack_matrix(red)
+        for trial, element in [(0, 0), (63, 4), (64, 2), (129, 3)]:
+            bit = (int(packed.words[trial // 64, element]) >> (trial % 64)) & 1
+            assert bool(bit) == bool(red[trial, element])
+
+    def test_tail_lanes_are_zero_padding(self):
+        red = np.ones((70, 3), dtype=bool)
+        packed = pack_matrix(red)
+        mask = packed.valid_mask()
+        assert mask[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert mask[1] == np.uint64((1 << 6) - 1)
+        # Bits above the valid lanes stay clear even for an all-red matrix.
+        assert not np.any(packed.words & ~mask[:, None])
+
+    def test_zero_trials(self):
+        packed = pack_matrix(np.zeros((0, 4), dtype=bool))
+        assert packed.n_words == 0
+        assert unpack_matrix(packed).shape == (0, 4)
+
+
+class TestSamplePacked:
+    @pytest.mark.parametrize("trials", [1, 64, 70, 5000])
+    def test_bernoulli_stream_identical_to_matrix_draw(self, trials):
+        source = BernoulliSource(13, 0.35)
+        packed = sample_packed(source, 13, trials, rng=17, slab_trials=1024)
+        expected = source.sample_matrix(13, trials, np.random.default_rng(17))
+        np.testing.assert_array_equal(unpack_matrix(packed), expected)
+
+    def test_generic_source_falls_back_to_matrix_packing(self):
+        system = MajoritySystem(9)
+        source = build_source("fixed_count", system, 0.4)
+        packed = sample_packed(source, 9, 100, rng=5)
+        expected = source.sample_matrix(9, 100, np.random.default_rng(5))
+        np.testing.assert_array_equal(unpack_matrix(packed), expected)
+
+    def test_rejects_mismatched_n_and_bad_slab(self):
+        source = BernoulliSource(8, 0.5)
+        with pytest.raises(ValueError, match="n=8"):
+            sample_packed(source, 9, 64)
+        with pytest.raises(ValueError, match="multiple of 64"):
+            sample_packed(source, 8, 64, slab_trials=100)
+
+
+# -- bit-sliced arithmetic and popcount -------------------------------------------
+
+
+class TestBitSliced:
+    def test_accumulate_and_unpack(self):
+        rng = np.random.default_rng(2)
+        planes: list[np.ndarray] = []
+        reference = np.zeros(100, dtype=np.int64)
+        for _ in range(13):
+            lanes = rng.random(100) < 0.6
+            bits = pack_matrix(lanes[:, None]).words[:, 0]
+            accumulate_bit(planes, bits)
+            reference += lanes
+        np.testing.assert_array_equal(planes_to_counts(planes, 100), reference)
+
+    def test_planes_add_matches_integer_addition(self):
+        rng = np.random.default_rng(4)
+        a_val = rng.integers(0, 50, size=64)
+        b_val = rng.integers(0, 50, size=64)
+
+        def planes_of(values):
+            planes = []
+            for i in range(int(values.max()).bit_length()):
+                lanes = ((values >> i) & 1).astype(bool)
+                planes.append(pack_matrix(lanes[:, None]).words[:, 0])
+            return planes
+
+        total = planes_add(planes_of(a_val), planes_of(b_val))
+        np.testing.assert_array_equal(planes_to_counts(total, 64), a_val + b_val)
+
+    @pytest.mark.parametrize("target", [1, 2, 3, 7, 13])
+    def test_threshold_counter_fires_on_the_target_th_add(self, target):
+        ones = np.full(1, np.uint64(0xFFFFFFFFFFFFFFFF))
+        counter = threshold_counter(target, ones.shape)
+        for add in range(1, target + 1):
+            fired = counter_add(counter, ones)
+            assert bool(fired[0]) == (add == target)
+
+    def test_popcount_lut_matches_bitwise_count(self):
+        rng = np.random.default_rng(8)
+        words = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+        np.testing.assert_array_equal(_popcount64_lut(words), popcount64(words))
+        assert count_ones(words) == int(popcount64(words).sum())
+
+
+# -- kernel equivalence -----------------------------------------------------------
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("case", PACKED_CASES, ids=_case_id)
+    @pytest.mark.parametrize("trials", [70, 256])
+    def test_packed_matches_numpy_trial_by_trial(self, case, trials):
+        algorithm, p = case
+        red = sample_red_matrix(algorithm.system.n, p, trials, rng=23)
+        probes, witness = batched_run(algorithm, red)
+        packed_probes, packed_witness = run_packed(algorithm, pack_matrix(red))
+        np.testing.assert_array_equal(packed_probes, probes)
+        np.testing.assert_array_equal(packed_witness, witness)
+
+    def test_extreme_colorings(self):
+        # All-red and all-green matrices hit every early-exit branch.
+        for algorithm in (ProbeMaj(MajoritySystem(9)), ProbeCW(TriangSystem(4)),
+                          ProbeTree(TreeSystem(3)), ProbeHQS(HQS(2))):
+            n = algorithm.system.n
+            for matrix in (np.zeros((65, n), bool), np.ones((65, n), bool)):
+                probes, witness = batched_run(algorithm, matrix)
+                packed_probes, packed_witness = run_packed(algorithm, pack_matrix(matrix))
+                np.testing.assert_array_equal(packed_probes, probes)
+                np.testing.assert_array_equal(packed_witness, witness)
+
+    def test_run_packed_rejects_wrong_n_and_missing_kernel(self):
+        packed = pack_matrix(np.zeros((64, 5), bool))
+        with pytest.raises(ValueError, match="n=5"):
+            run_packed(ProbeMaj(MajoritySystem(9)), packed)
+        with pytest.raises(TypeError, match="no bitpacked kernel"):
+            run_packed(RProbeMaj(MajoritySystem(5)), pack_matrix(np.zeros((64, 5), bool)))
+
+    def test_packed_cw_rejects_random_in_row_order(self):
+        from repro.core.bitpacked import packed_probe_cw_kernel
+
+        algorithm = RProbeCW(TriangSystem(4))
+        with pytest.raises(ValueError, match="deterministic"):
+            packed_probe_cw_kernel(algorithm, pack_matrix(np.zeros((64, algorithm.system.n), bool)))
+
+
+# -- backend registry and resolution ----------------------------------------------
+
+
+class TestBackendResolution:
+    def test_supports_batched_backend_dimension(self):
+        assert supports_batched(ProbeMaj(MajoritySystem(5)), backend="bitpacked")
+        assert not supports_batched(RProbeMaj(MajoritySystem(5)), backend="bitpacked")
+
+    def test_numpy_passthrough(self):
+        assert resolve_backend(ProbeMaj(MajoritySystem(5)), "numpy") == "numpy"
+        assert resolve_backend(RProbeMaj(MajoritySystem(5)), "numpy") == "numpy"
+
+    def test_bitpacked_rejects_randomized_loudly(self):
+        with pytest.raises(ValueError, match="randomized"):
+            resolve_backend(RProbeMaj(MajoritySystem(5)), "bitpacked")
+
+    def test_auto_policy(self):
+        deterministic = ProbeMaj(MajoritySystem(5))
+        assert resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS) == "bitpacked"
+        assert resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS - 1) == "numpy"
+        assert resolve_backend(deterministic, "auto", None) == "bitpacked"
+        assert resolve_backend(RProbeMaj(MajoritySystem(5)), "auto", 10**6) == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend(ProbeMaj(MajoritySystem(5)), "cuda")
+
+    def test_scratch_ones_is_read_only(self):
+        ones = scratch_ones(ProbeMaj(MajoritySystem(5)), (16,))
+        with pytest.raises(ValueError):
+            ones[0] = 5
+
+
+# -- streaming-engine bit identity ------------------------------------------------
+
+
+def _histograms_match(a, b):
+    return (
+        a.histogram == b.histogram
+        and a.mean == b.mean
+        and a.std == b.std
+        and a.witness_red == b.witness_red
+        and a.n_trials_used == b.n_trials_used
+    )
+
+
+class TestStreamIdentity:
+    @pytest.mark.parametrize("chunk_size", [1, 97, 500])
+    def test_chunked_histograms_identical(self, chunk_size):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, trials=500, seed=13, chunk_size=chunk_size)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        packed = stream_probes(algorithm, backend="bitpacked", **kwargs)
+        assert base.backend == "numpy"
+        assert packed.backend == "bitpacked"
+        assert _histograms_match(packed, base)
+
+    @pytest.mark.parametrize("case", PACKED_CASES[:4], ids=_case_id)
+    def test_every_kernel_through_the_engine(self, case):
+        algorithm, p = case
+        kwargs = dict(p=p, trials=300, seed=7, chunk_size=128)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        packed = stream_probes(algorithm, backend="bitpacked", **kwargs)
+        assert _histograms_match(packed, base)
+
+    def test_sharded_jobs_identical(self):
+        algorithm = ProbeTree(TreeSystem(4))
+        kwargs = dict(p=0.5, trials=600, seed=3, chunk_size=64)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        packed = stream_probes(algorithm, backend="bitpacked", jobs=4, **kwargs)
+        assert _histograms_match(packed, base)
+
+    def test_nonaligned_final_chunk(self):
+        # trials not a multiple of the chunk size nor of 64: the padded tail
+        # lanes of the last word must not leak into the histogram.
+        algorithm = ProbeHQS(HQS(2))
+        kwargs = dict(p=0.3, trials=333, seed=5, chunk_size=100)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        packed = stream_probes(algorithm, backend="bitpacked", **kwargs)
+        assert _histograms_match(packed, base)
+
+    def test_adaptive_stop_identical(self):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, target_ci=0.3, chunk_size=64, seed=11, max_trials=4096)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        packed = stream_probes(algorithm, backend="bitpacked", **kwargs)
+        assert _histograms_match(packed, base)
+
+    def test_checkpoint_resume_preserves_backend(self, tmp_path):
+        from repro.core.engine import resume_stream
+        from repro.testing import faults
+        from repro.testing.faults import Fault
+
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, trials=400, seed=19, chunk_size=64)
+        base = stream_probes(algorithm, backend="bitpacked", **kwargs)
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(KeyboardInterrupt):
+            with faults.active_plan(
+                [Fault("merge", 1, "interrupt")], tmp_path / "plan"
+            ):
+                stream_probes(
+                    algorithm, backend="bitpacked", checkpoint_path=path, **kwargs
+                )
+        # The backend rides in the checkpoint's pair blob: the resume keeps
+        # running bitpacked without being told, bit-identically.
+        resumed = resume_stream(path)
+        assert resumed.backend == "bitpacked"
+        assert _histograms_match(resumed, base)
+
+    def test_randomized_backend_error_through_engine(self):
+        with pytest.raises(ValueError, match="randomized"):
+            stream_probes(
+                RProbeMaj(MajoritySystem(9)), p=0.5, trials=64, seed=1, backend="bitpacked"
+            )
+        with pytest.raises(ValueError, match="randomized"):
+            estimate_average_probes(
+                RProbeMaj(MajoritySystem(9)), 0.5, trials=64, seed=1, backend="bitpacked"
+            )
+
+    def test_estimator_backend_knob(self):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        base = estimate_average_probes(algorithm, 0.4, trials=500, seed=13, backend="numpy")
+        packed = estimate_average_probes(algorithm, 0.4, trials=500, seed=13, backend="bitpacked")
+        assert packed.mean == base.mean
+        assert packed.std == base.std
+
+
+class TestDistributedIdentity:
+    def test_loopback_workers_match_numpy_sequential(self):
+        from repro.distributed import Coordinator, run_worker
+
+        algorithm = ProbeCW(TriangSystem(8))
+        kwargs = dict(p=0.5, trials=512, seed=29, chunk_size=64)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        with Coordinator() as coordinator:
+            workers = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(coordinator.addresses[0],),
+                    kwargs={"heartbeat_interval": 0.05, "reconnect_for": 5.0,
+                            "name": f"bitpacked-worker-{i}"},
+                    daemon=True,
+                )
+                for i in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            coordinator.wait_for_workers(2, timeout=30.0)
+            packed = stream_probes(
+                algorithm, backend="bitpacked", coordinator=coordinator, **kwargs
+            )
+        assert packed.backend == "bitpacked"
+        assert _histograms_match(packed, base)

@@ -271,7 +271,7 @@ class TestResultShape:
         blob, token = engine_module._pair_payload(algorithm, source)
         engine_module._WORKER_PAIRS.pop(token, None)
         first = engine_module._run_chunk_task((blob, token, 5, 0, 16))
-        cached_algorithm, _ = engine_module._WORKER_PAIRS[token]
+        cached_algorithm = engine_module._WORKER_PAIRS[token][0]
         second = engine_module._run_chunk_task((blob, token, 5, 16, 16))
         # Same deserialized object served both chunks, so its kernel
         # scratch stays warm inside a worker.

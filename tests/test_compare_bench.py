@@ -106,7 +106,29 @@ class TestGate:
         grown = _base(streaming_engine={"chunked_seconds": 0.5})
         new = _snapshot(tmp_path, "new.json", grown)
         assert compare_bench.main([old, new]) == 0
-        assert "only in NEW" in capsys.readouterr().out
+        assert "NEW section streaming_engine (1 metric)" in capsys.readouterr().out
+
+    def test_removed_section_reported_grouped(self, tmp_path, capsys):
+        old = _snapshot(
+            tmp_path,
+            "old.json",
+            _base(dropped={"a_seconds": 0.5, "b_seconds": 0.7}),
+        )
+        new = _snapshot(tmp_path, "new.json", _base())
+        assert compare_bench.main([old, new]) == 0
+        assert "REMOVED section dropped (2 metrics)" in capsys.readouterr().out
+
+    def test_one_sided_metric_in_shared_section_listed_individually(
+        self, tmp_path, capsys
+    ):
+        renamed = _base()
+        renamed["exact_solver"] = {"mask_dp_v2_seconds": 1.0, "speedup": 40.0}
+        old = _snapshot(tmp_path, "old.json", _base())
+        new = _snapshot(tmp_path, "new.json", renamed)
+        assert compare_bench.main([old, new]) == 0
+        out = capsys.readouterr().out
+        assert "REMOVED metric exact_solver.mask_dp_seconds" in out
+        assert "NEW metric exact_solver.mask_dp_v2_seconds" in out
 
     def test_noise_floor_skips_tiny_timings(self, tmp_path):
         old = _snapshot(tmp_path, "old.json", _base(tiny={"x_seconds": 0.0001}))
