@@ -4,6 +4,15 @@ Usage::
 
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.2]
     python benchmarks/compare_bench.py --quick OLD.json NEW.json   # CI gate
+    python benchmarks/compare_bench.py --history [SNAPSHOT...]     # trajectory
+
+``--history`` renders a perf-trajectory table instead of gating: one
+column per snapshot (default: every ``BENCH_*.json`` committed in the
+repo root, ordered by date), one row per ratio metric — speedups and
+throughput ratios, the host-normalized numbers that stay comparable
+across the machines the committed snapshots came from.  Absolute
+timings are deliberately omitted: across container hosts they track the
+hardware, not the code.
 
 Walks both snapshots, pairs up every *shared* performance metric by its
 path (sections keyed recursively; list entries matched by their
@@ -179,10 +188,68 @@ def _one_sided_notes(
     return notes
 
 
+def history(paths: list[Path]) -> int:
+    """Render the perf trajectory of ratio metrics across snapshots."""
+    if not paths:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print("compare_bench --history: no BENCH_*.json snapshots found")
+        return 2
+    snapshots = []
+    for path in paths:
+        payload = json.loads(Path(path).read_text())
+        label = payload.get("date", Path(path).stem)
+        if payload.get("quick"):
+            label += " (quick)"
+        snapshots.append((label, flatten(payload)))
+    snapshots.sort(key=lambda item: item[0])
+
+    rows = sorted({
+        path
+        for _, metrics in snapshots
+        for path in metrics
+        if classify(path) == "ratio"
+    })
+    if not rows:
+        print("compare_bench --history: no ratio metrics in any snapshot")
+        return 2
+    name_width = max(len(row) for row in rows)
+    col_widths = [max(len(label), 8) for label, _ in snapshots]
+    header = "metric".ljust(name_width) + "".join(
+        f"  {label:>{width}}" for (label, _), width in zip(snapshots, col_widths)
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for (_, metrics), width in zip(snapshots, col_widths):
+            value = metrics.get(row)
+            cells.append(
+                f"  {value:>{width}.2f}" if value is not None else f"  {'—':>{width}}"
+            )
+        print(row.ljust(name_width) + "".join(cells))
+    print(
+        f"\n{len(rows)} ratio metrics across {len(snapshots)} snapshots "
+        "(— = not measured in that snapshot; timings omitted as host-bound)"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
-    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        help="OLD.json NEW.json to gate, or any number of snapshots "
+        "with --history (default: repo-root BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="render a perf-trajectory table across snapshots instead of gating",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -201,6 +268,11 @@ def main(argv=None) -> int:
         help="CI profile: lenient threshold, require matching quick flags",
     )
     args = parser.parse_args(argv)
+    if args.history:
+        return history(args.paths)
+    if len(args.paths) != 2:
+        parser.error("expected exactly two snapshots: OLD.json NEW.json")
+    args.old, args.new = args.paths
     threshold = args.threshold
     if threshold is None:
         threshold = 1.0 if args.quick else 0.2

@@ -1,0 +1,421 @@
+"""Compiled kernel backend: numba-jitted fused loops over packed planes.
+
+The bitpacked backend (:mod:`repro.core.bitpacked`) already evaluates 64
+trials per ``uint64`` word, but its bit-sliced counters live in Python
+lists of numpy arrays: every ripple-carry step and every full-adder plane
+is a separate numpy dispatch.  ``BENCH_2026-08-08.json`` shows where that
+ceiling bites — ProbeMaj (few planes, wide words) reaches ~21x over numpy
+while ProbeCW/Tree/HQS sit at 1.6–2.7x because their adder chains issue
+hundreds of tiny array ops per chunk.  This module fuses each algorithm's
+whole recurrence — probe-order scan, wall-row mode scan, tree/HQS gate
+levels, carry-save adders and the final per-trial unpack — into **one
+loop per kernel** over scalar ``uint64`` words, and compiles that loop
+with ``numba.njit(cache=True)``.
+
+The kernels operate on the same :class:`~repro.core.bitpacked.PackedColorings`
+layout as the bitpacked backend (bit ``t`` of ``words[w, e]`` is trial
+``64 * w + t``'s red bit for element ``e + 1``) and reproduce the numpy
+kernels' per-trial probe counts and witness colors exactly — integer
+arithmetic in all three backends — so probe-count histograms are
+bit-identical across ``numpy`` / ``bitpacked`` / ``compiled`` under every
+chunk size, ``jobs=N`` and distributed split, which
+``tests/core/test_compiled.py`` pins.
+
+numba is an *optional* dependency, gated on
+``importlib.util.find_spec("numba")``:
+
+* with numba, the loop bodies are jitted on first call (``cache=True``
+  persists the machine code across processes);
+* without numba, the loop bodies below remain plain Python functions.
+  They stay registered (so the registry can describe them and tests can
+  exercise their bit-exact semantics on tiny batches), but
+  :func:`repro.core.batched.resolve_backend` refuses ``backend="compiled"``
+  loudly and the ``auto`` policy falls through to ``bitpacked``.
+
+Randomized algorithms keep the numpy path for the same reason as the
+bitpacked backend: their per-trial permutation draws have no packed
+formulation that preserves the sequential RNG contract.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.algorithms.crumbling_walls import ProbeCW
+from repro.algorithms.hqs import ProbeHQS
+from repro.algorithms.majority import ProbeMaj
+from repro.algorithms.tree import ProbeTree
+from repro.core.batched import kernel_scratch, register_kernel
+
+if TYPE_CHECKING:  # runtime import would be circular: bitpacked imports
+    from repro.core.bitpacked import PackedColorings  # batched imports here
+
+#: True when numba is importable; the compiled backend is only *resolvable*
+#: (``resolve_backend``) in that case.  The kernels below are importable and
+#: registered either way.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised by the optional CI job
+    from numba import njit
+
+    def _jit(func):
+        """numba's nopython JIT with on-disk caching (one warmup per machine)."""
+        return njit(cache=True)(func)
+
+else:
+
+    def _jit(func):
+        """numba absent: leave the loop as plain Python (tests only — the
+        resolver never routes production runs here)."""
+        return func
+
+
+# Scalar uint64 constants: module-level numpy scalars are frozen into the
+# jitted code as constants, and behave identically (wrap-around, logical
+# shifts) when the loops run as plain Python.
+_ZERO = np.uint64(0)
+_ONE = np.uint64(1)
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _probe_width(n: int) -> int:
+    """Bit-planes needed for a probe counter that never exceeds ``n``."""
+    return int(n).bit_length() + 1
+
+
+# -- fused loops ------------------------------------------------------------------
+#
+# Each loop processes one 64-trial word at a time with scalar uint64
+# arithmetic: per-lane counters are little-endian bit-sliced integers held
+# in small uint64 arrays, exactly as in bitpacked.py, but every carry chain
+# is a register-level loop instead of a numpy dispatch.  Outputs are
+# written per-trial directly (probe counts and witness colors), fusing the
+# final unpack into the same pass.
+
+
+@_jit
+def _maj_loop(words, valid, columns, target, width, probe_width, trials, probes_out, witness_out):
+    n_words = words.shape[0]
+    offset = (_ONE << np.uint64(width)) - np.uint64(target)
+    red = np.empty(width, np.uint64)
+    green = np.empty(width, np.uint64)
+    probe_planes = np.empty(probe_width, np.uint64)
+    for w in range(n_words):
+        active = valid[w]
+        for i in range(width):
+            if (offset >> np.uint64(i)) & _ONE:
+                red[i] = _FULL
+                green[i] = _FULL
+            else:
+                red[i] = _ZERO
+                green[i] = _ZERO
+        for i in range(probe_width):
+            probe_planes[i] = _ZERO
+        witness = _ZERO
+        for k in range(columns.shape[0]):
+            if active == _ZERO:
+                break
+            bits = words[w, columns[k]]
+            carry = active
+            i = 0
+            while carry != _ZERO:
+                tmp = probe_planes[i]
+                probe_planes[i] = tmp ^ carry
+                carry = tmp & carry
+                i += 1
+            carry = bits & active
+            for i in range(width):
+                tmp = red[i]
+                red[i] = tmp ^ carry
+                carry = tmp & carry
+            red_fire = carry
+            carry = (~bits) & active
+            for i in range(width):
+                tmp = green[i]
+                green[i] = tmp ^ carry
+                carry = tmp & carry
+            green_fire = carry
+            witness |= green_fire
+            active = active & ~(red_fire | green_fire)
+        base = 64 * w
+        lanes = trials - base
+        if lanes > 64:
+            lanes = 64
+        for t in range(lanes):
+            tu = np.uint64(t)
+            count = 0
+            for i in range(probe_width):
+                count += int((probe_planes[i] >> tu) & _ONE) << i
+            probes_out[base + t] = count
+            witness_out[base + t] = ((witness >> tu) & _ONE) != _ZERO
+
+
+@_jit
+def _cw_loop(words, valid, row_cols, row_offsets, probe_width, trials, probes_out, witness_out):
+    n_words = words.shape[0]
+    n_rows = row_offsets.shape[0] - 1
+    probe_planes = np.empty(probe_width, np.uint64)
+    for w in range(n_words):
+        v = valid[w]
+        mode_red = words[w, row_cols[row_offsets[0]]]
+        for i in range(probe_width):
+            probe_planes[i] = _ZERO
+        carry = v  # the width-1 top row costs one probe in every lane
+        i = 0
+        while carry != _ZERO:
+            tmp = probe_planes[i]
+            probe_planes[i] = tmp ^ carry
+            carry = tmp & carry
+            i += 1
+        for r in range(1, n_rows):
+            still = v
+            for k in range(row_offsets[r], row_offsets[r + 1]):
+                carry = still
+                i = 0
+                while carry != _ZERO:
+                    tmp = probe_planes[i]
+                    probe_planes[i] = tmp ^ carry
+                    carry = tmp & carry
+                    i += 1
+                matches_mode = ~(words[w, row_cols[k]] ^ mode_red)
+                still = still & ~matches_mode
+                if still == _ZERO:
+                    break
+            mode_red = mode_red ^ still  # flip lanes with no mode-colored element
+        witness = (~mode_red) & v
+        base = 64 * w
+        lanes = trials - base
+        if lanes > 64:
+            lanes = 64
+        for t in range(lanes):
+            tu = np.uint64(t)
+            count = 0
+            for i in range(probe_width):
+                count += int((probe_planes[i] >> tu) & _ONE) << i
+            probes_out[base + t] = count
+            witness_out[base + t] = ((witness >> tu) & _ONE) != _ZERO
+
+
+@_jit
+def _tree_loop(words, valid, height, probe_width, trials, probes_out, witness_out):
+    n_words = words.shape[0]
+    first = 1 << height
+    value = np.empty(first, np.uint64)
+    cost = np.empty((first, probe_width), np.uint64)
+    for w in range(n_words):
+        for j in range(first):
+            value[j] = words[w, first - 1 + j]
+            cost[j, 0] = _FULL  # every leaf costs exactly one probe
+            for b in range(1, probe_width):
+                cost[j, b] = _ZERO
+        for depth in range(height - 1, -1, -1):
+            lo = 1 << depth
+            for g in range(lo):
+                elem = words[w, lo - 1 + g]
+                left_v = value[2 * g]
+                right_v = value[2 * g + 1]
+                right_matches = ~(right_v ^ elem)
+                not_matches = ~right_matches
+                # cost[g] = cost[right] + cost[left if right disagreed] + 1
+                carry = _ZERO
+                for b in range(probe_width):
+                    x = cost[2 * g + 1, b]
+                    y = cost[2 * g, b] & not_matches
+                    cost[g, b] = x ^ y ^ carry
+                    carry = (x & y) | (carry & (x ^ y))
+                carry = _FULL
+                for b in range(probe_width):
+                    tmp = cost[g, b]
+                    cost[g, b] = tmp ^ carry
+                    carry = tmp & carry
+                    if carry == _ZERO:
+                        break
+                value[g] = (right_matches & elem) | (not_matches & left_v)
+        witness = (~value[0]) & valid[w]
+        base = 64 * w
+        lanes = trials - base
+        if lanes > 64:
+            lanes = 64
+        for t in range(lanes):
+            tu = np.uint64(t)
+            count = 0
+            for i in range(probe_width):
+                count += int((cost[0, i] >> tu) & _ONE) << i
+            probes_out[base + t] = count
+            witness_out[base + t] = ((witness >> tu) & _ONE) != _ZERO
+
+
+@_jit
+def _hqs_loop(words, valid, height, probe_width, trials, probes_out, witness_out):
+    n_words = words.shape[0]
+    n = words.shape[1]
+    value = np.empty(n, np.uint64)
+    cost = np.empty((n, probe_width), np.uint64)
+    acc = np.empty(probe_width, np.uint64)
+    for w in range(n_words):
+        for j in range(n):
+            value[j] = words[w, j]
+            cost[j, 0] = _FULL  # every leaf costs exactly one probe
+            for b in range(1, probe_width):
+                cost[j, b] = _ZERO
+        size = n
+        for _ in range(height):
+            gates = size // 3
+            for g in range(gates):
+                a = value[3 * g]
+                b_v = value[3 * g + 1]
+                c = value[3 * g + 2]
+                agree = ~(a ^ b_v)
+                disagree = ~agree
+                # cost[g] = cost[c1] + cost[c2] + cost[c3 if c1, c2 disagreed]
+                carry = _ZERO
+                for b in range(probe_width):
+                    x = cost[3 * g, b]
+                    y = cost[3 * g + 1, b]
+                    acc[b] = x ^ y ^ carry
+                    carry = (x & y) | (carry & (x ^ y))
+                carry = _ZERO
+                for b in range(probe_width):
+                    x = acc[b]
+                    y = cost[3 * g + 2, b] & disagree
+                    cost[g, b] = x ^ y ^ carry
+                    carry = (x & y) | (carry & (x ^ y))
+                value[g] = (agree & a) | (disagree & c)
+            size = gates
+        witness = (~value[0]) & valid[w]
+        base = 64 * w
+        lanes = trials - base
+        if lanes > 64:
+            lanes = 64
+        for t in range(lanes):
+            tu = np.uint64(t)
+            count = 0
+            for i in range(probe_width):
+                count += int((cost[0, i] >> tu) & _ONE) << i
+            probes_out[base + t] = count
+            witness_out[base + t] = ((witness >> tu) & _ONE) != _ZERO
+
+
+# -- kernel wrappers --------------------------------------------------------------
+
+
+def _outputs(trials: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.zeros(trials, dtype=np.int64), np.zeros(trials, dtype=bool)
+
+
+def compiled_probe_maj_kernel(algorithm, packed: PackedColorings, rng=None):
+    """Algorithm Probe_Maj as one fused compiled loop per 64-trial word."""
+    scratch = kernel_scratch(algorithm)
+    columns = scratch.get("maj_columns_i64")
+    if columns is None:
+        columns = np.asarray(algorithm.order, dtype=np.int64) - 1
+        scratch["maj_columns_i64"] = columns
+    target = algorithm.system.quorum_size
+    probes, witness = _outputs(packed.trials)
+    _maj_loop(
+        packed.words,
+        packed.valid_mask(),
+        columns,
+        target,
+        target.bit_length(),
+        _probe_width(packed.n),
+        packed.trials,
+        probes,
+        witness,
+    )
+    return probes, witness
+
+
+def compiled_probe_cw_kernel(algorithm, packed: PackedColorings, rng=None):
+    """Algorithm Probe_CW as one fused compiled loop per 64-trial word."""
+    if algorithm.randomized:
+        raise ValueError(
+            "the compiled Probe_CW kernel supports the deterministic "
+            "in-row order only"
+        )
+    from repro.core.batched import _cw_row_columns
+
+    scratch = kernel_scratch(algorithm)
+    flat = scratch.get("cw_flat_rows")
+    if flat is None:
+        row_columns = _cw_row_columns(algorithm)
+        row_cols = np.concatenate(row_columns).astype(np.int64)
+        row_offsets = np.zeros(len(row_columns) + 1, dtype=np.int64)
+        np.cumsum([c.size for c in row_columns], out=row_offsets[1:])
+        flat = (row_cols, row_offsets)
+        scratch["cw_flat_rows"] = flat
+    row_cols, row_offsets = flat
+    probes, witness = _outputs(packed.trials)
+    _cw_loop(
+        packed.words,
+        packed.valid_mask(),
+        row_cols,
+        row_offsets,
+        _probe_width(packed.n),
+        packed.trials,
+        probes,
+        witness,
+    )
+    return probes, witness
+
+
+def compiled_probe_tree_kernel(algorithm, packed: PackedColorings, rng=None):
+    """Algorithm Probe_Tree as one fused compiled loop per 64-trial word."""
+    probes, witness = _outputs(packed.trials)
+    _tree_loop(
+        packed.words,
+        packed.valid_mask(),
+        algorithm.system.height,
+        _probe_width(packed.n),
+        packed.trials,
+        probes,
+        witness,
+    )
+    return probes, witness
+
+
+def compiled_probe_hqs_kernel(algorithm, packed: PackedColorings, rng=None):
+    """Algorithm Probe_HQS as one fused compiled loop per 64-trial word."""
+    probes, witness = _outputs(packed.trials)
+    _hqs_loop(
+        packed.words,
+        packed.valid_mask(),
+        algorithm.system.height,
+        _probe_width(packed.n),
+        packed.trials,
+        probes,
+        witness,
+    )
+    return probes, witness
+
+
+def run_compiled(
+    algorithm, packed: PackedColorings, rng=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run every packed trial through the algorithm's compiled kernel.
+
+    Same ``(probes, witness_green)`` contract as
+    :func:`repro.core.bitpacked.run_packed`.  Callable without numba (the
+    loops run as plain Python — orders of magnitude slower, fine for
+    tests); production dispatch goes through ``resolve_backend``, which
+    requires numba before handing out ``"compiled"``.
+    """
+    from repro.core.batched import kernel_for
+
+    if packed.n != algorithm.system.n:
+        raise ValueError(
+            f"packed batch has n={packed.n}, algorithm expects n={algorithm.system.n}"
+        )
+    kernel = kernel_for(algorithm, backend="compiled")
+    if kernel is None:
+        raise TypeError(f"no compiled kernel for {algorithm.name}")
+    return kernel(algorithm, packed, rng)
+
+
+register_kernel(ProbeMaj, compiled_probe_maj_kernel, backend="compiled")
+register_kernel(ProbeCW, compiled_probe_cw_kernel, backend="compiled")
+register_kernel(ProbeTree, compiled_probe_tree_kernel, backend="compiled")
+register_kernel(ProbeHQS, compiled_probe_hqs_kernel, backend="compiled")

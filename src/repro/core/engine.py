@@ -233,9 +233,9 @@ class StreamResult:
     retries_used: int = 0
     pool_respawns: int = 0
     worker_reassignments: int = 0
-    #: The *resolved* kernel backend the run executed on ("numpy" or
-    #: "bitpacked" — never "auto"); deterministic kernels produce
-    #: byte-identical statistics on either.
+    #: The *resolved* kernel backend the run executed on ("numpy",
+    #: "bitpacked" or "compiled" — never "auto"); deterministic kernels
+    #: produce byte-identical statistics on every backend.
     backend: str = "numpy"
 
     @property
@@ -365,23 +365,31 @@ def _run_chunk(
 ) -> ChunkStats:
     """Sample and evaluate one chunk; returns O(n) sufficient statistics.
 
-    ``backend`` is a *resolved* backend ("numpy" or "bitpacked").  The
-    bitpacked path draws the chunk directly into bit-planes from the same
-    trial-aligned stream and runs the packed kernel; its probe counts and
-    witness tallies are bit-identical to the numpy path for deterministic
-    kernels, so the merged statistics don't depend on the backend.
+    ``backend`` is a *resolved* backend ("numpy", "bitpacked" or
+    "compiled").  The packed paths draw the chunk directly into bit-planes
+    from the same trial-aligned stream and run the bit-sliced (bitpacked)
+    or numba-fused (compiled) kernel; their probe counts and witness
+    tallies are bit-identical to the numpy path for deterministic kernels,
+    so the merged statistics don't depend on the backend.
     """
     from repro.core.batched import batched_or_sequential_run
 
     fire_fault("chunk", start)
     sample_rng = _chunk_sample_generator(source, entropy, start)
-    if backend == "bitpacked":
+    if backend in ("bitpacked", "compiled"):
         from repro.core.bitpacked import run_packed, sample_packed
 
         packed = sample_packed(source, source.n, size, sample_rng)
-        probes, witness_green = run_packed(
-            algorithm, packed, _chunk_algorithm_generator(entropy, start)
-        )
+        if backend == "compiled":
+            from repro.core.compiled import run_compiled
+
+            probes, witness_green = run_compiled(
+                algorithm, packed, _chunk_algorithm_generator(entropy, start)
+            )
+        else:
+            probes, witness_green = run_packed(
+                algorithm, packed, _chunk_algorithm_generator(entropy, start)
+            )
     else:
         red = source.sample_matrix(source.n, size, sample_rng)
         probes, witness_green = batched_or_sequential_run(
@@ -650,7 +658,9 @@ def stream_probes(
 
     ``backend`` selects the kernel backend — ``"numpy"``, ``"bitpacked"``
     (64 trials per word; deterministic algorithms only, rejected loudly
-    otherwise) or ``"auto"`` (see
+    otherwise), ``"compiled"`` (the same packed layout fused into
+    numba-jitted loops; requires numba, rejected loudly without it) or
+    ``"auto"`` (prefers compiled → bitpacked → numpy; see
     :func:`repro.core.batched.resolve_backend`); ``None`` defers to the
     ambient default (:func:`default_backend`, normally numpy).  The
     backend is an execution knob like ``jobs``: for deterministic kernels

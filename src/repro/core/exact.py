@@ -42,15 +42,24 @@ from repro.systems.boolean import CharacteristicFunction
 
 #: Hard cap on the universe size accepted by the exact solvers.  Up to
 #: :data:`_TABLE_DP_LIMIT` the vectorized table sweep keeps queries in the
-#: seconds range; for larger ``n`` the recursive dict DP is used and both
-#: time and memory grow as ``3^n`` — n close to 20 is hours/tens of GB, so
-#: treat the upper end as headroom for structured Yao distributions and
-#: partial queries, not routine full solves.
-EXACT_LIMIT = 20
+#: seconds range; up to :data:`_PACKED_DP_LIMIT` the word-batched mask-DP
+#: (64 bit-sliced DP cells per ``uint64`` word, two rolling levels) keeps
+#: ``PC`` solves inside workstation memory — the peak footprint is
+#: ``2 * max_k C(n,k) * 2^k * (B + 1) / 8`` bytes with ``B = n.bit_length()``
+#: value planes, roughly 0.06 GB at n = 18, 1 GB at n = 20, 9 GB at n = 22
+#: and 70 GB at n = 24.  Beyond the packed limit the recursive dict DP is
+#: used and both time and memory grow as ``3^n``, so treat the upper end as
+#: headroom for structured Yao distributions and partial queries (where the
+#: settled/consistency pruning bites), not routine full solves.
+EXACT_LIMIT = 24
 
 #: Universe-size cap for the vectorized full-table DP (memory-bound: the
-#: table holds all ``3^n`` knowledge states as numpy arrays).
+#: table holds all ``3^n`` knowledge states as numpy float64 arrays).
 _TABLE_DP_LIMIT = 15
+
+#: Universe-size cap for the word-batched packed mask-DP used by
+#: ``probe_complexity`` above :data:`_TABLE_DP_LIMIT` (memory bound above).
+_PACKED_DP_LIMIT = 21
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` (unsettled).
 _MISSING = object()
@@ -62,6 +71,133 @@ def _check_size(system: QuorumSystem) -> None:
             f"exact probe-complexity computation is limited to n <= {EXACT_LIMIT}; "
             f"{system.name} has n = {system.n}"
         )
+
+
+# -- word-batched mask-DP (bit-sliced PC over packed uint64 lanes) ----------------
+#
+# The packed DP re-indexes the 3^n knowledge states as (K, r): K the mask of
+# *known* elements, r the red assignment within K, giving one array of 2^|K|
+# DP cells per known-mask.  Cells are packed 64 per uint64 word along the
+# red-assignment axis and PC values are stored *bit-sliced* (B = n.bit_length()
+# planes per level, exactly the carry-save representation of
+# :mod:`repro.core.bitpacked`), so max / min / +1 over 64 states cost a
+# handful of word ops.  Probing element i from state (K, r) leads to
+# (K | bit_i, r) on green and (K | bit_i, r | bit_i) on red; in the
+# compressed indexing both children live in the child mask's array at lanes
+# that differ only in bit ``pos`` (the rank of i within K | bit_i), so the
+# child gather is an even/odd lane split along that bit — word-aligned
+# slicing for pos >= 6 and a shift-compaction ladder inside each word for
+# pos < 6.  Levels roll: computing level k (k elements known) needs only
+# level k + 1, which bounds memory by the two largest adjacent levels
+# instead of the whole 3^n table (see :data:`EXACT_LIMIT`).
+
+_ALL_ONES = 0xFFFFFFFFFFFFFFFF
+
+
+def _alternating_mask(block: int):
+    """uint64 pattern of ``block`` one-bits then ``block`` zero-bits, repeated."""
+    import numpy as np
+
+    value = 0
+    for t in range(64):
+        if ((t // block) & 1) == 0:
+            value |= 1 << t
+    return np.uint64(value)
+
+
+_ALT_MASKS = {1 << p: _alternating_mask(1 << p) for p in range(6)}
+
+
+def _compress_even(words, p: int):
+    """Compact the lanes whose bit ``p`` of the lane index is 0 (``p < 6``).
+
+    Classic block-unzip: each word's kept 2^p-lane blocks end up contiguous
+    in its low 32 bits (garbage above).  The odd lanes are obtained by
+    pre-shifting the word right by ``2^p``.
+    """
+    import numpy as np
+
+    block = 1 << p
+    out = words & _ALT_MASKS[block]
+    step = block
+    while step < 32:
+        out = (out | (out >> np.uint64(step))) & _ALT_MASKS[2 * step]
+        step *= 2
+    return out
+
+
+def _split_lanes(plane, p: int):
+    """Split a packed child plane into its (green, red) parent-lane planes.
+
+    ``plane`` has shape ``(rows, child_words)`` over the child level's
+    2^(k+1)-lane axis; the result planes have the parent's 2^k lanes:
+    green keeps lanes with bit ``p`` of the lane index clear, red those with
+    it set (the probed element's red bit sits at position ``p`` of the
+    child's compressed index).
+    """
+    import numpy as np
+
+    rows, child_words = plane.shape
+    if child_words == 1:
+        # The whole child level fits one word; both halves stay in-word.
+        green = _compress_even(plane, p)
+        red = _compress_even(plane >> np.uint64(1 << p), p)
+        return green, red
+    if p < 6:
+        even = _compress_even(plane, p).reshape(rows, child_words // 2, 2)
+        odd = _compress_even(plane >> np.uint64(1 << p), p).reshape(
+            rows, child_words // 2, 2
+        )
+        thirty_two = np.uint64(32)
+        green = even[:, :, 0] | (even[:, :, 1] << thirty_two)
+        red = odd[:, :, 0] | (odd[:, :, 1] << thirty_two)
+        return green, red
+    block_words = 1 << (p - 6)
+    view = plane.reshape(rows, child_words // (2 * block_words), 2, block_words)
+    green = view[:, :, 0, :].reshape(rows, child_words // 2)
+    red = view[:, :, 1, :].reshape(rows, child_words // 2)
+    return np.ascontiguousarray(green), np.ascontiguousarray(red)
+
+
+def _planes_ge(a, b):
+    """Per-lane ``a >= b`` over two bit-sliced unsigned integers."""
+    import numpy as np
+
+    full = np.uint64(_ALL_ONES)
+    gt = np.zeros_like(a[0])
+    eq = np.full_like(a[0], full)
+    for i in range(len(a) - 1, -1, -1):
+        gt |= eq & a[i] & ~b[i]
+        eq &= ~(a[i] ^ b[i])
+    return gt | eq
+
+
+def _planes_select(mask, a, b):
+    """Per-lane ``a if mask else b`` over bit-sliced integers."""
+    return [(x & mask) | (y & ~mask) for x, y in zip(a, b)]
+
+
+def _planes_max(a, b):
+    return _planes_select(_planes_ge(a, b), a, b)
+
+
+def _planes_min_into(dest, cand) -> None:
+    """``dest = min(dest, cand)`` per lane, in place."""
+    keep = _planes_ge(cand, dest)  # dest <= cand -> keep dest
+    for i in range(len(dest)):
+        dest[i] = (dest[i] & keep) | (cand[i] & ~keep)
+
+
+def _planes_incr(planes) -> None:
+    """``planes += 1`` per lane, in place (fixed width; callers size the
+    plane count so the carry can never leave the top plane)."""
+    import numpy as np
+
+    carry = np.full_like(planes[0], np.uint64(_ALL_ONES))
+    for i in range(len(planes)):
+        tmp = planes[i]
+        planes[i] = tmp ^ carry
+        carry = tmp & carry
 
 
 class ExactSolver:
@@ -96,6 +232,11 @@ class ExactSolver:
         self._state_tables = None
         self._pc_table_result: int | None = None
         self._ppc_table_results: dict[float, float] = {}
+        # The 2^n characteristic-function table (bool per green mask) shared
+        # by the trit-table DP and the packed mask-DP, plus the packed DP's
+        # cached result.
+        self._contains_table = None
+        self._packed_pc_result: int | None = None
 
     # -- vectorized full-table DP ---------------------------------------------
 
@@ -126,10 +267,7 @@ class ExactSolver:
             red_idx |= (digit == 2).astype(np.int32) << i
             unknown_count += digit == 0
         del tmp
-        contains = self._system.contains_quorum_mask
-        contains_table = np.fromiter(
-            (contains(mask) for mask in range(1 << n)), dtype=bool, count=1 << n
-        )
+        contains_table = self._contains_np_table()
         settled = contains_table[green_idx] | ~contains_table[self._full - red_idx]
         # Group codes by unknown count so each DP level is one fancy-index.
         levels = [codes[unknown_count == u] for u in range(n + 1)]
@@ -165,6 +303,138 @@ class ExactSolver:
                 best[is_unknown] = np.minimum(best[is_unknown], candidate)
             value[active] = 1.0 + best
         return float(value[0])
+
+    def _contains_np_table(self):
+        """The ``2^n`` bool table of ``contains_quorum_mask``, built once."""
+        if self._contains_table is None:
+            import numpy as np
+
+            contains = self._system.contains_quorum_mask
+            n = self._system.n
+            self._contains_table = np.fromiter(
+                (contains(mask) for mask in range(1 << n)), dtype=bool, count=1 << n
+            )
+        return self._contains_table
+
+    # -- word-batched packed mask-DP (PC) --------------------------------------
+
+    def _settled_words(self, masks, set_elems, k, words, contains_table):
+        """Packed settled bits for every ``(K, r)`` state of level ``k``.
+
+        Returns a ``(rows, words)`` uint64 array: bit ``r`` of row ``K`` is
+        the settled predicate of red assignment ``r`` (compressed over K's
+        set bits).  Computed in row blocks so the transient full-mask
+        arrays stay bounded regardless of the level size.
+        """
+        import numpy as np
+
+        from repro.core.bitpacked import _pack_rows
+
+        full = self._full
+        rows = masks.size
+        lanes = 1 << k
+        out = np.empty((rows, words), dtype=np.uint64)
+        lane_idx = np.arange(lanes, dtype=np.int64)
+        lane_sel = [np.flatnonzero((lane_idx >> j) & 1) for j in range(k)]
+        bit_vals = (np.int64(1) << set_elems) if k else None
+        block = max(1, (1 << 21) // lanes)
+        for r0 in range(0, rows, block):
+            mb = masks[r0 : r0 + block]
+            rb = mb.size
+            red_full = np.zeros((rb, lanes), dtype=np.int64)
+            for j in range(k):
+                red_full[:, lane_sel[j]] |= bit_vals[r0 : r0 + rb, j : j + 1]
+            green_full = mb[:, None] ^ red_full
+            st = contains_table[green_full] | ~contains_table[full ^ red_full]
+            out[r0 : r0 + rb] = _pack_rows(st.T).T
+        return out
+
+    def _packed_pc(self) -> int:
+        """PC via the word-batched mask-DP (see the module helpers above).
+
+        Level ``k`` holds one bit-sliced value array per known-mask row;
+        probing element ``i`` reads the child mask's array split along the
+        probed element's lane bit, the adversary max and the strategy min
+        run as bit-sliced comparator circuits, and only two adjacent levels
+        are ever alive.
+        """
+        import numpy as np
+
+        from repro.core.bitpacked import popcount64
+
+        n = self._system.n
+        contains_table = self._contains_np_table()
+        width = n.bit_length()  # PC values live in [0, n]
+        codes = np.arange(1 << n, dtype=np.int64)
+        counts = popcount64(codes.astype(np.uint64))
+        level_masks = [codes[counts == k] for k in range(n + 1)]
+        # Level n: full knowledge always settles the witness, so value 0.
+        top_words = max(1, (1 << n) >> 6)
+        prev = [np.zeros((1, top_words), dtype=np.uint64) for _ in range(width)]
+        for k in range(n - 1, -1, -1):
+            masks = level_masks[k]
+            rows = masks.size
+            lanes = 1 << k
+            words = max(1, lanes >> 6)
+            child_masks = level_masks[k + 1]
+            child_words = max(1, (lanes * 2) >> 6)
+            bits = ((masks[:, None] >> np.arange(n)) & 1).astype(bool)
+            set_elems = (
+                np.nonzero(bits)[1].reshape(rows, k)
+                if k
+                else np.empty((rows, 0), dtype=np.int64)
+            )
+            unset_elems = np.nonzero(~bits)[1].reshape(rows, n - k)
+            settled = self._settled_words(masks, set_elems, k, words, contains_table)
+            running = [np.empty((rows, words), dtype=np.uint64) for _ in range(width)]
+            for j in range(n - k):
+                elem = unset_elems[:, j]
+                bit = np.int64(1) << elem
+                child = masks | bit
+                child_rows = np.searchsorted(child_masks, child)
+                pos = popcount64((child & (bit - 1)).astype(np.uint64))
+                for p in np.unique(pos):
+                    sel = np.flatnonzero(pos == p)
+                    block = max(1, (1 << 21) // child_words)
+                    for s0 in range(0, sel.size, block):
+                        rows_sel = sel[s0 : s0 + block]
+                        gathered = child_rows[rows_sel]
+                        green = []
+                        red = []
+                        for plane in prev:
+                            g, r = _split_lanes(plane[gathered], int(p))
+                            green.append(g)
+                            red.append(r)
+                        cand = _planes_max(green, red)
+                        if j == 0:
+                            for b in range(width):
+                                running[b][rows_sel] = cand[b]
+                        else:
+                            dest = [running[b][rows_sel] for b in range(width)]
+                            _planes_min_into(dest, cand)
+                            for b in range(width):
+                                running[b][rows_sel] = dest[b]
+            _planes_incr(running)
+            live = ~settled
+            for b in range(width):
+                running[b] &= live
+            prev = running
+        root = 0
+        for b in range(width):
+            root |= int(prev[b][0, 0] & np.uint64(1)) << b
+        return root
+
+    def packed_probe_complexity(self) -> int:
+        """``PC(S)`` via the word-batched mask-DP, regardless of ``n``.
+
+        Bit-identical to :meth:`probe_complexity` (the tests cross-check it
+        against the trit-table sweep and the dict DP); exposed separately
+        so the packed path can be exercised and benchmarked at any size up
+        to :data:`EXACT_LIMIT`.
+        """
+        if self._packed_pc_result is None:
+            self._packed_pc_result = self._packed_pc()
+        return self._packed_pc_result
 
     # The settled predicate (green contains a quorum / red is a transversal)
     # is deliberately inlined again inside the _pc_value and _ppc_value_fn
@@ -230,6 +500,8 @@ class ExactSolver:
                 outcome = a if a >= b else b
                 if outcome < best:
                     best = outcome
+                    if best == 0:  # both children settled; no probe beats 1
+                        break
             result = 1 + best
             memo[key] = result
             return result
@@ -244,6 +516,8 @@ class ExactSolver:
 
                 self._pc_table_result = round(self._table_dp(np.maximum))
             return self._pc_table_result
+        if self._system.n <= _PACKED_DP_LIMIT:
+            return self.packed_probe_complexity()
         return self._pc_value(0, 0)
 
     def is_evasive(self) -> bool:
@@ -303,6 +577,8 @@ class ExactSolver:
                 outcome = q * a + p * b
                 if outcome < best:
                     best = outcome
+                    if best == 0.0:  # both children settled; optimal already
+                        break
             result = 1.0 + best
             memo[key] = result
             return result

@@ -230,10 +230,15 @@ class TestBackendResolution:
             resolve_backend(RProbeMaj(MajoritySystem(5)), "bitpacked")
 
     def test_auto_policy(self):
+        # With numba installed ``auto`` prefers the compiled backend; the
+        # packed fallback is bitpacked either way.
+        from repro.core.compiled import NUMBA_AVAILABLE
+
+        packed = "compiled" if NUMBA_AVAILABLE else "bitpacked"
         deterministic = ProbeMaj(MajoritySystem(5))
-        assert resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS) == "bitpacked"
+        assert resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS) == packed
         assert resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS - 1) == "numpy"
-        assert resolve_backend(deterministic, "auto", None) == "bitpacked"
+        assert resolve_backend(deterministic, "auto", None) == packed
         assert resolve_backend(RProbeMaj(MajoritySystem(5)), "auto", 10**6) == "numpy"
 
     def test_unknown_backend_rejected(self):
@@ -367,3 +372,29 @@ class TestDistributedIdentity:
             )
         assert packed.backend == "bitpacked"
         assert _histograms_match(packed, base)
+
+
+class TestPopcountFallback:
+    """On numpy builds without ``np.bitwise_count`` the kernels fall back to
+    the 16-bit-LUT popcount; force that path and re-pin kernel bit identity."""
+
+    @pytest.fixture(autouse=True)
+    def _force_lut_popcount(self, monkeypatch):
+        from repro.core import bitpacked
+
+        monkeypatch.setattr(bitpacked, "popcount64", _popcount64_lut)
+
+    @pytest.mark.parametrize("case", PACKED_CASES, ids=_case_id)
+    def test_kernels_bit_identical_under_lut(self, case):
+        algorithm, p = case
+        red = sample_red_matrix(algorithm.system.n, p, 200, rng=31)
+        probes, witness = batched_run(algorithm, red)
+        packed_probes, packed_witness = run_packed(algorithm, pack_matrix(red))
+        np.testing.assert_array_equal(packed_probes, probes)
+        np.testing.assert_array_equal(packed_witness, witness)
+
+    def test_count_ones_uses_the_patched_popcount(self):
+        # count_ones resolves popcount64 at call time, so the fallback is
+        # actually exercised by the kernels above.
+        words = np.array([0, 1, 2**64 - 1], dtype=np.uint64)
+        assert count_ones(words) == 65

@@ -1,0 +1,434 @@
+"""Tests for the compiled kernel backend (:mod:`repro.core.compiled`).
+
+The compiled kernels are authored as numba ``@njit`` loop bodies that are
+also valid plain Python: without numba installed they run (slowly) as-is,
+so their bit-identity contract against the numpy and bitpacked backends is
+pinned here regardless of whether numba is importable.  What numba's
+absence *does* change is dispatch — ``resolve_backend`` refuses an
+explicit ``backend="compiled"`` demand and ``auto`` falls back to
+bitpacked — and those two behaviors are pinned for both worlds by
+monkeypatching :data:`repro.core.compiled.NUMBA_AVAILABLE`.
+
+The streaming-engine tests force ``NUMBA_AVAILABLE = True`` in the parent
+process only: the engine resolves the backend exactly once up front, and
+worker processes/threads receive the resolved string and call the kernels
+directly, so the full chunking/jobs/resume/distributed matrix exercises
+the real compiled code paths even on numba-less machines.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ProbeCW,
+    ProbeHQS,
+    ProbeMaj,
+    ProbeTree,
+    RProbeMaj,
+    SequentialScan,
+)
+from repro.core.batched import (
+    AUTO_BACKEND_MIN_TRIALS_ENV,
+    AUTO_BITPACKED_MIN_TRIALS,
+    auto_backend_min_trials,
+    batched_run,
+    resolve_backend,
+    sample_red_matrix,
+    set_auto_backend_min_trials,
+    supports_batched,
+)
+from repro.core.bitpacked import pack_matrix, run_packed
+from repro.core.compiled import NUMBA_AVAILABLE, run_compiled
+from repro.core.engine import stream_probes
+from repro.core.estimator import estimate_average_probes
+from repro.systems import (
+    HQS,
+    CrumblingWall,
+    MajoritySystem,
+    TreeSystem,
+    TriangSystem,
+    uniform_wall,
+)
+
+#: Every deterministic algorithm with a compiled kernel, over assorted
+#: sizes and failure probabilities (mirrors the bitpacked equivalence set).
+COMPILED_CASES = [
+    (ProbeMaj(MajoritySystem(25)), 0.5),
+    (ProbeMaj(MajoritySystem(101)), 0.3),
+    (ProbeCW(TriangSystem(8)), 0.5),
+    (ProbeCW(CrumblingWall([1, 3, 3, 3])), 0.7),
+    (ProbeCW(uniform_wall(rows=5, width=10)), 0.2),
+    (ProbeTree(TreeSystem(4)), 0.5),
+    (ProbeTree(TreeSystem(6)), 0.8),
+    (ProbeHQS(HQS(3)), 0.5),
+    (ProbeHQS(HQS(2)), 0.1),
+]
+
+_case_id = lambda case: f"{case[0].name}-n{case[0].system.n}-p{case[1]}"  # noqa: E731
+
+
+@pytest.fixture
+def numba_present(monkeypatch):
+    """Pretend numba is importable so ``resolve_backend`` hands out
+    ``"compiled"``; the kernels themselves run fine as plain Python."""
+    from repro.core import compiled
+
+    monkeypatch.setattr(compiled, "NUMBA_AVAILABLE", True)
+
+
+@pytest.fixture
+def numba_absent(monkeypatch):
+    from repro.core import compiled
+
+    monkeypatch.setattr(compiled, "NUMBA_AVAILABLE", False)
+
+
+@pytest.fixture(autouse=True)
+def _reset_auto_threshold():
+    yield
+    set_auto_backend_min_trials(None)
+
+
+# -- kernel equivalence -----------------------------------------------------------
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("case", COMPILED_CASES, ids=_case_id)
+    @pytest.mark.parametrize("trials", [70, 256])
+    def test_compiled_matches_numpy_trial_by_trial(self, case, trials):
+        algorithm, p = case
+        red = sample_red_matrix(algorithm.system.n, p, trials, rng=23)
+        probes, witness = batched_run(algorithm, red)
+        compiled_probes, compiled_witness = run_compiled(algorithm, pack_matrix(red))
+        np.testing.assert_array_equal(compiled_probes, probes)
+        np.testing.assert_array_equal(compiled_witness, witness)
+
+    @pytest.mark.parametrize("case", COMPILED_CASES, ids=_case_id)
+    def test_compiled_matches_bitpacked(self, case):
+        # Three-way agreement: the bitpacked backend is itself pinned
+        # against numpy, so this closes the triangle.
+        algorithm, p = case
+        packed = pack_matrix(sample_red_matrix(algorithm.system.n, p, 200, rng=41))
+        packed_probes, packed_witness = run_packed(algorithm, packed)
+        compiled_probes, compiled_witness = run_compiled(algorithm, packed)
+        np.testing.assert_array_equal(compiled_probes, packed_probes)
+        np.testing.assert_array_equal(compiled_witness, packed_witness)
+
+    @pytest.mark.parametrize("trials", [1, 63, 64, 65])
+    def test_word_boundary_trial_counts(self, trials):
+        # Partial last words must not leak padded lanes into the outputs.
+        algorithm = ProbeTree(TreeSystem(4))
+        red = sample_red_matrix(algorithm.system.n, 0.5, trials, rng=7)
+        probes, witness = batched_run(algorithm, red)
+        compiled_probes, compiled_witness = run_compiled(algorithm, pack_matrix(red))
+        np.testing.assert_array_equal(compiled_probes, probes)
+        np.testing.assert_array_equal(compiled_witness, witness)
+
+    def test_extreme_colorings(self):
+        # All-red and all-green matrices hit every early-exit branch.
+        for algorithm in (ProbeMaj(MajoritySystem(9)), ProbeCW(TriangSystem(4)),
+                          ProbeTree(TreeSystem(3)), ProbeHQS(HQS(2))):
+            n = algorithm.system.n
+            for matrix in (np.zeros((65, n), bool), np.ones((65, n), bool)):
+                probes, witness = batched_run(algorithm, matrix)
+                c_probes, c_witness = run_compiled(algorithm, pack_matrix(matrix))
+                np.testing.assert_array_equal(c_probes, probes)
+                np.testing.assert_array_equal(c_witness, witness)
+
+    def test_run_compiled_rejects_wrong_n_and_missing_kernel(self):
+        packed = pack_matrix(np.zeros((64, 5), bool))
+        with pytest.raises(ValueError, match="n=5"):
+            run_compiled(ProbeMaj(MajoritySystem(9)), packed)
+        with pytest.raises(TypeError, match="no compiled kernel"):
+            run_compiled(RProbeMaj(MajoritySystem(5)), packed)
+
+
+# -- backend registry and resolution ----------------------------------------------
+
+
+class TestBackendResolution:
+    def test_supports_batched_compiled_dimension(self):
+        assert supports_batched(ProbeMaj(MajoritySystem(5)), backend="compiled")
+        assert supports_batched(ProbeHQS(HQS(1)), backend="compiled")
+        assert not supports_batched(RProbeMaj(MajoritySystem(5)), backend="compiled")
+        assert not supports_batched(SequentialScan(MajoritySystem(5)), backend="compiled")
+
+    def test_compiled_demand_requires_numba(self, numba_absent):
+        with pytest.raises(ValueError, match="requires numba"):
+            resolve_backend(ProbeMaj(MajoritySystem(5)), "compiled")
+
+    def test_compiled_demand_honored_with_numba(self, numba_present):
+        assert resolve_backend(ProbeMaj(MajoritySystem(5)), "compiled") == "compiled"
+
+    def test_compiled_rejects_randomized_loudly(self):
+        # The randomized check fires before the numba check: the error
+        # must not suggest installing numba would help.
+        with pytest.raises(ValueError, match="deterministic algorithms only"):
+            resolve_backend(RProbeMaj(MajoritySystem(5)), "compiled")
+
+    def test_compiled_rejects_unregistered_algorithm(self):
+        with pytest.raises(ValueError, match="no compiled kernel"):
+            resolve_backend(SequentialScan(MajoritySystem(5)), "compiled")
+
+    def test_auto_prefers_compiled_when_available(self, numba_present):
+        deterministic = ProbeMaj(MajoritySystem(5))
+        assert resolve_backend(deterministic, "auto", 10**6) == "compiled"
+        assert resolve_backend(deterministic, "auto", None) == "compiled"
+
+    def test_auto_falls_back_to_bitpacked_without_numba(self, numba_absent):
+        deterministic = ProbeMaj(MajoritySystem(5))
+        assert resolve_backend(deterministic, "auto", 10**6) == "bitpacked"
+
+    def test_auto_stays_numpy_below_threshold(self, numba_present):
+        deterministic = ProbeMaj(MajoritySystem(5))
+        assert (
+            resolve_backend(deterministic, "auto", AUTO_BITPACKED_MIN_TRIALS - 1)
+            == "numpy"
+        )
+
+
+class TestAutoThresholdConfiguration:
+    def test_default_threshold(self, monkeypatch):
+        monkeypatch.delenv(AUTO_BACKEND_MIN_TRIALS_ENV, raising=False)
+        assert auto_backend_min_trials() == AUTO_BITPACKED_MIN_TRIALS
+
+    def test_environment_variable_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(AUTO_BACKEND_MIN_TRIALS_ENV, "100")
+        assert auto_backend_min_trials() == 100
+        deterministic = ProbeMaj(MajoritySystem(5))
+        assert resolve_backend(deterministic, "auto", 100) != "numpy"
+        assert resolve_backend(deterministic, "auto", 99) == "numpy"
+
+    def test_programmatic_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(AUTO_BACKEND_MIN_TRIALS_ENV, "100")
+        set_auto_backend_min_trials(7)
+        assert auto_backend_min_trials() == 7
+        set_auto_backend_min_trials(None)
+        assert auto_backend_min_trials() == 100
+
+    def test_malformed_environment_value_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(AUTO_BACKEND_MIN_TRIALS_ENV, "lots")
+        with pytest.raises(ValueError, match="not an integer"):
+            auto_backend_min_trials()
+        monkeypatch.setenv(AUTO_BACKEND_MIN_TRIALS_ENV, "-5")
+        with pytest.raises(ValueError, match=">= 0"):
+            auto_backend_min_trials()
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            set_auto_backend_min_trials(-1)
+
+
+# -- streaming-engine bit identity ------------------------------------------------
+
+
+def _histograms_match(a, b):
+    return (
+        a.histogram == b.histogram
+        and a.mean == b.mean
+        and a.std == b.std
+        and a.witness_red == b.witness_red
+        and a.n_trials_used == b.n_trials_used
+    )
+
+
+@pytest.mark.usefixtures("numba_present")
+class TestStreamIdentity:
+    @pytest.mark.parametrize("chunk_size", [1, 97, 500])
+    def test_chunked_histograms_identical(self, chunk_size):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, trials=500, seed=13, chunk_size=chunk_size)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        compiled = stream_probes(algorithm, backend="compiled", **kwargs)
+        assert base.backend == "numpy"
+        assert compiled.backend == "compiled"
+        assert _histograms_match(compiled, base)
+
+    @pytest.mark.parametrize("case", COMPILED_CASES[:4], ids=_case_id)
+    def test_every_kernel_through_the_engine(self, case):
+        algorithm, p = case
+        kwargs = dict(p=p, trials=300, seed=7, chunk_size=128)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        compiled = stream_probes(algorithm, backend="compiled", **kwargs)
+        assert _histograms_match(compiled, base)
+
+    def test_sharded_jobs_identical(self):
+        algorithm = ProbeTree(TreeSystem(4))
+        kwargs = dict(p=0.5, trials=600, seed=3, chunk_size=64)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        compiled = stream_probes(algorithm, backend="compiled", jobs=4, **kwargs)
+        assert _histograms_match(compiled, base)
+
+    def test_nonaligned_final_chunk(self):
+        algorithm = ProbeHQS(HQS(2))
+        kwargs = dict(p=0.3, trials=333, seed=5, chunk_size=100)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        compiled = stream_probes(algorithm, backend="compiled", **kwargs)
+        assert _histograms_match(compiled, base)
+
+    def test_adaptive_stop_identical(self):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, target_ci=0.3, chunk_size=64, seed=11, max_trials=4096)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        compiled = stream_probes(algorithm, backend="compiled", **kwargs)
+        assert _histograms_match(compiled, base)
+
+    def test_three_backends_agree_through_engine(self):
+        algorithm = ProbeCW(TriangSystem(8))
+        kwargs = dict(p=0.5, trials=400, seed=17, chunk_size=96)
+        results = [
+            stream_probes(algorithm, backend=backend, **kwargs)
+            for backend in ("numpy", "bitpacked", "compiled")
+        ]
+        assert _histograms_match(results[1], results[0])
+        assert _histograms_match(results[2], results[0])
+
+    def test_auto_records_resolved_backend(self):
+        # Diagnostics must name the backend that actually ran, never "auto".
+        set_auto_backend_min_trials(64)
+        algorithm = ProbeMaj(MajoritySystem(25))
+        result = stream_probes(
+            algorithm, p=0.4, trials=200, seed=13, chunk_size=64, backend="auto"
+        )
+        assert result.backend == "compiled"
+
+    def test_checkpoint_resume_preserves_backend(self, tmp_path):
+        from repro.core.engine import resume_stream
+        from repro.testing import faults
+        from repro.testing.faults import Fault
+
+        algorithm = ProbeMaj(MajoritySystem(25))
+        kwargs = dict(p=0.4, trials=400, seed=19, chunk_size=64)
+        base = stream_probes(algorithm, backend="compiled", **kwargs)
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(KeyboardInterrupt):
+            with faults.active_plan(
+                [Fault("merge", 1, "interrupt")], tmp_path / "plan"
+            ):
+                stream_probes(
+                    algorithm, backend="compiled", checkpoint_path=path, **kwargs
+                )
+        resumed = resume_stream(path)
+        assert resumed.backend == "compiled"
+        assert _histograms_match(resumed, base)
+
+    def test_estimator_backend_knob(self):
+        algorithm = ProbeMaj(MajoritySystem(25))
+        base = estimate_average_probes(algorithm, 0.4, trials=500, seed=13, backend="numpy")
+        compiled = estimate_average_probes(
+            algorithm, 0.4, trials=500, seed=13, backend="compiled"
+        )
+        assert compiled.mean == base.mean
+        assert compiled.std == base.std
+
+
+class TestStreamRejection:
+    def test_engine_demand_fails_loudly_without_numba(self, numba_absent):
+        with pytest.raises(ValueError, match="requires numba"):
+            stream_probes(
+                ProbeMaj(MajoritySystem(9)), p=0.5, trials=64, seed=1,
+                backend="compiled",
+            )
+
+    def test_randomized_backend_error_through_engine(self, numba_present):
+        with pytest.raises(ValueError, match="deterministic"):
+            stream_probes(
+                RProbeMaj(MajoritySystem(9)), p=0.5, trials=64, seed=1,
+                backend="compiled",
+            )
+
+
+@pytest.mark.usefixtures("numba_present")
+class TestDistributedIdentity:
+    def test_loopback_workers_match_numpy_sequential(self):
+        from repro.distributed import Coordinator, run_worker
+
+        algorithm = ProbeCW(TriangSystem(8))
+        kwargs = dict(p=0.5, trials=512, seed=29, chunk_size=64)
+        base = stream_probes(algorithm, backend="numpy", **kwargs)
+        with Coordinator() as coordinator:
+            workers = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(coordinator.addresses[0],),
+                    kwargs={"heartbeat_interval": 0.05, "reconnect_for": 5.0,
+                            "name": f"compiled-worker-{i}"},
+                    daemon=True,
+                )
+                for i in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            coordinator.wait_for_workers(2, timeout=30.0)
+            compiled = stream_probes(
+                algorithm, backend="compiled", coordinator=coordinator, **kwargs
+            )
+        assert compiled.backend == "compiled"
+        assert _histograms_match(compiled, base)
+
+
+# -- command line -----------------------------------------------------------------
+
+
+class TestCommandLine:
+    def test_backend_compiled_smoke(self, numba_present, capsys):
+        from repro.cli import main
+
+        assert main([
+            "estimate", "--system", "maj", "--size", "25", "--p", "0.4",
+            "--trials", "200", "--seed", "3", "--backend", "compiled",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend   : compiled" in out
+
+    def test_backend_compiled_errors_without_numba(self, numba_absent):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="requires numba"):
+            main([
+                "estimate", "--system", "maj", "--size", "9",
+                "--trials", "64", "--seed", "1", "--backend", "compiled",
+            ])
+
+    def test_auto_backend_min_trials_flag(self, numba_absent, capsys):
+        from repro.cli import main
+
+        assert main([
+            "estimate", "--system", "maj", "--size", "25", "--p", "0.4",
+            "--trials", "100", "--seed", "3", "--backend", "auto",
+            "--auto-backend-min-trials", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend   : bitpacked" in out
+
+    def test_auto_backend_min_trials_rejects_negative(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([
+                "estimate", "--system", "maj", "--size", "9",
+                "--trials", "64", "--backend", "auto",
+                "--auto-backend-min-trials", "-3",
+            ])
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestWithRealNumba:
+    """Only runs in the optional-dependency CI job: the jitted kernels must
+    agree with numpy exactly, compilation included."""
+
+    @pytest.mark.parametrize("case", COMPILED_CASES, ids=_case_id)
+    def test_jitted_kernels_bit_identical(self, case):
+        algorithm, p = case
+        red = sample_red_matrix(algorithm.system.n, p, 512, rng=53)
+        probes, witness = batched_run(algorithm, red)
+        compiled_probes, compiled_witness = run_compiled(algorithm, pack_matrix(red))
+        np.testing.assert_array_equal(compiled_probes, probes)
+        np.testing.assert_array_equal(compiled_witness, witness)
+
+    def test_auto_resolves_to_compiled(self):
+        assert resolve_backend(ProbeMaj(MajoritySystem(5)), "auto", 10**6) == "compiled"

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.yao import majority_hard_distribution, majority_lower_bound
 from repro.core.coloring import ColoringDistribution
 from repro.core.exact import (
+    EXACT_LIMIT,
     ExactSolver,
     permutation_algorithm_worst_expected,
     probabilistic_probe_complexity,
@@ -18,11 +19,13 @@ from repro.core.exact import (
 from repro.systems import (
     HQS,
     CrumblingWall,
+    ExplicitQuorumSystem,
     MajoritySystem,
     SingletonSystem,
     TreeSystem,
     TriangSystem,
     WheelSystem,
+    uniform_wall,
 )
 
 
@@ -105,7 +108,7 @@ class TestProbabilisticOptimum:
 
     def test_size_limit_enforced(self):
         with pytest.raises(ValueError):
-            ExactSolver(MajoritySystem(21))
+            ExactSolver(MajoritySystem(EXACT_LIMIT + 1))
 
 
 class TestOptimalTrees:
@@ -174,3 +177,75 @@ class TestPermutationAnalysis:
         # the worst case; for n = 3 that is 2.
         value = permutation_algorithm_worst_expected(SingletonSystem(3, center=1))
         assert math.isclose(value, 2.0)
+
+
+class TestExactLimitBoundary:
+    """EXACT_LIMIT raised to 24 by the word-batched mask-DP (PR 9)."""
+
+    def _star(self, n):
+        # A single singleton quorum: probing element 1 settles the system
+        # either way, so PC = 1 and PPC = 1.0 regardless of n.  The DP
+        # prunes to O(1) work, making the n = EXACT_LIMIT boundary cheap.
+        return ExplicitQuorumSystem(n, [[1]])
+
+    def test_exact_limit_is_at_least_24(self):
+        assert EXACT_LIMIT >= 24
+
+    def test_pc_at_exact_limit(self):
+        assert probe_complexity(self._star(EXACT_LIMIT)) == 1
+
+    def test_ppc_at_exact_limit(self):
+        assert math.isclose(
+            probabilistic_probe_complexity(self._star(EXACT_LIMIT), 0.3), 1.0
+        )
+
+    def test_one_past_the_limit_fails_loudly(self):
+        with pytest.raises(ValueError, match=f"limited to n <= {EXACT_LIMIT}"):
+            probe_complexity(self._star(EXACT_LIMIT + 1))
+
+    def test_solver_constructor_rejects_past_limit(self):
+        with pytest.raises(ValueError, match="limited to"):
+            ExactSolver(self._star(EXACT_LIMIT + 1))
+
+
+class TestPackedMaskDP:
+    """The packed mask-DP must agree with the legacy trit-table DP."""
+
+    @pytest.mark.parametrize(
+        "system",
+        [
+            MajoritySystem(3),
+            MajoritySystem(5),
+            MajoritySystem(7),
+            WheelSystem(4),
+            WheelSystem(5),
+            WheelSystem(8),
+            TriangSystem(3),
+            TriangSystem(4),
+            CrumblingWall([1, 2, 3]),
+            CrumblingWall([2, 2, 2, 2]),
+            uniform_wall(6, 2),
+            TreeSystem(2),
+            TreeSystem(3),
+            HQS(1),
+            HQS(2),
+            SingletonSystem(5, center=3),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_matches_legacy_dp(self, system):
+        solver = ExactSolver(system)
+        assert solver.packed_probe_complexity() == solver.probe_complexity()
+
+    def test_non_evasive_system(self):
+        # Two quorums sharing element 1: probe 1 (must, else adversary
+        # hides), then at most the two partner elements -> PC = 3 < n = 8.
+        system = ExplicitQuorumSystem(8, [[1, 2], [1, 3]])
+        solver = ExactSolver(system)
+        assert solver.packed_probe_complexity() == 3
+        assert solver.probe_complexity() == 3
+
+    def test_packed_route_used_above_table_limit(self):
+        # n = 16 exceeds the trit-table limit; the star prunes instantly.
+        system = ExplicitQuorumSystem(16, [[1]])
+        assert probe_complexity(system) == 1

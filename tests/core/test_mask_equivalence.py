@@ -259,11 +259,11 @@ class TestMaskEnumeration:
             for e in t:
                 assert not system.is_transversal(t - {e})
 
-    def test_exact_limit_raised_to_20(self):
-        assert EXACT_LIMIT >= 20
+    def test_exact_limit_raised_to_24(self):
+        assert EXACT_LIMIT >= 24
         ExactSolver(MajoritySystem(17))  # constructible beyond the old cap of 16
         with pytest.raises(ValueError):
-            ExactSolver(MajoritySystem(21))
+            ExactSolver(MajoritySystem(EXACT_LIMIT + 1))
 
 
 class TestLargeUniverseMaskPaths:

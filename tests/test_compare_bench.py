@@ -182,3 +182,44 @@ class TestGate:
         new = root / "BENCH_2026-07-29.json"
         code = compare_bench.main([*flag, str(old), str(new)])
         assert code in (0, 1)  # parses and compares; the gate itself is CI's call
+
+
+class TestHistory:
+    def test_renders_ratio_trajectory(self, tmp_path, capsys):
+        old = _snapshot(tmp_path, "a.json", _base())
+        newer = _base(date="2026-07-30")
+        newer["batched_montecarlo"][0]["speedup"] = 120.0
+        new = _snapshot(tmp_path, "b.json", newer)
+        assert compare_bench.main(["--history", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "2026-07-28" in out and "2026-07-30" in out
+        assert "batched_montecarlo[ProbeMaj].speedup" in out
+        assert "90.00" in out and "120.00" in out
+        # Timings never appear: host-bound numbers are not a trajectory.
+        assert "mask_dp_seconds" not in out
+
+    def test_missing_metrics_marked(self, tmp_path, capsys):
+        grown = _base(date="2026-07-30")
+        grown["new_section"] = {"fused_ratio": 2.0}
+        old = _snapshot(tmp_path, "a.json", _base())
+        new = _snapshot(tmp_path, "b.json", grown)
+        assert compare_bench.main(["--history", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "new_section.fused_ratio" in out
+        assert "—" in out
+
+    def test_quick_snapshots_labeled(self, tmp_path, capsys):
+        quick = _base(date="2026-07-30", quick=True)
+        path = _snapshot(tmp_path, "q.json", quick)
+        assert compare_bench.main(["--history", path]) == 0
+        assert "2026-07-30 (quick)" in capsys.readouterr().out
+
+    def test_defaults_to_committed_snapshots(self, capsys):
+        assert compare_bench.main(["--history"]) == 0
+        out = capsys.readouterr().out
+        assert "exact_solver.speedup" in out
+
+    def test_gate_still_requires_exactly_two(self, tmp_path):
+        path = _snapshot(tmp_path, "one.json", _base())
+        with pytest.raises(SystemExit):
+            compare_bench.main([path])
