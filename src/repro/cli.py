@@ -181,6 +181,7 @@ def _distributed_coordinator(args: argparse.Namespace) -> Iterator:
         yield None
         return
     from repro.distributed import Coordinator, shutdown_workers, spawn_local_workers
+    from repro.signals import trap_as_keyboard_interrupt
 
     bind = (
         [entry.strip() for entry in addresses.split(",") if entry.strip()]
@@ -195,21 +196,25 @@ def _distributed_coordinator(args: argparse.Namespace) -> Iterator:
     except (ValueError, OSError) as error:
         raise SystemExit(str(error)) from None
     processes = []
-    try:
-        for host, port in coordinator.addresses:
-            print(f"coordinator listening on {host}:{port}", file=sys.stderr)
-        if spawn:
-            processes = spawn_local_workers(spawn, coordinator.addresses[0])
-        expected = args.min_workers if args.min_workers is not None else (spawn or 1)
+    # SIGTERM unwinds like Ctrl-C, so a supervisor stopping this run still
+    # reaches the finally below: workers get shutdown frames and spawned
+    # processes are reaped instead of tripping the lease-expiry path.
+    with trap_as_keyboard_interrupt():
         try:
-            coordinator.wait_for_workers(expected, timeout=60.0)
-        except TimeoutError as error:
-            raise SystemExit(str(error)) from None
-        yield coordinator
-    finally:
-        coordinator.close()
-        if processes:
-            shutdown_workers(processes)
+            for host, port in coordinator.addresses:
+                print(f"coordinator listening on {host}:{port}", file=sys.stderr)
+            if spawn:
+                processes = spawn_local_workers(spawn, coordinator.addresses[0])
+            expected = args.min_workers if args.min_workers is not None else (spawn or 1)
+            try:
+                coordinator.wait_for_workers(expected, timeout=60.0)
+            except TimeoutError as error:
+                raise SystemExit(str(error)) from None
+            yield coordinator
+        finally:
+            coordinator.close()
+            if processes:
+                shutdown_workers(processes)
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -233,6 +238,32 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 if args.reconnect_for is None
                 else args.reconnect_for
             ),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the probe-estimation HTTP daemon until SIGTERM."""
+    import logging
+
+    from repro.service import serve
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    try:
+        return serve(
+            args.data_dir,
+            host=args.host,
+            port=args.port,
+            queue_size=args.queue_size,
+            workers=args.workers,
+            engine_jobs=args.engine_jobs,
+            job_retries=args.job_retries,
+            retries=args.retries,
+            chunk_timeout=args.chunk_timeout,
+            deadline=args.deadline,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -896,6 +927,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of failed reconnection attempts before giving up (default 10)",
     )
     worker.set_defaults(func=_cmd_worker)
+
+    serve = sub.add_parser(
+        "serve", help="run the probe-estimation HTTP service"
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        dest="data_dir",
+        metavar="DIR",
+        help="durable state directory (job journal, checkpoints, result cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8421, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        dest="queue_size",
+        help="admission bound: waiting jobs beyond this get 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="concurrent job runner threads"
+    )
+    serve.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        dest="engine_jobs",
+        help="worker processes per engine run (shared warm chunk pool)",
+    )
+    serve.add_argument(
+        "--job-retries",
+        type=int,
+        default=1,
+        dest="job_retries",
+        help="re-run attempts for a failed job (exponential backoff)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-chunk retry budget inside each engine run",
+    )
+    serve.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        dest="chunk_timeout",
+        help="seconds before a hung chunk is abandoned and re-run",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (engine run_timeout)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--maj-n", type=int, default=101, dest="maj_n")

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import base64
 import json
+import logging
 import os
 import tempfile
 from collections.abc import Mapping
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+_logger = logging.getLogger("repro.checkpoint")
 
 #: ``kind`` field of engine checkpoint files.
 CHECKPOINT_KIND = "engine_checkpoint"
@@ -70,6 +73,54 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
 def atomic_write_json(path: str | Path, payload: Any) -> Path:
     """Serialize ``payload`` as indented JSON and write it atomically."""
     return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+def remove_stale_tmp(path: str | Path) -> list[Path]:
+    """Remove leftover ``.{name}.*.tmp`` siblings of ``path``.
+
+    A crash between :func:`atomic_write_text`'s temp write and its
+    ``os.replace`` leaves an orphaned ``.{name}.XXXX.tmp`` next to the
+    target — harmless to correctness (readers never see it under the
+    target name) but it accumulates forever.  The durable writers
+    (:func:`save_engine_checkpoint`, the artifact and journal writers)
+    call this before writing; removals are logged so an operator can see
+    a crash happened.  Two concurrent writers of the *same* target are
+    not supported (the engine enforces one writer per checkpoint), so a
+    matching tmp is always stale.
+    """
+    target = Path(path)
+    removed = []
+    if not target.parent.is_dir():
+        return removed
+    for stale in target.parent.glob(f".{target.name}.*.tmp"):
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - raced with another sweep
+            continue
+        _logger.warning("removed stale temp file left by a crash: %s", stale)
+        removed.append(stale)
+    return removed
+
+
+def sweep_stale_tmp(directory: str | Path) -> list[Path]:
+    """Remove every ``.*.tmp`` atomic-write leftover in ``directory``.
+
+    The directory-wide variant of :func:`remove_stale_tmp` for startup
+    scans of state directories (the service's journal and cache), where
+    the crashed writer's target name is not known in advance.
+    """
+    removed = []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return removed
+    for stale in directory.glob(".*.tmp"):
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - raced with another sweep
+            continue
+        _logger.warning("removed stale temp file left by a crash: %s", stale)
+        removed.append(stale)
+    return removed
 
 
 # -- strict payload access --------------------------------------------------------
@@ -217,7 +268,12 @@ class EngineCheckpoint:
 
 
 def save_engine_checkpoint(path: str | Path, state: EngineCheckpoint) -> Path:
-    """Write ``state`` durably (atomic replace, fsynced)."""
+    """Write ``state`` durably (atomic replace, fsynced).
+
+    Also sweeps stale ``*.tmp`` leftovers a previous crash may have left
+    beside this checkpoint (see :func:`remove_stale_tmp`).
+    """
+    remove_stale_tmp(path)
     return atomic_write_json(path, state.to_payload())
 
 

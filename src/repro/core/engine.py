@@ -116,6 +116,26 @@ DEFAULT_RETRY_BACKOFF = 0.05
 _sleep = time.sleep
 
 
+class RunInterrupted(RuntimeError):
+    """A run stopped cooperatively at a chunk boundary (``stop_event``).
+
+    Raised by :func:`stream_probes` after the current chunk's statistics
+    are merged and — when ``checkpoint_path`` is set — a durable
+    checkpoint is written, so the run resumes byte-identically.  This is
+    the graceful-drain primitive: a serving layer sets the event on
+    SIGTERM and every in-flight run lands on a resumable checkpoint
+    instead of being torn mid-chunk.
+    """
+
+
+class RunDeadlineExceeded(TimeoutError):
+    """A run outlived its ``run_timeout`` wall-clock budget.
+
+    Like :class:`RunInterrupted`, raised only at a chunk boundary after a
+    durable checkpoint, so a deadline-killed run is still resumable.
+    """
+
+
 @dataclass(frozen=True)
 class ChunkStats:
     """Sufficient statistics of one evaluated chunk (what workers return)."""
@@ -653,6 +673,8 @@ def stream_probes(
     checkpoint_every: int = 1,
     resume=None,
     backend: str | None = None,
+    stop_event=None,
+    run_timeout: float | None = None,
 ) -> StreamResult:
     """Run the streaming engine for one (algorithm, source) pair.
 
@@ -696,6 +718,13 @@ def stream_probes(
     from its last durable chunk boundary — the resumed configuration comes
     from the checkpoint, so the stopping-mode and seeding arguments must
     be left unset.
+
+    Cooperative control: ``stop_event`` (a ``threading.Event``-alike) is
+    polled after every merged chunk — once set, the run checkpoints (when
+    ``checkpoint_path`` is given) and raises :class:`RunInterrupted`;
+    ``run_timeout`` bounds this call's wall-clock seconds the same way,
+    raising :class:`RunDeadlineExceeded`.  Both land on a chunk boundary,
+    so the interrupted run is exactly as resumable as a ``KeyboardInterrupt``.
     """
     state = None
     if resume is not None:
@@ -777,6 +806,9 @@ def stream_probes(
         raise ValueError("chunk_timeout must be positive (None disables it)")
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be at least one chunk")
+    if run_timeout is not None and run_timeout <= 0:
+        raise ValueError("run_timeout must be positive (None disables it)")
+    deadline_at = None if run_timeout is None else time.monotonic() + run_timeout
     from repro.core.batched import resolve_backend
 
     backend = resolve_backend(
@@ -837,7 +869,32 @@ def stream_probes(
         fire_fault("merge", chunks_merged)
         if chunks_merged % checkpoint_every == 0:
             write_checkpoint(complete=False)
-        return rule.should_stop(accumulator)
+        if rule.should_stop(accumulator):
+            return True
+        # Cooperative control lands exactly here — after the merge, so the
+        # checkpoint below holds every finished chunk and resume continues
+        # byte-identically from this boundary.
+        if stop_event is not None and stop_event.is_set():
+            write_checkpoint(complete=False)
+            raise RunInterrupted(
+                f"run stopped at trial {next_start} (stop_event set); "
+                + (
+                    f"checkpoint durable at {checkpoint_path}"
+                    if checkpoint_path is not None
+                    else "no checkpoint_path, progress discarded"
+                )
+            )
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            write_checkpoint(complete=False)
+            raise RunDeadlineExceeded(
+                f"run exceeded run_timeout={run_timeout}s at trial {next_start}"
+                + (
+                    f"; checkpoint durable at {checkpoint_path}"
+                    if checkpoint_path is not None
+                    else ""
+                )
+            )
+        return False
 
     start_time = time.perf_counter()
     respawns = 0
@@ -1064,6 +1121,8 @@ def resume_stream(
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = 1,
     backend: str | None = None,
+    stop_event=None,
+    run_timeout: float | None = None,
 ) -> StreamResult:
     """Continue a checkpointed run from its own serialized state.
 
@@ -1097,6 +1156,8 @@ def resume_stream(
         checkpoint_path=Path(path) if checkpoint_path is None else checkpoint_path,
         checkpoint_every=checkpoint_every,
         resume=state,
+        stop_event=stop_event,
+        run_timeout=run_timeout,
     )
 
 

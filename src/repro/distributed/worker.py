@@ -74,6 +74,29 @@ def run_worker(
     if heartbeat_interval <= 0:
         raise ValueError("heartbeat_interval must be positive")
     name = name or default_worker_name()
+    from repro.signals import trap_as_keyboard_interrupt
+
+    with trap_as_keyboard_interrupt():
+        return _run_worker_loop(
+            address, heartbeat_interval, reconnect_for, connect_timeout, name
+        )
+
+
+def _run_worker_loop(
+    address: tuple[str, int],
+    heartbeat_interval: float,
+    reconnect_for: float,
+    connect_timeout: float,
+    name: str,
+) -> int:
+    """The dial/serve/reconnect loop of :func:`run_worker`.
+
+    Runs under a SIGTERM/SIGINT trap: a supervisor's stop request raises
+    ``KeyboardInterrupt`` out of whatever blocking call is active, the
+    ``finally`` below closes the socket cleanly (the coordinator sees EOF
+    at a frame boundary, not a silent lease-expiry timeout), and the
+    worker exits 0 like a served-to-completion run.
+    """
     pairs: "OrderedDict[str, tuple]" = OrderedDict()
     connected_once = False
     window_end = time.monotonic() + max(0.0, reconnect_for)

@@ -30,6 +30,7 @@ from repro.core.checkpoint import (
     atomic_write_json,
     check_schema_version,
     load_json_payload,
+    remove_stale_tmp,
     required_field,
 )
 from repro.experiments.registry import get_spec
@@ -280,8 +281,10 @@ def write_artifact(result: RunResult, path: str | Path) -> Path:
     """Write one run's JSON artifact atomically and return its path.
 
     Atomic (tmp + fsync + ``os.replace``): a crash mid-write never leaves
-    a truncated artifact under the target name.
+    a truncated artifact under the target name.  Stale ``*.tmp`` files an
+    earlier crash left beside the target are logged and removed first.
     """
+    remove_stale_tmp(path)
     return atomic_write_json(path, result.to_dict())
 
 

@@ -25,6 +25,7 @@ intensity knob.
 from __future__ import annotations
 
 import datetime
+import time
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -38,10 +39,17 @@ from repro.core.checkpoint import (
     atomic_write_json,
     check_schema_version,
     load_json_payload,
+    remove_stale_tmp,
     required_field,
 )
 from repro.core.distributions import build_source, canonical_source_name
-from repro.core.engine import ChunkPool, resolve_fixed_trials, stream_probes
+from repro.core.engine import (
+    ChunkPool,
+    RunDeadlineExceeded,
+    RunInterrupted,
+    resolve_fixed_trials,
+    stream_probes,
+)
 from repro.experiments.seeding import cell_seed
 from repro.systems import build_system
 
@@ -180,7 +188,12 @@ class SweepCheckpoint:
 
 
 def save_sweep_checkpoint(path: str | Path, checkpoint: SweepCheckpoint) -> Path:
-    """Write a sweep checkpoint atomically (tmp + fsync + ``os.replace``)."""
+    """Write a sweep checkpoint atomically (tmp + fsync + ``os.replace``).
+
+    Stale ``*.tmp`` leftovers of a crashed earlier write are logged and
+    removed first (:func:`repro.core.checkpoint.remove_stale_tmp`).
+    """
+    remove_stale_tmp(path)
     return atomic_write_json(path, checkpoint.to_payload())
 
 
@@ -217,6 +230,8 @@ def run_sweep(
     checkpoint_path: str | Path | None = None,
     resume: "SweepCheckpoint | str | Path | None" = None,
     backend: str | None = None,
+    stop_event=None,
+    run_timeout: float | None = None,
 ) -> SweepResult:
     """Run a streaming Monte-Carlo sweep over the ``(sizes, ps)`` grid.
 
@@ -264,8 +279,21 @@ def run_sweep(
     a mismatch is a loud error naming the differing settings.  A
     ``coordinator`` (:class:`repro.distributed.Coordinator`) runs every
     cell over networked workers instead of a local pool.
+
+    Cooperative control (the serving layer's drain/deadline hooks):
+    ``stop_event`` and ``run_timeout`` are threaded into every cell's
+    engine run and also checked between cells.  Unlike an ordinary cell
+    failure they are *not* recorded as degraded cells — the grid
+    checkpoint is written with the cells measured so far and
+    :class:`~repro.core.engine.RunInterrupted` /
+    :class:`~repro.core.engine.RunDeadlineExceeded` propagates, so a
+    drained sweep resumes from its completed cells, byte-identically.
+    ``run_timeout`` bounds the whole grid's wall clock, not one cell's.
     """
     trials = resolve_fixed_trials(trials, target_ci, default=1000)
+    if run_timeout is not None and run_timeout <= 0:
+        raise ValueError("run_timeout must be positive (None disables it)")
+    deadline_at = None if run_timeout is None else time.monotonic() + run_timeout
     if not sizes or not ps:
         raise ValueError("sweep needs at least one size and one p")
     if coordinator is not None and jobs > 1:
@@ -371,6 +399,23 @@ def run_sweep(
                     # only on (size, p), so the recorded cell is the cell.
                     cells.append(done)
                     continue
+                # Drain/deadline land between cells too: the checkpoint
+                # already holds every finished cell, so raising here loses
+                # no work and the interruption is not a degraded cell.
+                if stop_event is not None and stop_event.is_set():
+                    write_checkpoint(complete=False)
+                    raise RunInterrupted(
+                        f"sweep stopped before cell (size={size}, p={p:g})"
+                    )
+                remaining = None
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:
+                        write_checkpoint(complete=False)
+                        raise RunDeadlineExceeded(
+                            f"sweep exceeded run_timeout={run_timeout}s "
+                            f"before cell (size={size}, p={p:g})"
+                        )
                 try:
                     source = build_source(distribution, system, p)
                     result = stream_probes(
@@ -388,7 +433,12 @@ def run_sweep(
                         retries=retries,
                         chunk_timeout=chunk_timeout,
                         backend=backend,
+                        stop_event=stop_event,
+                        run_timeout=remaining,
                     )
+                except (RunInterrupted, RunDeadlineExceeded):
+                    write_checkpoint(complete=False)
+                    raise
                 except Exception as error:
                     if fail_fast:
                         raise
@@ -443,6 +493,8 @@ def resume_sweep(
     coordinator=None,
     checkpoint_path: str | Path | None = None,
     backend: str | None = None,
+    stop_event=None,
+    run_timeout: float | None = None,
 ) -> SweepResult:
     """Continue a checkpointed sweep from its own serialized state.
 
@@ -475,6 +527,8 @@ def resume_sweep(
         checkpoint_path=Path(path) if checkpoint_path is None else checkpoint_path,
         resume=state,
         backend=backend,
+        stop_event=stop_event,
+        run_timeout=run_timeout,
     )
 
 
@@ -544,6 +598,7 @@ def write_sweep_artifact(result: SweepResult, path: str | Path) -> Path:
     payload["created"] = (
         datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
     )
+    remove_stale_tmp(path)
     return atomic_write_json(path, payload)
 
 

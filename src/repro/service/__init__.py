@@ -1,0 +1,43 @@
+"""Resilient probe-estimation service (``repro-probe serve``).
+
+A stdlib-only HTTP daemon over the streaming engine: durable job journal,
+bounded admission queue, content-addressed result cache, graceful drain.
+See :mod:`repro.service.app` for the robustness model.
+"""
+
+from repro.service.app import (
+    ProbeServer,
+    ProbeService,
+    ServiceUnavailable,
+    make_server,
+    serve,
+)
+from repro.service.cache import ResultCache, cache_key, canonical_json, result_crc
+from repro.service.jobs import (
+    BadRequest,
+    Job,
+    JobJournal,
+    deterministic_view,
+    normalize_estimate,
+    normalize_sweep,
+)
+from repro.service.metrics import ServiceMetrics
+
+__all__ = [
+    "BadRequest",
+    "Job",
+    "JobJournal",
+    "ProbeServer",
+    "ProbeService",
+    "ResultCache",
+    "ServiceMetrics",
+    "ServiceUnavailable",
+    "cache_key",
+    "canonical_json",
+    "deterministic_view",
+    "make_server",
+    "normalize_estimate",
+    "normalize_sweep",
+    "result_crc",
+    "serve",
+]

@@ -1,0 +1,92 @@
+"""Service observability: a small Prometheus-text metrics registry.
+
+Stdlib-only and deliberately tiny: a thread-safe bag of monotonic
+counters plus point-in-time gauges, rendered in the Prometheus text
+exposition format (``# HELP``/``# TYPE`` then ``name value`` lines) for
+``GET /metrics``.  Counters survive for the life of the process, not
+across restarts — durable state lives in the journal, metrics describe
+the running daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_PREFIX = "repro_"
+
+#: Monotonic counters the service increments (name → HELP text).
+COUNTERS = {
+    "jobs_submitted_total": "Jobs accepted into the queue.",
+    "jobs_done_total": "Jobs that completed successfully.",
+    "jobs_failed_total": "Jobs that exhausted retries or hit their deadline.",
+    "jobs_rejected_total": "Submissions rejected with 503 (queue full or not ready).",
+    "jobs_recovered_total": "Jobs re-queued by the startup journal scan.",
+    "requests_total": "HTTP requests handled.",
+    "request_errors_total": "HTTP requests answered with a 4xx/5xx status.",
+    "cache_hits_total": "Result-cache hits (estimate served without a run).",
+    "cache_misses_total": "Result-cache misses.",
+    "job_retries_total": "Job-level retry attempts after a failed run.",
+    "chunk_retries_total": "Engine chunk retries summed over completed jobs.",
+    "pool_respawns_total": "Worker-pool respawns summed over completed jobs.",
+    "trials_total": "Monte-Carlo trials executed by completed jobs.",
+    "job_seconds_total": "Wall-clock seconds spent running jobs.",
+}
+
+#: Point-in-time gauges the service sets (name → HELP text).
+GAUGES = {
+    "queue_depth": "Jobs waiting in the admission queue.",
+    "jobs_in_flight": "Jobs currently running.",
+    "service_state": "Service state: 0 ready, 1 degraded, 2 draining.",
+}
+
+#: Encoding of the service state machine on the ``service_state`` gauge.
+STATE_CODES = {"ready": 0, "degraded": 1, "draining": 2}
+
+
+class ServiceMetrics:
+    """Thread-safe counters + gauges with a Prometheus text renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = dict.fromkeys(COUNTERS, 0.0)
+        self._gauges = dict.fromkeys(GAUGES, 0.0)
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (must be declared)."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (must be declared) to ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge (tests, handlers)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges[name]
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        lines = []
+        for name, help_text in COUNTERS.items():
+            full = _PREFIX + name
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {_format(counters[name])}")
+        for name, help_text in GAUGES.items():
+            full = _PREFIX + name
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_format(gauges[name])}")
+        return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    """Integers render bare (``7``), fractions keep their float form."""
+    return str(int(value)) if value == int(value) else repr(value)

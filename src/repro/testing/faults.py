@@ -25,6 +25,22 @@ socket in hand, so they are consumed by the call site via
   flipped payload byte so the coordinator's CRC check rejects it
   (corrupt-frame).
 
+The estimation service (:mod:`repro.service`) adds three sites of its own:
+
+* ``"journal-write"`` — just before a job-journal record is persisted,
+  keyed by the 1-based ordinal of the write within this process (for one
+  job: 1 = submitted, 2 = running, 3 = done).  A ``"kill"`` at the done
+  write is the daemon crashing between the engine checkpoint and the
+  journal update — the recovery scan must reconcile the two.
+* ``"service-handler"`` — inside the HTTP request handler after parsing,
+  before any state changes, keyed by the 1-based ordinal of the POST
+  request.  A ``"raise"`` exercises the 500 path: the daemon must answer
+  with a clean error and keep serving.
+* ``"service-pool"`` — just before a job's engine run starts, keyed by
+  the job's submission sequence number.  A ``"raise"`` here is consumed
+  by the service as a lost worker pool and must flip it into degraded
+  read-only mode.
+
 A *fault plan* is a list of :class:`Fault` records written to a JSON file;
 the file's path travels to worker processes through the ``REPRO_FAULTS``
 environment variable, so the same plan fires no matter which process ends
@@ -73,7 +89,15 @@ KILL_EXIT_CODE = 43
 #: Any-key wildcard for :attr:`Fault.key`.
 ANY_KEY = -1
 
-_SITES = ("chunk", "merge", "worker-heartbeat", "worker-send")
+_SITES = (
+    "chunk",
+    "merge",
+    "worker-heartbeat",
+    "worker-send",
+    "journal-write",
+    "service-handler",
+    "service-pool",
+)
 _ACTIONS = ("kill", "raise", "delay", "interrupt", "drop", "corrupt")
 
 #: Actions that need their call site's context (a socket) to execute;

@@ -1,0 +1,137 @@
+"""Cooperative control of streaming runs: ``stop_event`` and ``run_timeout``.
+
+Both land at a chunk boundary *after* a durable checkpoint, so a drained
+or deadlined run is exactly as resumable as an interrupted one — the
+contract the serving layer's graceful shutdown and per-job deadlines are
+built on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.algorithms import ProbeTree
+from repro.core.checkpoint import load_engine_checkpoint
+from repro.core.engine import (
+    RunDeadlineExceeded,
+    RunInterrupted,
+    resume_stream,
+    stream_probes,
+)
+from repro.experiments.sweep import load_sweep_checkpoint, resume_sweep, run_sweep
+from repro.systems import build_system
+
+
+def _algorithm():
+    return ProbeTree(build_system("tree", 2))
+
+
+def _baseline(**kwargs):
+    return stream_probes(_algorithm(), p=0.2, trials=64, chunk_size=16, seed=7, **kwargs)
+
+
+def _same_statistics(a, b) -> bool:
+    return (
+        a.mean == b.mean
+        and a.std == b.std
+        and a.histogram == b.histogram
+        and a.witness_red == b.witness_red
+        and a.n_trials_used == b.n_trials_used
+    )
+
+
+class TestStopEvent:
+    def test_set_event_stops_at_first_chunk_boundary(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        event = threading.Event()
+        event.set()
+        with pytest.raises(RunInterrupted, match="stop_event"):
+            _baseline(checkpoint_path=checkpoint, stop_event=event)
+        state = load_engine_checkpoint(checkpoint)
+        assert not state.complete
+        assert state.chunks_merged == 1  # the boundary the stop landed on
+
+    def test_drained_run_resumes_byte_identically(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        event = threading.Event()
+        event.set()
+        with pytest.raises(RunInterrupted):
+            _baseline(checkpoint_path=checkpoint, stop_event=event)
+        resumed = resume_stream(checkpoint)
+        assert _same_statistics(resumed, _baseline())
+
+    def test_unset_event_is_a_no_op(self):
+        result = _baseline(stop_event=threading.Event())
+        assert _same_statistics(result, _baseline())
+
+    def test_stop_without_checkpoint_path_names_the_loss(self):
+        event = threading.Event()
+        event.set()
+        with pytest.raises(RunInterrupted, match="progress discarded"):
+            _baseline(stop_event=event)
+
+
+class TestRunTimeout:
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="run_timeout"):
+            _baseline(run_timeout=0)
+
+    def test_expired_deadline_checkpoints_then_raises(self, tmp_path, monkeypatch):
+        checkpoint = tmp_path / "run.ckpt"
+        # A clock that jumps past any deadline after the first chunk.
+        ticks = iter([0.0] + [1e9] * 100)
+        from repro.core import engine
+
+        real_monotonic = engine.time.monotonic
+        monkeypatch.setattr(
+            engine.time, "monotonic", lambda: next(ticks, real_monotonic())
+        )
+        with pytest.raises(RunDeadlineExceeded, match="run_timeout"):
+            _baseline(checkpoint_path=checkpoint, run_timeout=10.0)
+        monkeypatch.undo()
+        state = load_engine_checkpoint(checkpoint)
+        assert not state.complete
+        resumed = resume_stream(checkpoint)
+        assert _same_statistics(resumed, _baseline())
+
+    def test_generous_deadline_changes_nothing(self):
+        result = _baseline(run_timeout=3600.0)
+        assert _same_statistics(result, _baseline())
+
+
+class TestSweepControl:
+    GRID = dict(sizes=[2], ps=[0.2, 0.4], trials=32, seed=5, chunk_size=16)
+
+    def test_preset_stop_event_checkpoints_before_first_cell(self, tmp_path):
+        checkpoint = tmp_path / "sweep.ckpt"
+        event = threading.Event()
+        event.set()
+        with pytest.raises(RunInterrupted, match="sweep stopped"):
+            run_sweep(
+                "tree", checkpoint_path=checkpoint, stop_event=event, **self.GRID
+            )
+        state = load_sweep_checkpoint(checkpoint)
+        assert not state.complete
+        assert state.cells == ()
+
+    def test_drained_sweep_resumes_byte_identically(self, tmp_path):
+        checkpoint = tmp_path / "sweep.ckpt"
+        event = threading.Event()
+        event.set()
+        with pytest.raises(RunInterrupted):
+            run_sweep(
+                "tree", checkpoint_path=checkpoint, stop_event=event, **self.GRID
+            )
+        resumed = resume_sweep(checkpoint)
+        baseline = run_sweep("tree", **self.GRID)
+        from repro.service.jobs import deterministic_view
+
+        assert deterministic_view(resumed.to_dict()) == deterministic_view(
+            baseline.to_dict()
+        )
+
+    def test_sweep_deadline_is_validated(self):
+        with pytest.raises(ValueError, match="run_timeout"):
+            run_sweep("tree", run_timeout=-1, **self.GRID)

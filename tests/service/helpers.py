@@ -1,0 +1,50 @@
+"""HTTP test client helpers for the service tests."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+def http_get(url: str):
+    """``(status, parsed-or-text body, headers)`` for a GET."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, _body(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, _body(error), dict(error.headers)
+
+
+def http_post(url: str, payload):
+    """``(status, parsed body, headers)`` for a JSON POST."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, _body(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, _body(error), dict(error.headers)
+
+
+def _body(response):
+    text = response.read().decode()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def wait_for_state(view, job_id, states=("done", "failed"), timeout=30.0):
+    """Poll ``view(job_id)`` until the job reaches one of ``states``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = view(job_id)
+        if record is not None and record["state"] in states:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"{job_id} never reached {states}: {view(job_id)}")

@@ -1,0 +1,332 @@
+"""The probe-estimation service: lifecycle, admission, recovery, HTTP API.
+
+The load-bearing robustness claims (ISSUE 10):
+
+* a job's result is byte-identical to a direct engine run with the same
+  resolved parameters — and stays byte-identical across drains, retries
+  and restarts;
+* a full queue or a non-ready service answers 503 + ``Retry-After``;
+* a lost worker pool flips the service into degraded read-only mode;
+* the startup scan re-queues interrupted jobs and never re-runs
+  completed ones;
+* corruption of durable service state fails loudly, naming the file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+from helpers import http_get, http_post, wait_for_state
+
+from repro.algorithms import ProbeTree
+from repro.core.engine import stream_probes
+from repro.service import ProbeService, ServiceUnavailable, canonical_json
+from repro.service.jobs import BadRequest, estimate_result_payload
+from repro.systems import build_system
+from repro.testing import faults
+from repro.testing.faults import ANY_KEY, Fault
+
+REQUEST = {"system": "tree", "size": 2, "p": 0.2, "trials": 64, "chunk_size": 16}
+
+
+@pytest.fixture(autouse=True)
+def _fast_backoff(monkeypatch):
+    from repro.service import app
+
+    monkeypatch.setattr(app, "_sleep", lambda seconds: None)
+
+
+def expected_statistics():
+    """What the engine computes directly for ``REQUEST`` (seed 0)."""
+    result = stream_probes(
+        ProbeTree(build_system("tree", 2)), p=0.2, trials=64, chunk_size=16, seed=0
+    )
+    return estimate_result_payload(result)["statistics"]
+
+
+def submit_and_wait(service, request=REQUEST, kind="estimate"):
+    status, body = service.submit(kind, request)
+    assert status == 202
+    return wait_for_state(service.job_view, body["id"])
+
+
+class TestLifecycle:
+    def test_estimate_matches_direct_engine_run_byte_for_byte(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(service)
+        assert record["state"] == "done"
+        assert canonical_json(record["result"]["statistics"]) == canonical_json(
+            expected_statistics()
+        )
+
+    def test_repeat_query_is_a_cache_hit(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(service)
+        status, body = service.submit("estimate", dict(REQUEST))
+        assert status == 200
+        assert body["cached"] is True
+        assert body["result"] == record["result"]
+        assert service.metrics.value("cache_hits_total") == 1
+        # A cache hit creates no new job record.
+        assert len(service.journal.load_all()) == 1
+
+    def test_sweep_job_completes(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(
+            service,
+            {"system": "tree", "sizes": [2], "ps": [0.2, 0.4], "trials": 32},
+            kind="sweep",
+        )
+        assert record["state"] == "done"
+        statistics = record["result"]["statistics"]
+        assert statistics["kind"] == "p_sweep"
+        assert len(statistics["cells"]) == 2
+
+    def test_done_jobs_survive_restart_without_rerunning(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(service)
+        service.drain()
+        reopened = service_factory(subdir="data")
+        assert reopened.metrics.value("jobs_recovered_total") == 0
+        view = reopened.job_view(record["id"])
+        assert view["state"] == "done"
+        assert view["attempts"] == record["attempts"]  # never re-run
+        assert view["result"] == record["result"]
+
+    def test_metrics_account_for_the_work(self, service_factory):
+        service = service_factory()
+        submit_and_wait(service)
+        metrics = service.metrics
+        assert metrics.value("jobs_submitted_total") == 1
+        assert metrics.value("jobs_done_total") == 1
+        assert metrics.value("trials_total") == 64
+        rendered = metrics.render()
+        assert "repro_jobs_done_total 1" in rendered
+        assert "repro_service_state 0" in rendered
+
+
+class TestAdmission:
+    def test_full_queue_rejects_with_retry_after(self, service_factory):
+        service = service_factory(start=False, queue_size=2, retry_after=7)
+        assert service.submit("estimate", dict(REQUEST))[0] == 202
+        assert service.submit("estimate", {**REQUEST, "p": 0.3})[0] == 202
+        with pytest.raises(ServiceUnavailable, match="queue full") as excinfo:
+            service.submit("estimate", {**REQUEST, "p": 0.4})
+        assert excinfo.value.retry_after == 7
+        assert service.metrics.value("jobs_rejected_total") == 1
+
+    def test_draining_service_rejects_submissions(self, service_factory):
+        service = service_factory()
+        service.begin_drain()
+        with pytest.raises(ServiceUnavailable, match="draining"):
+            service.submit("estimate", dict(REQUEST))
+
+    def test_bad_request_does_not_touch_the_journal(self, service_factory):
+        service = service_factory()
+        with pytest.raises(BadRequest):
+            service.submit("estimate", {"system": "nope", "p": 0.2})
+        assert service.journal.load_all() == []
+
+
+class TestFaultRecovery:
+    def test_failed_run_retries_then_succeeds_byte_identically(
+        self, service_factory, tmp_path
+    ):
+        plan = [Fault("chunk", 0, "raise")]  # first chunk fails once
+        with faults.active_plan(plan, tmp_path / "plan"):
+            service = service_factory(retries=0, job_retries=1)
+            record = submit_and_wait(service)
+        assert record["state"] == "done"
+        assert record["attempts"] == 2
+        assert service.metrics.value("job_retries_total") == 1
+        assert canonical_json(record["result"]["statistics"]) == canonical_json(
+            expected_statistics()
+        )
+
+    def test_exhausted_retries_fail_with_the_original_error(
+        self, service_factory, tmp_path
+    ):
+        plan = [Fault("chunk", 0, "raise", once=False)]  # fails every attempt
+        with faults.active_plan(plan, tmp_path / "plan"):
+            service = service_factory(retries=0, job_retries=1)
+            record = submit_and_wait(service)
+        assert record["state"] == "failed"
+        assert "FaultInjected" in record["error"]
+        assert service.metrics.value("jobs_failed_total") == 1
+
+    def test_deadline_exceeded_fails_the_job(self, service_factory, tmp_path):
+        plan = [Fault("chunk", ANY_KEY, "delay", seconds=0.05, once=False)]
+        with faults.active_plan(plan, tmp_path / "plan"):
+            service = service_factory(deadline=0.01)
+            record = submit_and_wait(service)
+        assert record["state"] == "failed"
+        assert "deadline" in record["error"]
+
+    def test_lost_pool_flips_degraded_read_only(self, service_factory, tmp_path):
+        service = service_factory()
+        done = submit_and_wait(service)  # seq 1: primes the cache
+        plan = [Fault("service-pool", 2, "raise")]
+        with faults.active_plan(plan, tmp_path / "plan"):
+            status, body = service.submit("estimate", {**REQUEST, "p": 0.35})
+            assert status == 202
+            deadline = time.monotonic() + 30
+            while service.state != "degraded" and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert service.state == "degraded"
+        record = service.job_view(body["id"])
+        assert record["state"] == "submitted"  # durable, will run after restart
+        # Read-only: status and cached results keep serving, compute is refused.
+        with pytest.raises(ServiceUnavailable, match="degraded"):
+            service.submit("estimate", {**REQUEST, "p": 0.45})
+        assert service.job_view(done["id"])["state"] == "done"
+        status, body = service.submit("estimate", dict(REQUEST))
+        assert (status, body["cached"]) == (200, True)
+        # The stranded job is durable and completes on a healthy restart.
+        service.drain()
+        healthy = service_factory(subdir="data")
+        assert healthy.metrics.value("jobs_recovered_total") == 1
+        recovered = wait_for_state(healthy.job_view, record["id"])
+        assert recovered["state"] == "done"
+
+
+class TestDrainAndCrashRecovery:
+    def test_drain_checkpoints_in_flight_job_and_restart_finishes_it(
+        self, service_factory, tmp_path
+    ):
+        plan = [Fault("chunk", ANY_KEY, "delay", seconds=0.05, once=False)]
+        with faults.active_plan(plan, tmp_path / "plan"):
+            service = service_factory()
+            status, body = service.submit(
+                "estimate", {**REQUEST, "trials": 64, "chunk_size": 8}
+            )
+            assert status == 202
+            wait_for_state(service.job_view, body["id"], states=("running",))
+            service.begin_drain()
+            service.drain()
+            job = service.journal.load(body["id"])
+            assert job.state == "submitted"  # durable, not failed
+            assert service.journal.checkpoint_path(job).is_file()
+        # Restart without faults: the job resumes from its checkpoint.
+        reopened = service_factory(subdir="data")
+        assert reopened.metrics.value("jobs_recovered_total") == 1
+        record = wait_for_state(reopened.job_view, body["id"])
+        assert record["state"] == "done"
+        # Byte-identical to a fault-free run of the same request.
+        baseline = service_factory(subdir="baseline")
+        fresh = submit_and_wait(
+            baseline, {**REQUEST, "trials": 64, "chunk_size": 8}
+        )
+        assert canonical_json(record["result"]["statistics"]) == canonical_json(
+            fresh["result"]["statistics"]
+        )
+
+    def test_crash_between_checkpoint_and_done_write_reconciles(
+        self, service_factory
+    ):
+        service = service_factory()
+        record = submit_and_wait(service)
+        service.drain()
+        # Simulate the crash window: the engine checkpoint is complete on
+        # disk but the journal still says "running", and the cache entry
+        # never landed.
+        job = service.journal.load(record["id"])
+        job.state = "running"
+        service.journal.write(job)
+        service.cache.path_for(job.cache_key).unlink()
+        reopened = service_factory(subdir="data")
+        recovered = wait_for_state(reopened.job_view, record["id"])
+        assert recovered["state"] == "done"
+        assert canonical_json(recovered["result"]["statistics"]) == canonical_json(
+            record["result"]["statistics"]
+        )
+        # The repaired cache serves repeats again.
+        status, body = reopened.submit("estimate", dict(REQUEST))
+        assert (status, body["cached"]) == (200, True)
+
+    def test_missing_cache_entry_backfilled_for_done_jobs(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(service)
+        service.drain()
+        service.cache.path_for(record["cache_key"]).unlink()
+        reopened = service_factory(subdir="data")
+        assert reopened.cache.path_for(record["cache_key"]).is_file()
+
+    def test_corrupt_journal_record_fails_startup_loudly(self, service_factory):
+        service = service_factory()
+        record = submit_and_wait(service)
+        service.drain()
+        path = service.journal.path_for(record["id"])
+        faults.truncate_file(path, 30)
+        with pytest.raises(ValueError, match=str(path)):
+            ProbeService(service.data_dir)
+
+
+class TestHTTP:
+    def test_health_ready_metrics_and_jobs(self, service_factory):
+        service, base = service_factory(http=True)
+        assert http_get(base + "/healthz")[0] == 200
+        assert http_get(base + "/readyz")[0] == 200
+        status, body, _ = http_post(base + "/estimate", REQUEST)
+        assert status == 202
+        record = wait_for_state(
+            lambda job_id: http_get(base + f"/jobs/{job_id}")[1], body["id"]
+        )
+        assert record["state"] == "done"
+        status, text, _ = http_get(base + "/metrics")
+        assert status == 200
+        assert "repro_jobs_done_total 1" in text
+        assert http_get(base + "/jobs/nope")[0] == 404
+        assert http_get(base + "/elsewhere")[0] == 404
+
+    def test_queue_full_answers_503_with_retry_after(self, service_factory):
+        service, base = service_factory(http=True, start=False, queue_size=1)
+        assert http_post(base + "/estimate", REQUEST)[0] == 202
+        status, body, headers = http_post(
+            base + "/estimate", {**REQUEST, "p": 0.3}
+        )
+        assert status == 503
+        assert "queue full" in body["error"]
+        assert headers["Retry-After"] == "1"
+
+    def test_healthz_flips_during_drain(self, service_factory):
+        service, base = service_factory(http=True)
+        assert http_get(base + "/healthz")[0] == 200
+        service.begin_drain()
+        assert http_get(base + "/healthz")[0] == 503
+        assert http_get(base + "/readyz")[0] == 503
+        assert http_post(base + "/estimate", REQUEST)[0] == 503
+
+    def test_handler_fault_answers_500_and_keeps_serving(
+        self, service_factory, tmp_path
+    ):
+        service, base = service_factory(http=True)
+        plan = [Fault("service-handler", 1, "raise")]
+        with faults.active_plan(plan, tmp_path / "plan"):
+            assert http_post(base + "/estimate", REQUEST)[0] == 500
+            assert http_post(base + "/estimate", REQUEST)[0] == 202
+
+    def test_malformed_json_answers_400(self, service_factory):
+        import urllib.request
+
+        service, base = service_factory(http=True)
+        request = urllib.request.Request(
+            base + "/estimate",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            status = 200
+        except urllib.error.HTTPError as error:
+            status = error.code
+            body = json.loads(error.read())
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_bad_request_answers_400(self, service_factory):
+        service, base = service_factory(http=True)
+        status, body, _ = http_post(base + "/estimate", {"system": "nope", "p": 0.2})
+        assert status == 400
+        assert "unknown system" in body["error"]

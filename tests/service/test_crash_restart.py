@@ -1,0 +1,168 @@
+"""End-to-end crash recovery of the real daemon process.
+
+The daemon is killed without cleanup (``os._exit``, like SIGKILL) by a
+``"journal-write"`` fault at the *done* write — the narrowest window,
+after the engine checkpoint is durable but before the journal records
+completion.  A restarted daemon over the same data directory must finish
+the job byte-identically, serve repeats from the cache, and exit cleanly
+on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+from helpers import http_get, http_post, wait_for_state
+
+from repro.testing import faults
+from repro.testing.faults import KILL_EXIT_CODE, Fault
+
+REQUEST = {"system": "tree", "size": 2, "p": 0.2, "trials": 64, "chunk_size": 16}
+
+
+def _spawn_daemon(data_dir, extra_env=None):
+    """Start ``repro-probe serve`` on a free port; returns (process, base)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH", "")])
+    )
+    env.update(extra_env or {})
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.cli import main; raise SystemExit(main())",
+            "serve",
+            "--data-dir",
+            str(data_dir),
+            "--port",
+            "0",
+        ],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # serve() announces the bound address on stdout; log lines (stderr,
+    # merged) may come first — e.g. the journal-recovery notice.
+    seen = []
+    for _ in range(20):
+        line = process.stdout.readline()
+        seen.append(line)
+        if "serving on http://" in line:
+            return process, line.split("serving on ")[1].split(" ")[0].strip()
+    raise AssertionError(f"daemon never announced its address: {seen}")
+
+
+def _wait_exit(process, timeout=60.0):
+    try:
+        return process.wait(timeout=timeout)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def test_kill9_at_done_write_recovers_byte_identically(tmp_path):
+    data_dir = tmp_path / "state"
+    # Writes for one job: 1 = submitted, 2 = running, 3 = done.  Kill at 3.
+    plan_path = faults.write_plan(
+        [Fault("journal-write", 3, "kill")], tmp_path / "plan"
+    )
+
+    process, base = _spawn_daemon(data_dir, {faults.ENV_VAR: str(plan_path)})
+    try:
+        status, body, _ = http_post(base + "/estimate", REQUEST)
+        assert status == 202
+        job_id = body["id"]
+        assert _wait_exit(process) == KILL_EXIT_CODE
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    # The crash left a durable, reconcilable state: journal says running,
+    # the engine checkpoint is complete, no result was recorded.
+    record = json.loads((data_dir / "journal" / f"{job_id}.json").read_text())
+    assert record["state"] == "running"
+    assert record["result"] is None
+
+    # Restart over the same directory (the claimed fault cannot re-fire).
+    process, base = _spawn_daemon(data_dir, {faults.ENV_VAR: str(plan_path)})
+    try:
+        recovered = wait_for_state(
+            lambda jid: http_get(base + f"/jobs/{jid}")[1], job_id
+        )
+        assert recovered["state"] == "done"
+
+        # Byte-identical to a fault-free daemon run of the same request.
+        fresh_dir = tmp_path / "fresh"
+        fresh_process, fresh_base = _spawn_daemon(fresh_dir)
+        try:
+            status, body, _ = http_post(fresh_base + "/estimate", REQUEST)
+            assert status == 202
+            fresh = wait_for_state(
+                lambda jid: http_get(fresh_base + f"/jobs/{jid}")[1], body["id"]
+            )
+        finally:
+            fresh_process.send_signal(signal.SIGTERM)
+            assert _wait_exit(fresh_process) == 0
+        assert json.dumps(recovered["result"]["statistics"], sort_keys=True) == (
+            json.dumps(fresh["result"]["statistics"], sort_keys=True)
+        )
+
+        # Repeat query: served from the content-addressed cache.
+        status, body, _ = http_post(base + "/estimate", REQUEST)
+        assert status == 200
+        assert body["cached"] is True
+        assert body["result"] == recovered["result"]
+
+        # Graceful shutdown: /healthz flips, then a clean exit.
+        process.send_signal(signal.SIGTERM)
+        assert _wait_exit(process) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def test_sigterm_mid_job_drains_to_checkpoint_and_restart_finishes(tmp_path):
+    data_dir = tmp_path / "state"
+    # Slow every chunk so the job is mid-flight when SIGTERM lands.
+    plan_path = faults.write_plan(
+        [Fault("chunk", faults.ANY_KEY, "delay", seconds=0.2, once=False)],
+        tmp_path / "plan",
+    )
+    process, base = _spawn_daemon(data_dir, {faults.ENV_VAR: str(plan_path)})
+    try:
+        status, body, _ = http_post(base + "/estimate", REQUEST)
+        assert status == 202
+        job_id = body["id"]
+        wait_for_state(
+            lambda jid: http_get(base + f"/jobs/{jid}")[1],
+            job_id,
+            states=("running",),
+        )
+        process.send_signal(signal.SIGTERM)
+        assert _wait_exit(process) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    record = json.loads((data_dir / "journal" / f"{job_id}.json").read_text())
+    assert record["state"] == "submitted"  # drained, not lost, not failed
+
+    # Restart without the delay plan: resumes from the drained checkpoint.
+    process, base = _spawn_daemon(data_dir)
+    try:
+        recovered = wait_for_state(
+            lambda jid: http_get(base + f"/jobs/{jid}")[1], job_id
+        )
+        assert recovered["state"] == "done"
+        process.send_signal(signal.SIGTERM)
+        assert _wait_exit(process) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()

@@ -1,0 +1,188 @@
+"""Request normalization and the durable job journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import (
+    BadRequest,
+    Job,
+    JobJournal,
+    deterministic_view,
+    normalize_estimate,
+    normalize_sweep,
+)
+from repro.testing.faults import drop_json_field, truncate_file
+
+
+class TestNormalizeEstimate:
+    def test_defaults_pin_every_byte_determining_knob(self):
+        params = normalize_estimate({"system": "maj", "p": 0.3})
+        assert params["seed"] == 0  # cache-friendly default
+        assert params["trials"] == 1000
+        assert params["target_ci"] is None
+        assert params["size"] == 8
+        assert params["distribution"] == "bernoulli"
+        assert params["backend"] == "numpy"
+        assert params["randomized"] is False
+
+    def test_identical_requests_normalize_identically(self):
+        a = normalize_estimate({"system": "maj", "p": 0.3})
+        b = normalize_estimate({"p": 0.3, "system": "maj", "seed": 0})
+        assert a == b
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BadRequest, match="unknown field.*trails"):
+            normalize_estimate({"system": "maj", "p": 0.3, "trails": 10})
+
+    def test_missing_system_rejected(self):
+        with pytest.raises(BadRequest, match="system"):
+            normalize_estimate({"p": 0.3})
+
+    def test_missing_p_rejected(self):
+        with pytest.raises(BadRequest, match="'p'"):
+            normalize_estimate({"system": "maj"})
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(BadRequest, match="unknown system"):
+            normalize_estimate({"system": "quorumish", "p": 0.3})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BadRequest, match="unknown backend"):
+            normalize_estimate({"system": "maj", "p": 0.3, "backend": "gpu"})
+
+    def test_trials_and_target_ci_are_exclusive(self):
+        with pytest.raises(BadRequest, match="not both"):
+            normalize_estimate(
+                {"system": "maj", "p": 0.3, "trials": 10, "target_ci": 0.1}
+            )
+
+    def test_adaptive_mode_resolves_trials_to_none(self):
+        params = normalize_estimate({"system": "maj", "p": 0.3, "target_ci": 0.5})
+        assert params["trials"] is None
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(BadRequest, match="JSON object"):
+            normalize_estimate([1, 2])
+
+    def test_boolean_seed_rejected(self):
+        with pytest.raises(BadRequest, match="seed"):
+            normalize_estimate({"system": "maj", "p": 0.3, "seed": True})
+
+
+class TestNormalizeSweep:
+    def test_minimal_grid(self):
+        params = normalize_sweep(
+            {"system": "tree", "sizes": [2, 3], "ps": [0.1, 0.2]}
+        )
+        assert params["sizes"] == [2, 3]
+        assert params["ps"] == [0.1, 0.2]
+        assert params["trials"] == 1000
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(BadRequest, match="sizes"):
+            normalize_sweep({"system": "tree", "sizes": [], "ps": [0.1]})
+        with pytest.raises(BadRequest, match="ps"):
+            normalize_sweep({"system": "tree", "sizes": [2], "ps": []})
+
+
+def test_deterministic_view_strips_wall_clock_recursively():
+    payload = {
+        "seconds": 1.0,
+        "cells": [{"mean": 2.0, "seconds": 0.1, "retries_used": 3}],
+        "recovery": {"pool_respawns": 1},
+        "nested": {"worker_reassignments": 2, "kept": True},
+    }
+    assert deterministic_view(payload) == {
+        "cells": [{"mean": 2.0}],
+        "recovery": {},
+        "nested": {"kept": True},
+    }
+
+
+PARAMS = {"system": "maj", "size": 9, "p": 0.3, "seed": 0}
+
+
+class TestJournal:
+    def test_write_load_roundtrip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        job = journal.new_job("estimate", PARAMS)
+        journal.write(job)
+        loaded = journal.load(job.id)
+        assert loaded == job
+
+    def test_sequence_numbers_survive_restart(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write(journal.new_job("estimate", PARAMS))
+        journal.write(journal.new_job("sweep", PARAMS))
+        reopened = JobJournal(tmp_path)
+        job = reopened.new_job("estimate", PARAMS)
+        assert job.seq == 3  # never reuses an id
+
+    def test_recover_demotes_running_and_keeps_terminal(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submitted = journal.new_job("estimate", PARAMS)
+        journal.write(submitted)
+        running = journal.new_job("estimate", {**PARAMS, "p": 0.4})
+        running.state = "running"
+        journal.write(running)
+        done = journal.new_job("estimate", {**PARAMS, "p": 0.5})
+        done.state = "done"
+        done.result = {"statistics": {}}
+        journal.write(done)
+
+        pending, finished = JobJournal(tmp_path).recover()
+        assert [job.id for job in pending] == [submitted.id, running.id]
+        assert all(job.state == "submitted" for job in pending)
+        assert [job.id for job in finished] == [done.id]
+        # The demotion is durable, not just in memory.
+        assert JobJournal(tmp_path).load(running.id).state == "submitted"
+
+    def test_missing_record_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="job-9"):
+            JobJournal(tmp_path).load("job-9")
+
+    def test_truncated_record_fails_loudly_naming_the_file(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        job = journal.new_job("estimate", PARAMS)
+        path = journal.write(job)
+        truncate_file(path, 20)
+        with pytest.raises(ValueError, match=str(path)):
+            JobJournal(tmp_path)  # startup scan loads every record
+
+    def test_dropped_field_fails_loudly_naming_the_field(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        job = journal.new_job("estimate", PARAMS)
+        path = journal.write(job)
+        drop_json_field(path, "state")
+        with pytest.raises(ValueError, match="'state'"):
+            journal.load(job.id)
+
+    def test_dropped_schema_fails_loudly(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        job = journal.new_job("estimate", PARAMS)
+        path = journal.write(job)
+        drop_json_field(path, "schema")
+        with pytest.raises(ValueError, match="schema"):
+            journal.load(job.id)
+
+    def test_unknown_state_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        job = journal.new_job("estimate", PARAMS)
+        payload = job.to_payload()
+        payload["state"] = "zombie"
+        with pytest.raises(ValueError, match="zombie"):
+            Job.from_payload(payload)
+
+    def test_checkpoint_paths_distinguish_kinds(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        estimate = journal.new_job("estimate", PARAMS)
+        sweep = journal.new_job("sweep", PARAMS)
+        assert journal.checkpoint_path(estimate).suffix == ".ckpt"
+        assert journal.checkpoint_path(sweep).name.endswith(".sweep.ckpt")
+
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        stale = tmp_path / ".job-000001.json.1234.tmp"
+        stale.write_text("partial")
+        JobJournal(tmp_path)
+        assert not stale.exists()

@@ -1,0 +1,53 @@
+"""Signal trapping: SIGTERM behaves like Ctrl-C, or invokes a callback."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.signals import STOP_SIGNALS, trap_as_keyboard_interrupt, trap_to_callback
+
+
+def test_stop_signals_cover_term_and_int():
+    assert signal.SIGTERM in STOP_SIGNALS
+    assert signal.SIGINT in STOP_SIGNALS
+
+
+def test_sigterm_raises_keyboard_interrupt_inside_trap():
+    with pytest.raises(KeyboardInterrupt):
+        with trap_as_keyboard_interrupt():
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+def test_previous_handler_restored_after_trap():
+    previous = signal.getsignal(signal.SIGTERM)
+    with trap_as_keyboard_interrupt():
+        assert signal.getsignal(signal.SIGTERM) is signal.default_int_handler
+    assert signal.getsignal(signal.SIGTERM) is previous
+
+
+def test_first_signal_invokes_callback_second_interrupts():
+    received = []
+    with trap_to_callback(received.append):
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert received == [signal.SIGTERM]
+        with pytest.raises(KeyboardInterrupt):
+            os.kill(os.getpid(), signal.SIGTERM)
+    assert received == [signal.SIGTERM]
+
+
+def test_traps_are_no_ops_off_the_main_thread():
+    outcome = {}
+
+    def worker():
+        with trap_as_keyboard_interrupt():
+            outcome["handler"] = signal.getsignal(signal.SIGTERM)
+
+    before = signal.getsignal(signal.SIGTERM)
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert outcome["handler"] is before  # unchanged: not the main thread
